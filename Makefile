@@ -1,0 +1,23 @@
+# Convenience targets for the DiffTune reproduction.
+
+.PHONY: all build test bench bench-full clean doc quickstart
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+bench-full:
+	DIFFTUNE_SCALE=full dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+quickstart:
+	dune exec examples/quickstart.exe
+
+clean:
+	dune clean
