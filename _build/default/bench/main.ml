@@ -1,0 +1,156 @@
+(* The benchmark harness: regenerates every table and figure from the
+   paper's evaluation (see the per-experiment index in DESIGN.md), then
+   runs Bechamel micro-benchmarks of the substrate simulators and the
+   surrogate.
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments + perf
+     dune exec bench/main.exe table4 fig5     # a subset
+     dune exec bench/main.exe perf            # only the micro-benchmarks
+     DIFFTUNE_SCALE=full dune exec bench/main.exe   # larger budgets *)
+
+module Experiments = Dt_exp.Experiments
+module Scale = Dt_exp.Scale
+module Runner = Dt_exp.Runner
+
+(* ---- Bechamel micro-benchmarks ---- *)
+
+let perf () =
+  print_endline "\n=== Performance micro-benchmarks (Bechamel) ===";
+  let open Bechamel in
+  let open Toolkit in
+  let uarch = Dt_refcpu.Uarch.Haswell in
+  let cfg = Dt_refcpu.Uarch.config uarch in
+  let params = Dt_mca.Params.default uarch in
+  let usim = Dt_usim.Usim.default uarch in
+  let block =
+    Dt_x86.Block.parse
+      "movq 8(%rbp), %rax\n\
+       addq %rax, %rcx\n\
+       imulq %rcx, %rdx\n\
+       movq %rdx, 16(%rbp)\n\
+       xorl %r8d, %r8d"
+  in
+  let rng = Dt_util.Rng.create 1 in
+  let model_cfg =
+    {
+      Dt_surrogate.Model.default_config with
+      token_layers = 2;
+      instr_layers = 2;
+    }
+  in
+  let model = Dt_surrogate.Model.create ~config:model_cfg rng in
+  let per = Array.make 5 (Array.make 15 0.2) in
+  let glob = [| 0.6; 1.4 |] in
+  let spec = Dt_difftune.Spec.mca_full uarch in
+  let staged_sample = spec.sample (Dt_util.Rng.create 7) in
+  let tests =
+    [
+      Test.make ~name:"refcpu.timing (ground truth, 100 iters)"
+        (Staged.stage (fun () -> Dt_refcpu.Machine.timing cfg block));
+      Test.make ~name:"mca.timing (llvm-mca clone, 100 iters)"
+        (Staged.stage (fun () -> Dt_mca.Pipeline.timing params block));
+      Test.make ~name:"usim.timing (llvm_sim clone, 100 iters)"
+        (Staged.stage (fun () -> Dt_usim.Usim.timing usim block));
+      Test.make ~name:"iaca.predict (analytical)"
+        (Staged.stage (fun () -> Dt_iaca.Iaca.predict uarch block));
+      Test.make ~name:"mca.timing (random table)"
+        (Staged.stage (fun () -> spec.timing staged_sample block));
+      Test.make ~name:"surrogate.forward (4+4 stack LSTM)"
+        (Staged.stage (fun () ->
+             Dt_surrogate.Model.predict_value model block
+               ~params:(Some (per, glob)) ()));
+      Test.make ~name:"tokenizer"
+        (Staged.stage (fun () ->
+             Array.map Dt_surrogate.Tokenizer.tokens block.instrs));
+      Test.make ~name:"block.parse"
+        (Staged.stage (fun () ->
+             Dt_x86.Block.parse "addq %rax, %rbx\nmovq 8(%rsp), %rcx"));
+    ]
+  in
+  let benchmark test =
+    let quota = Time.second 0.5 in
+    Benchmark.all (Benchmark.cfg ~quota ~kde:(Some 100) ())
+      Instance.[ monotonic_clock ]
+      test
+  in
+  let analyze results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-48s %12.1f ns/call\n%!" name est
+          | _ -> ())
+        results)
+    tests
+
+(* ---- Surrogate-depth ablation (design decision in DESIGN.md) ---- *)
+
+let ablation_depth () =
+  print_endline "\n=== Ablation: surrogate LSTM stack depth (forward cost) ===";
+  let block =
+    Dt_x86.Block.parse "addq %rax, %rbx\nmovq 8(%rsp), %rcx\nimulq %rcx, %rax"
+  in
+  let per = Array.make 3 (Array.make 15 0.2) in
+  let glob = [| 0.6; 1.4 |] in
+  List.iter
+    (fun layers ->
+      let rng = Dt_util.Rng.create 1 in
+      let cfg =
+        {
+          Dt_surrogate.Model.default_config with
+          token_layers = layers;
+          instr_layers = layers;
+        }
+      in
+      let model = Dt_surrogate.Model.create ~config:cfg rng in
+      let t0 = Unix.gettimeofday () in
+      let n = 200 in
+      for _ = 1 to n do
+        ignore
+          (Dt_surrogate.Model.predict_value model block
+             ~params:(Some (per, glob)) ())
+      done;
+      let dt = (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e6 in
+      Printf.printf "%d-stack LSTMs: %4.0f us/forward (params: %d)\n%!" layers
+        dt
+        (Dt_nn.Nn.Store.size (Dt_surrogate.Model.store model)))
+    [ 1; 2; 4 ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let scale = Scale.from_env () in
+  Printf.printf "DiffTune benchmark harness (scale: %s)\n%!" scale.Scale.name;
+  let runner = Runner.create scale in
+  let known =
+    Experiments.all
+    @ [ ("perf", fun _ -> perf ());
+        ("ablation_depth", fun _ -> ablation_depth ()) ]
+  in
+  let to_run =
+    match args with
+    | [] -> known
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n known with
+            | Some f -> (n, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s\n%!" n
+                  (String.concat ", " (List.map fst known));
+                exit 1)
+          names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      Printf.eprintf "[experiment %s]\n%!" name;
+      f runner)
+    to_run;
+  Printf.printf "\nTotal harness time: %.0fs\n%!" (Unix.gettimeofday () -. t0)

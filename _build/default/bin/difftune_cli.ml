@@ -1,0 +1,280 @@
+(* difftune - command-line interface to the DiffTune reproduction.
+
+   Subcommands:
+     dataset    generate and summarize the synthetic BHive corpus
+     predict    predict a block's timing with every predictor
+     learn      run DiffTune on a simulator spec and report errors
+     experiment run one of the paper's tables/figures (see bench/) *)
+
+open Cmdliner
+
+module Uarch = Dt_refcpu.Uarch
+module Spec = Dt_difftune.Spec
+module Engine = Dt_difftune.Engine
+
+let uarch_conv =
+  let parse s =
+    match Uarch.uarch_of_name s with
+    | Some u -> Ok u
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown microarchitecture %S (expected \
+                                     ivybridge|haswell|skylake|zen2)" s))
+  in
+  let print fmt u = Format.pp_print_string fmt (Uarch.uarch_name u) in
+  Arg.conv (parse, print)
+
+let uarch_arg =
+  Arg.(value & opt uarch_conv Uarch.Haswell
+       & info [ "u"; "uarch" ] ~docv:"UARCH"
+           ~doc:"Microarchitecture: ivybridge, haswell, skylake or zen2.")
+
+let size_arg =
+  Arg.(value & opt int 900
+       & info [ "n"; "size" ] ~docv:"N" ~doc:"Corpus size (unique blocks).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* ---- dataset ---- *)
+
+let dataset_cmd =
+  let export_arg =
+    Arg.(value & opt (some string) None
+         & info [ "export" ] ~docv:"PATH"
+             ~doc:"Also write the labeled dataset as BHive-style CSV.")
+  in
+  let run uarch size seed export =
+    let corpus = Dt_bhive.Dataset.corpus ~seed ~size in
+    let ds = Dt_bhive.Dataset.label corpus ~seed:1 ~uarch ~noise:0.01 in
+    let s = Dt_bhive.Dataset.summarize ds in
+    Printf.printf "corpus: %d blocks for %s\n" size (Uarch.uarch_name uarch);
+    Printf.printf "splits: train %d / valid %d / test %d\n" s.n_train s.n_valid
+      s.n_test;
+    Printf.printf "block length: min %d median %.0f mean %.2f max %d\n"
+      s.min_len s.median_len s.mean_len s.max_len;
+    Printf.printf "median timing (x100 iterations): %.0f cycles\n"
+      s.median_timing;
+    Printf.printf "unique opcodes: %d train / %d total\n" s.unique_opcodes_train
+      s.unique_opcodes_total;
+    match export with
+    | None -> ()
+    | Some path ->
+        Dt_bhive.Export.save ds path;
+        Printf.printf "dataset written to %s\n" path
+  in
+  Cmd.v (Cmd.info "dataset" ~doc:"Generate and summarize the synthetic corpus")
+    Term.(const run $ uarch_arg $ size_arg $ seed_arg $ export_arg)
+
+(* ---- predict ---- *)
+
+let block_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"BLOCK"
+           ~doc:"Basic block in AT&T syntax; instructions separated by ';'.")
+
+let predict_cmd =
+  let run uarch text =
+    match Dt_x86.Block.parse text with
+    | exception Dt_x86.Parser.Parse_error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 1
+    | block ->
+        let cfg = Uarch.config uarch in
+        Printf.printf "block:\n%s\n\n" (Dt_x86.Block.to_string block);
+        Printf.printf "reference CPU (ground truth): %.2f cycles/iteration\n"
+          (Dt_refcpu.Machine.timing cfg block);
+        let params = Dt_mca.Params.default uarch in
+        Printf.printf "llvm-mca clone (default parameters): %.2f\n"
+          (Dt_mca.Pipeline.timing params block);
+        Printf.printf "llvm_sim clone (default parameters): %.2f\n"
+          (Dt_usim.Usim.timing (Dt_usim.Usim.default uarch) block);
+        (match Dt_iaca.Iaca.predict uarch block with
+        | Some p -> Printf.printf "IACA-style analytical model: %.2f\n" p
+        | None -> Printf.printf "IACA-style analytical model: N/A on AMD\n")
+  in
+  Cmd.v (Cmd.info "predict" ~doc:"Predict one block's timing with every model")
+    Term.(const run $ uarch_arg $ block_arg)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let run uarch text iterations =
+    match Dt_x86.Block.parse text with
+    | exception Dt_x86.Parser.Parse_error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 1
+    | block ->
+        let params = Dt_mca.Params.default uarch in
+        print_string (Dt_mca.Report.full params ~iterations block)
+  in
+  let iterations_arg =
+    Arg.(value & opt int 100
+         & info [ "iterations" ] ~docv:"N"
+             ~doc:"Iterations for the summary (timeline always shows 3).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"llvm-mca-style report: summary, instruction info, timeline")
+    Term.(const run $ uarch_arg $ block_arg $ iterations_arg)
+
+(* ---- measure ---- *)
+
+let measure_cmd =
+  let opcode_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OPCODE" ~doc:"LLVM-style opcode name, e.g. ADD64rr.")
+  in
+  let run uarch name =
+    match Dt_x86.Opcode.by_name name with
+    | None ->
+        Printf.eprintf "unknown opcode %S\n" name;
+        exit 1
+    | Some op ->
+        let cfg = Uarch.config uarch in
+        let observations = Dt_measure.Measure.latency_observations cfg op in
+        if observations = [] then
+          Printf.printf
+            "%s: no latency kernel can be built (flags-only or no \
+             chainable result)\n"
+            name
+        else
+          List.iter
+            (fun (o : Dt_measure.Measure.observation) ->
+              Printf.printf "%-22s latency %5.2f   kernel: %s\n" o.pattern
+                o.latency
+                (String.concat "; "
+                   (String.split_on_char '\n'
+                      (Dt_x86.Block.to_string o.block))))
+            observations;
+        (match Dt_measure.Measure.throughput cfg op with
+        | Some t -> Printf.printf "%-22s %5.2f cycles/instr\n" "rthroughput" t
+        | None -> ());
+        Printf.printf "documented latency: %d\n"
+          (Dt_refcpu.Uarch.documented_latency cfg op)
+  in
+  Cmd.v
+    (Cmd.info "measure"
+       ~doc:"Measure one opcode's latency/throughput on the reference CPU \
+             with uops.info-style kernels")
+    Term.(const run $ uarch_arg $ opcode_arg)
+
+(* ---- learn ---- *)
+
+let spec_conv =
+  let parse = function
+    | "mca" -> Ok `Mca
+    | "mca-wl" -> Ok `Wl
+    | "usim" -> Ok `Usim
+    | s -> Error (`Msg (Printf.sprintf "unknown spec %S (mca|mca-wl|usim)" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with `Mca -> "mca" | `Wl -> "mca-wl" | `Usim -> "usim")
+  in
+  Arg.conv (parse, print)
+
+let learn_cmd =
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"PATH"
+             ~doc:"Write the learned parameter table to $(docv).")
+  in
+  let spec_arg =
+    Arg.(value & opt spec_conv `Mca
+         & info [ "spec" ] ~docv:"SPEC"
+             ~doc:"Parameter spec: mca (full Table II), mca-wl (WriteLatency \
+                   only, Section VI-B), or usim (Table VII).")
+  in
+  let full_arg =
+    Arg.(value & flag
+         & info [ "full" ] ~doc:"Use the full (slow) training scale.")
+  in
+  let run uarch size seed spec_kind full save =
+    let scale = if full then Dt_exp.Scale.full else Dt_exp.Scale.quick in
+    let scale = { scale with corpus_size = size } in
+    let corpus = Dt_bhive.Dataset.corpus ~seed ~size in
+    let ds = Dt_bhive.Dataset.label corpus ~seed:1 ~uarch ~noise:scale.noise in
+    let train =
+      Array.map
+        (fun (l : Dt_bhive.Dataset.labeled) -> (l.entry.block, l.timing))
+        ds.train
+    in
+    let spec =
+      match spec_kind with
+      | `Mca -> Spec.mca_full uarch
+      | `Wl -> Spec.mca_write_latency uarch
+      | `Usim -> Spec.usim_spec uarch
+    in
+    Printf.printf "learning %s on %s (%d training blocks)...\n%!" spec.name
+      (Uarch.uarch_name uarch) (Array.length train);
+    let cfg =
+      { scale.engine with log = (fun m -> Printf.printf "  %s\n%!" m) }
+    in
+    let valid =
+      Array.map
+        (fun (l : Dt_bhive.Dataset.labeled) -> (l.entry.block, l.timing))
+        ds.valid
+    in
+    let result = Engine.learn ~valid cfg spec ~train in
+    let eval name f =
+      let p =
+        Array.map (fun (l : Dt_bhive.Dataset.labeled) -> f l.entry.block) ds.test
+      in
+      let a =
+        Array.map (fun (l : Dt_bhive.Dataset.labeled) -> l.timing) ds.test
+      in
+      Printf.printf "%-22s error %5.1f%%  tau %.3f\n" name
+        (100.0 *. Dt_eval.Metrics.mape ~predicted:p ~actual:a)
+        (Dt_eval.Metrics.kendall_tau p a)
+    in
+    (match spec_kind with
+    | `Mca | `Wl ->
+        let dflt = Dt_mca.Params.default uarch in
+        eval "default parameters" (fun b -> Dt_mca.Pipeline.timing dflt b)
+    | `Usim ->
+        let dflt = Dt_usim.Usim.default uarch in
+        eval "default parameters" (fun b -> Dt_usim.Usim.timing dflt b));
+    eval "DiffTune parameters" (fun b -> spec.timing result.table b);
+    match save with
+    | None -> ()
+    | Some path ->
+        Dt_difftune.Table_io.save spec result.table path;
+        Printf.printf "learned table written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "learn" ~doc:"Run DiffTune end to end and report test error")
+    Term.(const run $ uarch_arg $ size_arg $ seed_arg $ spec_arg $ full_arg
+          $ save_arg)
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"NAME"
+             ~doc:"Experiment id: table3, table4, table5, table6, fig2, fig4, \
+                   fig5, ablation_wl, cases, table8, random_tables, \
+                   measured_latency, extension_idioms, ablation_surrogate.")
+  in
+  let run name =
+    match List.assoc_opt name Dt_exp.Experiments.all with
+    | None ->
+        Printf.eprintf "unknown experiment %S\n" name;
+        exit 1
+    | Some f ->
+        let runner = Dt_exp.Runner.create (Dt_exp.Scale.from_env ()) in
+        f runner
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Reproduce one of the paper's tables or figures")
+    Term.(const run $ name_arg)
+
+let () =
+  let doc = "DiffTune: learning CPU-simulator parameters (MICRO 2020) in OCaml" in
+  let info = Cmd.info "difftune" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ dataset_cmd; predict_cmd; report_cmd; measure_cmd; learn_cmd;
+            experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/case_studies.ml: Array Dt_mca Dt_refcpu Dt_x86 Float Option Printf

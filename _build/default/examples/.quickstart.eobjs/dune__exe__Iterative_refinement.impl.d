@@ -1,0 +1,1 @@
+examples/iterative_refinement.ml: Array Dt_bhive Dt_difftune Dt_mca Dt_refcpu Dt_util Float Printf

@@ -1,0 +1,1 @@
+examples/learn_writelatency.ml: Array Dt_bhive Dt_difftune Dt_mca Dt_refcpu Dt_util Dt_x86 Float List Option Printf

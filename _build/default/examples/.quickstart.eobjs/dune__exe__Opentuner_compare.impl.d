@@ -1,0 +1,1 @@
+examples/opentuner_compare.ml: Array Dt_bhive Dt_difftune Dt_mca Dt_opentuner Dt_refcpu Dt_util Dt_x86 Float List Printf String

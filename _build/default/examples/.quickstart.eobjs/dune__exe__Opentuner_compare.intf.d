@@ -1,0 +1,1 @@
+examples/opentuner_compare.mli:

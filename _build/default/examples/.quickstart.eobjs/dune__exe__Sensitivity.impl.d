@@ -1,0 +1,1 @@
+examples/sensitivity.ml: Array Dt_bhive Dt_mca Dt_refcpu Dt_util Float List Printf String

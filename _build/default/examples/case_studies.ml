@@ -1,0 +1,75 @@
+(* Paper Section VI-C: why learned parameters differ from expert ones.
+
+   Three blocks show three regimes:
+   - PUSH64r: the learned value (0) is semantically *better* than the
+     documented one (the stack engine makes push chains free);
+   - XOR32rr: the learned value captures zero-idiom elimination that the
+     simulator cannot otherwise express;
+   - ADD32mr: no parameter value can model a store-to-load chain, so the
+     optimizer learns a degenerately high latency that trades
+     interpretability for accuracy.
+
+     dune exec examples/case_studies.exe *)
+
+module Uarch = Dt_refcpu.Uarch
+
+let uarch = Uarch.Haswell
+let cfg = Uarch.config uarch
+let dflt = Dt_mca.Params.default uarch
+
+let opcode_index name =
+  (Option.get (Dt_x86.Opcode.by_name name)).Dt_x86.Opcode.index
+
+let with_wl name wl =
+  let p = Dt_mca.Params.copy dflt in
+  p.write_latency.(opcode_index name) <- wl;
+  p
+
+let study ~title ~block_text ~opcode ~learned_wl ~narrative =
+  let block = Dt_x86.Block.parse block_text in
+  let truth = Dt_refcpu.Machine.timing cfg block in
+  let before = Dt_mca.Pipeline.timing dflt block in
+  let after = Dt_mca.Pipeline.timing (with_wl opcode learned_wl) block in
+  Printf.printf "== %s ==\n%s\n" title (Dt_x86.Block.to_string block);
+  Printf.printf "  true timing:                 %.2f\n" truth;
+  Printf.printf "  default (WriteLatency %d):    %.2f\n"
+    dflt.write_latency.(opcode_index opcode)
+    before;
+  Printf.printf "  learned (WriteLatency %d):    %.2f\n" learned_wl after;
+  Printf.printf "  %s\n\n" narrative
+
+let () =
+  study ~title:"PUSH64r: measurement vs simulator semantics"
+    ~block_text:"pushq %rbx\ntestl %r8d, %r8d" ~opcode:"PUSH64r" ~learned_wl:0
+    ~narrative:
+      "The stack engine renames RSP for free, so back-to-back pushes do not\n\
+      \  chain; with WriteLatency 0 the block is bottlenecked by the store\n\
+      \  port instead, matching the hardware (paper: 2.03 -> 1.03 vs 1.01).";
+  study ~title:"XOR32rr: dependency-breaking zero idiom"
+    ~block_text:"xorl %r13d, %r13d" ~opcode:"XOR32rr" ~learned_wl:0
+    ~narrative:
+      "Most xors in real code zero a register; hardware eliminates them at\n\
+      \  rename.  llvm-mca has no zero-idiom flag, but WriteLatency 0 lets\n\
+      \  dependent instructions issue in the same cycle (paper: 1.03 -> 0.27\n\
+      \  vs 0.31).";
+  study ~title:"ADD32mr: a degenerate parameter"
+    ~block_text:"addl %eax, 16(%rsp)" ~opcode:"ADD32mr" ~learned_wl:62
+    ~narrative:
+      "The true bottleneck is a store-to-load forwarding chain, which\n\
+      \  llvm-mca's no-alias memory model cannot represent at all.  A\n\
+      \  physically meaningless WriteLatency of 62 drags the prediction\n\
+      \  toward the truth anyway: accuracy without interpretability\n\
+      \  (paper: 1.09 -> 1.64 vs 5.97).";
+  (* Quantify: which WriteLatency minimizes this block's error? *)
+  let block = Dt_x86.Block.parse "addl %eax, 16(%rsp)" in
+  let truth = Dt_refcpu.Machine.timing cfg block in
+  let best = ref (0, infinity) in
+  for wl = 0 to 80 do
+    let p = Dt_mca.Pipeline.timing (with_wl "ADD32mr" wl) block in
+    let err = Float.abs (p -. truth) in
+    if err < snd !best then best := (wl, err)
+  done;
+  Printf.printf
+    "sweep: the error-minimizing ADD32mr WriteLatency on this block is %d\n\
+     (absolute error %.2f cycles) -- far outside any physical latency.\n"
+    (fst !best) (snd !best)

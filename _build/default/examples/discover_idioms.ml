@@ -1,0 +1,93 @@
+(* Boolean parameters (paper Section VII, implemented and evaluated):
+   learn *which opcodes are dependency-breaking zero idioms* from timing
+   data alone.
+
+   The paper's llvm-mca study disables zero-idiom simulation and notes
+   that extending DiffTune to boolean parameters "would require designing
+   and evaluating a scheme to represent and extract such parameters".
+   This example evaluates the scheme the paper suggests: relax the
+   boolean to a float in [0,1], let gradients flow through the surrogate
+   (the relaxed flag scales the zero-idiom chain latency by (1 - flag)),
+   and round at extraction.
+
+   The reference machine really does eliminate zero idioms, so a correct
+   learner should switch the flag ON for XOR/SUB/PXOR-style opcodes and
+   leave it OFF elsewhere.
+
+     dune exec examples/discover_idioms.exe *)
+
+module Uarch = Dt_refcpu.Uarch
+module Spec = Dt_difftune.Spec
+module Engine = Dt_difftune.Engine
+
+let () =
+  let uarch = Uarch.Haswell in
+  let corpus = Dt_bhive.Dataset.corpus ~seed:42 ~size:600 in
+  let ds = Dt_bhive.Dataset.label corpus ~seed:1 ~uarch ~noise:0.01 in
+  let train =
+    Array.map
+      (fun (l : Dt_bhive.Dataset.labeled) -> (l.entry.block, l.timing))
+      ds.train
+  in
+  let spec = Spec.mca_full_idioms uarch in
+  Printf.printf "learning %s (%d parameters per opcode) on %d blocks\n%!"
+    spec.name spec.per_width (Array.length train);
+  let cfg =
+    {
+      Engine.default_config with
+      seed = 11;
+      sim_multiplier = 8;
+      surrogate_passes = 2.5;
+      batch = 128;
+      table_batch = 48;
+      token_hidden = 28;
+      instr_hidden = 28;
+      token_layers = 2;
+      instr_layers = 2;
+      max_train_block_len = 14;
+      table_passes = 20.0;
+      log = (fun m -> Printf.printf "  %s\n%!" m);
+    }
+  in
+  let result = Engine.learn cfg spec ~train in
+  (* Which opcodes did the optimizer flag as idioms? *)
+  let flagged = ref [] in
+  Array.iteri
+    (fun i (row : float array) ->
+      if row.(Spec.idiom_col) >= 0.5 then
+        flagged := Dt_x86.Opcode.database.(i).name :: !flagged)
+    result.table.per;
+  let idiom_capable =
+    Array.to_list Dt_x86.Opcode.database
+    |> List.filter_map (fun (o : Dt_x86.Opcode.t) ->
+           if o.zero_idiom then Some o.name else None)
+  in
+  Printf.printf "\ntruly idiom-capable opcodes: %s\n"
+    (String.concat ", " idiom_capable);
+  Printf.printf "learned idiom flags ON for:  %s\n"
+    (String.concat ", " (List.rev !flagged));
+  let hits =
+    List.length (List.filter (fun n -> List.mem n idiom_capable) !flagged)
+  in
+  Printf.printf "overlap: %d of %d flags land on idiom-capable opcodes\n" hits
+    (List.length !flagged);
+  (* Error comparison. *)
+  let mape f =
+    Dt_util.Stats.mean
+      (Array.map
+         (fun (l : Dt_bhive.Dataset.labeled) ->
+           Float.abs (f l.entry.block -. l.timing) /. l.timing)
+         ds.test)
+  in
+  let dflt = Dt_mca.Params.default uarch in
+  Printf.printf "\ntest error, expert defaults (idioms off):  %.1f%%\n"
+    (100. *. mape (fun b -> Dt_mca.Pipeline.timing dflt b));
+  Printf.printf "test error, learned table + learned flags: %.1f%%\n"
+    (100. *. mape (fun b -> spec.timing result.table b));
+  (* Oracle: defaults with the true idiom flags switched on. *)
+  let oracle = Dt_mca.Params.copy dflt in
+  Array.iteri
+    (fun i (o : Dt_x86.Opcode.t) -> oracle.zero_idiom_enabled.(i) <- o.zero_idiom)
+    Dt_x86.Opcode.database;
+  Printf.printf "test error, defaults + true idiom flags:   %.1f%%\n"
+    (100. *. mape (fun b -> Dt_mca.Pipeline.timing oracle b))

@@ -1,0 +1,78 @@
+(* Paper Section VI-B: learn only the WriteLatency parameters, keeping
+   every other parameter at its expert default — the configuration in
+   which DiffTune reaches its best accuracy, demonstrating that the
+   full-table optimum it finds is not global.
+
+   Prints before/after test error and the most interesting learned
+   latencies (stack operations and zero idioms driven to 0, memory chains
+   driven high).
+
+     dune exec examples/learn_writelatency.exe *)
+
+module Uarch = Dt_refcpu.Uarch
+module Spec = Dt_difftune.Spec
+module Engine = Dt_difftune.Engine
+
+let () =
+  let uarch = Uarch.Haswell in
+  let corpus = Dt_bhive.Dataset.corpus ~seed:42 ~size:500 in
+  let ds = Dt_bhive.Dataset.label corpus ~seed:1 ~uarch ~noise:0.01 in
+  let train =
+    Array.map
+      (fun (l : Dt_bhive.Dataset.labeled) -> (l.entry.block, l.timing))
+      ds.train
+  in
+  Printf.printf "training on %d blocks, testing on %d\n%!"
+    (Array.length train) (Array.length ds.test);
+  let spec = Spec.mca_write_latency uarch in
+  let cfg =
+    {
+      Engine.default_config with
+      seed = 3;
+      sim_multiplier = 6;
+      surrogate_passes = 2.0;
+      batch = 128;
+      token_hidden = 24;
+      instr_hidden = 24;
+      token_layers = 2;
+      instr_layers = 2;
+      max_train_block_len = 14;
+      table_passes = 18.0;
+      log = (fun m -> Printf.printf "  %s\n%!" m);
+    }
+  in
+  let result = Engine.learn cfg spec ~train in
+  let mape f =
+    Dt_util.Stats.mean
+      (Array.map
+         (fun (l : Dt_bhive.Dataset.labeled) ->
+           Float.abs (f l.entry.block -. l.timing) /. l.timing)
+         ds.test)
+  in
+  let dflt = Dt_mca.Params.default uarch in
+  Printf.printf "\ndefault parameters: %.1f%% test error\n"
+    (100. *. mape (fun b -> Dt_mca.Pipeline.timing dflt b));
+  Printf.printf "learned WriteLatency: %.1f%% test error (paper: 25.0%% -> 16.2%%)\n\n"
+    (100. *. mape (fun b -> spec.timing result.table b));
+  (* Show learned values for a few interesting opcodes. *)
+  let show name =
+    let i = (Option.get (Dt_x86.Opcode.by_name name)).Dt_x86.Opcode.index in
+    Printf.printf "  %-12s default %2d  learned %2.0f\n" name
+      dflt.write_latency.(i)
+      result.table.per.(i).(0)
+  in
+  Printf.printf "selected learned WriteLatency values:\n";
+  List.iter show
+    [ "PUSH64r"; "POP64r"; "XOR32rr"; "MOV64rr"; "ADD64rr"; "IMUL64rr";
+      "MOV64rm"; "ADD32mr"; "DIV32r"; "ADDPSrr" ];
+  (* Distribution shift: count learned zeros (paper Figure 4b: 251/837). *)
+  let zeros =
+    Array.fold_left
+      (fun acc (row : float array) -> if row.(0) < 0.5 then acc + 1 else acc)
+      0 result.table.per
+  in
+  Printf.printf
+    "\nlearned WriteLatency values equal to 0: %d of %d opcodes\n\
+     (paper: 251 of 837; the default has exactly 1)\n"
+    zeros
+    (Array.length result.table.per)

@@ -1,0 +1,1 @@
+lib/autodiff/ad.ml: Array Dt_tensor Float List

@@ -1,0 +1,1 @@
+lib/autodiff/ad.mli: Dt_tensor

@@ -1,0 +1,235 @@
+module T = Dt_tensor.Tensor
+
+type node = { value : T.t; grad : T.t; backward : unit -> unit }
+
+type ctx = { mutable tape : node list; mutable count : int }
+
+let new_ctx () = { tape = []; count = 0 }
+
+let tape_size ctx = ctx.count
+
+let value n = n.value
+let grad n = n.grad
+
+let scalar_value n =
+  if T.size n.value <> 1 then invalid_arg "Ad.scalar_value: not a scalar";
+  n.value.T.data.(0)
+
+let record ctx n =
+  ctx.tape <- n :: ctx.tape;
+  ctx.count <- ctx.count + 1;
+  n
+
+let leaf ~value ~grad =
+  if not (T.same_shape value grad) then
+    invalid_arg "Ad.leaf: value/grad shape mismatch";
+  { value; grad; backward = (fun () -> ()) }
+
+let constant ctx t =
+  record ctx { value = t; grad = T.zeros ~rows:t.T.rows ~cols:t.T.cols;
+               backward = (fun () -> ()) }
+
+let make ctx ~rows ~cols backward_of =
+  let value = T.zeros ~rows ~cols in
+  let grad = T.zeros ~rows ~cols in
+  let n = { value; grad; backward = (fun () -> ()) } in
+  let n = { n with backward = backward_of n } in
+  record ctx n
+
+let matvec ctx ~m ~x =
+  let out_dim = m.value.T.rows in
+  let n =
+    make ctx ~rows:1 ~cols:out_dim (fun n () ->
+        T.ger ~m:m.grad ~x:n.grad ~y:x.value;
+        T.gemv_t ~m:m.value ~x:n.grad ~y:x.grad ~beta:1.0)
+  in
+  (* ger expects x indexing rows: adjoint dy has out_dim entries matching
+     m's rows; value computed after node creation. *)
+  T.gemv ~m:m.value ~x:x.value ~y:n.value ~beta:0.0;
+  n
+
+let row ctx ~m i =
+  let cols = m.value.T.cols in
+  if i < 0 || i >= m.value.T.rows then invalid_arg "Ad.row: index out of range";
+  let n =
+    make ctx ~rows:1 ~cols (fun n () ->
+        let base = i * cols in
+        for j = 0 to cols - 1 do
+          m.grad.T.data.(base + j) <-
+            m.grad.T.data.(base + j) +. n.grad.T.data.(j)
+        done)
+  in
+  Array.blit m.value.T.data (i * cols) n.value.T.data 0 cols;
+  n
+
+let add ctx a b =
+  if not (T.same_shape a.value b.value) then
+    invalid_arg "Ad.add: shape mismatch";
+  let n =
+    make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (fun n () ->
+        T.axpy ~alpha:1.0 ~x:n.grad ~y:a.grad;
+        T.axpy ~alpha:1.0 ~x:n.grad ~y:b.grad)
+  in
+  T.add_ ~dst:n.value ~a:a.value ~b:b.value;
+  n
+
+let mul ctx a b =
+  if not (T.same_shape a.value b.value) then
+    invalid_arg "Ad.mul: shape mismatch";
+  let n =
+    make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (fun n () ->
+        let g = n.grad.T.data in
+        for i = 0 to Array.length g - 1 do
+          a.grad.T.data.(i) <- a.grad.T.data.(i) +. (g.(i) *. b.value.T.data.(i));
+          b.grad.T.data.(i) <- b.grad.T.data.(i) +. (g.(i) *. a.value.T.data.(i))
+        done)
+  in
+  T.mul_ ~dst:n.value ~a:a.value ~b:b.value;
+  n
+
+let concat ctx parts =
+  if parts = [] then invalid_arg "Ad.concat: empty";
+  let total = List.fold_left (fun acc p -> acc + T.size p.value) 0 parts in
+  let n =
+    make ctx ~rows:1 ~cols:total (fun n () ->
+        let off = ref 0 in
+        List.iter
+          (fun p ->
+            let k = T.size p.value in
+            for j = 0 to k - 1 do
+              p.grad.T.data.(j) <- p.grad.T.data.(j) +. n.grad.T.data.(!off + j)
+            done;
+            off := !off + k)
+          parts)
+  in
+  let off = ref 0 in
+  List.iter
+    (fun p ->
+      let k = T.size p.value in
+      Array.blit p.value.T.data 0 n.value.T.data !off k;
+      off := !off + k)
+    parts;
+  n
+
+let slice ctx v ~pos ~len =
+  if pos < 0 || len <= 0 || pos + len > T.size v.value then
+    invalid_arg "Ad.slice: out of range";
+  let n =
+    make ctx ~rows:1 ~cols:len (fun n () ->
+        for j = 0 to len - 1 do
+          v.grad.T.data.(pos + j) <- v.grad.T.data.(pos + j) +. n.grad.T.data.(j)
+        done)
+  in
+  Array.blit v.value.T.data pos n.value.T.data 0 len;
+  n
+
+let unary ctx v f df =
+  (* df receives the *output* value (cheaper for sigmoid/tanh). *)
+  let n =
+    make ctx ~rows:v.value.T.rows ~cols:v.value.T.cols (fun n () ->
+        for i = 0 to T.size n.value - 1 do
+          v.grad.T.data.(i) <-
+            v.grad.T.data.(i) +. (n.grad.T.data.(i) *. df n.value.T.data.(i) v.value.T.data.(i))
+        done)
+  in
+  for i = 0 to T.size v.value - 1 do
+    n.value.T.data.(i) <- f v.value.T.data.(i)
+  done;
+  n
+
+let sigmoid ctx v =
+  unary ctx v
+    (fun x -> 1.0 /. (1.0 +. exp (-.x)))
+    (fun y _x -> y *. (1.0 -. y))
+
+let tanh_ ctx v = unary ctx v tanh (fun y _x -> 1.0 -. (y *. y))
+
+let relu ctx v =
+  unary ctx v (fun x -> if x > 0.0 then x else 0.0) (fun _y x -> if x > 0.0 then 1.0 else 0.0)
+
+let abs_ ctx v =
+  unary ctx v Float.abs (fun _y x -> if x >= 0.0 then 1.0 else -1.0)
+
+let exp_ ctx v =
+  unary ctx v (fun x -> exp (Float.min x 30.0)) (fun y x -> if x > 30.0 then 0.0 else y)
+
+let affine ctx v ~mul ~add =
+  unary ctx v (fun x -> (mul *. x) +. add) (fun _y _x -> mul)
+
+let max2 ctx a b =
+  if not (T.same_shape a.value b.value) then
+    invalid_arg "Ad.max2: shape mismatch";
+  let n =
+    make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (fun n () ->
+        for i = 0 to T.size n.value - 1 do
+          if a.value.T.data.(i) >= b.value.T.data.(i) then
+            a.grad.T.data.(i) <- a.grad.T.data.(i) +. n.grad.T.data.(i)
+          else b.grad.T.data.(i) <- b.grad.T.data.(i) +. n.grad.T.data.(i)
+        done)
+  in
+  for i = 0 to T.size a.value - 1 do
+    n.value.T.data.(i) <- Float.max a.value.T.data.(i) b.value.T.data.(i)
+  done;
+  n
+
+let div ctx a b =
+  if not (T.same_shape a.value b.value) then invalid_arg "Ad.div: shape mismatch";
+  let n =
+    make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (fun n () ->
+        for i = 0 to T.size n.value - 1 do
+          let bi = b.value.T.data.(i) in
+          a.grad.T.data.(i) <- a.grad.T.data.(i) +. (n.grad.T.data.(i) /. bi);
+          b.grad.T.data.(i) <-
+            b.grad.T.data.(i)
+            -. (n.grad.T.data.(i) *. a.value.T.data.(i) /. (bi *. bi))
+        done)
+  in
+  for i = 0 to T.size a.value - 1 do
+    n.value.T.data.(i) <- a.value.T.data.(i) /. b.value.T.data.(i)
+  done;
+  n
+
+let sum_all ctx v =
+  let n =
+    make ctx ~rows:1 ~cols:1 (fun n () ->
+        let g = n.grad.T.data.(0) in
+        for i = 0 to T.size v.value - 1 do
+          v.grad.T.data.(i) <- v.grad.T.data.(i) +. g
+        done)
+  in
+  n.value.T.data.(0) <- T.sum v.value;
+  n
+
+let reduce_max ctx v =
+  let best = ref 0 in
+  for i = 1 to T.size v.value - 1 do
+    if v.value.T.data.(i) > v.value.T.data.(!best) then best := i
+  done;
+  let bi = !best in
+  let n =
+    make ctx ~rows:1 ~cols:1 (fun n () ->
+        v.grad.T.data.(bi) <- v.grad.T.data.(bi) +. n.grad.T.data.(0))
+  in
+  n.value.T.data.(0) <- v.value.T.data.(bi);
+  n
+
+let scale ctx v alpha =
+  unary ctx v (fun x -> alpha *. x) (fun _y _x -> alpha)
+
+let mape ctx pred ~target =
+  if T.size pred.value <> 1 then invalid_arg "Ad.mape: prediction not scalar";
+  if target <= 0.0 then invalid_arg "Ad.mape: target must be positive";
+  let n =
+    make ctx ~rows:1 ~cols:1 (fun n () ->
+        let diff = pred.value.T.data.(0) -. target in
+        let sign = if diff >= 0.0 then 1.0 else -1.0 in
+        pred.grad.T.data.(0) <-
+          pred.grad.T.data.(0) +. (n.grad.T.data.(0) *. sign /. target))
+  in
+  n.value.T.data.(0) <- Float.abs (pred.value.T.data.(0) -. target) /. target;
+  n
+
+let backward ctx loss =
+  if T.size loss.value <> 1 then invalid_arg "Ad.backward: loss not scalar";
+  loss.grad.T.data.(0) <- 1.0;
+  List.iter (fun n -> n.backward ()) ctx.tape

@@ -1,0 +1,87 @@
+(** Reverse-mode automatic differentiation over {!Dt_tensor.Tensor}
+    values.
+
+    Define-by-run tape: every operation appends a node holding its output
+    value, an accumulation buffer for the output adjoint, and a closure
+    propagating that adjoint to the inputs.  {!backward} walks the tape in
+    reverse.  This is the machinery that makes the surrogate
+    differentiable — and hence the whole point of DiffTune: gradients flow
+    both into network weights (surrogate training, Eq. 2) and into the
+    parameter-table inputs (simulator parameter optimization, Eq. 3). *)
+
+type ctx
+type node
+
+val new_ctx : unit -> ctx
+
+(** Number of nodes currently on the tape (diagnostics). *)
+val tape_size : ctx -> int
+
+val value : node -> Dt_tensor.Tensor.t
+val grad : node -> Dt_tensor.Tensor.t
+
+(** A scalar node's value (shape 1x1 or 1-element vector). *)
+val scalar_value : node -> float
+
+(** [leaf ~value ~grad] wraps a parameter tensor with an externally owned
+    gradient buffer; adjoints accumulate into [grad] across backward
+    passes until the optimizer clears it.  Leaves are not recorded on any
+    tape and may be shared across contexts. *)
+val leaf : value:Dt_tensor.Tensor.t -> grad:Dt_tensor.Tensor.t -> node
+
+(** [constant ctx t] — input node; its gradient buffer is discarded. *)
+val constant : ctx -> Dt_tensor.Tensor.t -> node
+
+(* ---- operations (all record onto the tape) ---- *)
+
+(** [matvec ctx ~m ~x] — [m] (rows x cols) applied to vector [x]. *)
+val matvec : ctx -> m:node -> x:node -> node
+
+(** [row ctx ~m i] — row [i] of matrix [m] as a vector (embedding
+    lookup; the backward pass scatter-adds into row [i]). *)
+val row : ctx -> m:node -> int -> node
+
+val add : ctx -> node -> node -> node
+val mul : ctx -> node -> node -> node
+val concat : ctx -> node list -> node
+
+(** [slice ctx v ~pos ~len] — contiguous sub-vector. *)
+val slice : ctx -> node -> pos:int -> len:int -> node
+
+val sigmoid : ctx -> node -> node
+val tanh_ : ctx -> node -> node
+val relu : ctx -> node -> node
+
+(** Elementwise exponential (clamped to exp(30) to avoid overflow). *)
+val exp_ : ctx -> node -> node
+
+(** [affine ctx v ~mul ~add] — elementwise [mul * x + add]. *)
+val affine : ctx -> node -> mul:float -> add:float -> node
+
+(** Elementwise maximum of two same-shape nodes (subgradient to the
+    winner; ties favour the first argument). *)
+val max2 : ctx -> node -> node -> node
+
+(** Elementwise quotient [a / b]; [b] must be nonzero. *)
+val div : ctx -> node -> node -> node
+
+(** Sum of all elements, as a 1x1 node. *)
+val sum_all : ctx -> node -> node
+
+(** Maximum element, as a 1x1 node (subgradient to the argmax). *)
+val reduce_max : ctx -> node -> node
+
+(** Elementwise absolute value, with sign-function gradient (paper
+    Section IV: lower-bounded parameters pass through |.| during
+    parameter-table training). *)
+val abs_ : ctx -> node -> node
+
+val scale : ctx -> node -> float -> node
+
+(** [mape ctx pred ~target] — scalar loss [|pred - target| / target].
+    Requires [target > 0]. *)
+val mape : ctx -> node -> target:float -> node
+
+(** [backward ctx loss] seeds the loss adjoint with 1 and runs the tape in
+    reverse, accumulating into every reachable gradient buffer. *)
+val backward : ctx -> node -> unit

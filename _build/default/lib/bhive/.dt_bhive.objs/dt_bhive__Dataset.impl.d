@@ -1,0 +1,1 @@
+lib/bhive/dataset.ml: Array Dt_refcpu Dt_util Dt_x86 Generator Hashtbl List

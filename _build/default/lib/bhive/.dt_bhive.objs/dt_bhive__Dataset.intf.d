@@ -1,0 +1,1 @@
+lib/bhive/dataset.mli: Dt_refcpu Dt_x86

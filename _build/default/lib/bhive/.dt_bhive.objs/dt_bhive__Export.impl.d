@@ -1,0 +1,1 @@
+lib/bhive/export.ml: Array Buffer Dataset Dt_x86 Fun List Printf String

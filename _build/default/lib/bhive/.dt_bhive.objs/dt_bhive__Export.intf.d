@@ -1,0 +1,1 @@
+lib/bhive/export.mli: Dataset

@@ -1,0 +1,1 @@
+lib/bhive/generator.ml: Array Block Dt_util Dt_x86 Instruction List Opcode Operand Reg String

@@ -1,0 +1,1 @@
+lib/bhive/generator.mli: Dt_util Dt_x86

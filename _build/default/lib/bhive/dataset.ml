@@ -1,0 +1,139 @@
+module Rng = Dt_util.Rng
+
+type entry = {
+  block : Dt_x86.Block.t;
+  apps : string list;
+  category : string;
+}
+
+type corpus = { entries : entry array }
+
+(* Application sampling weights approximating the per-application block
+   counts of Table V (Clang/LLVM dominates, then TensorFlow). *)
+let app_weights =
+  [
+    (1478.0, "OpenBLAS"); (839.0, "Redis"); (764.0, "SQLite"); (182.0, "GZip");
+    (6399.0, "TensorFlow"); (18781.0, "Clang/LLVM"); (387.0, "Eigen");
+    (1067.0, "Embree"); (1516.0, "FFmpeg");
+  ]
+
+let corpus ~seed ~size =
+  if size <= 0 then invalid_arg "Dataset.corpus: size must be positive";
+  let rng = Rng.create seed in
+  let seen : (string, entry) Hashtbl.t = Hashtbl.create (2 * size) in
+  let order = ref [] in
+  let unique = ref 0 in
+  let attempts = ref 0 in
+  while !unique < size && !attempts < size * 50 do
+    incr attempts;
+    let app = Rng.weighted_choice rng app_weights in
+    let block = Generator.block rng ~app in
+    let key = Dt_x86.Block.to_string block in
+    match Hashtbl.find_opt seen key with
+    | Some entry ->
+        (* A block sampled from several applications keeps them all, as
+           in BHive. *)
+        if not (List.mem app entry.apps) then
+          Hashtbl.replace seen key { entry with apps = app :: entry.apps }
+    | None ->
+        let entry = { block; apps = [ app ]; category = Generator.category block } in
+        Hashtbl.add seen key entry;
+        order := key :: !order;
+        incr unique
+  done;
+  let entries =
+    List.rev !order |> List.map (Hashtbl.find seen) |> Array.of_list
+  in
+  { entries }
+
+type labeled = { entry : entry; timing : float }
+
+type t = {
+  uarch : Dt_refcpu.Uarch.uarch;
+  train : labeled array;
+  valid : labeled array;
+  test : labeled array;
+}
+
+let label corpus ~seed ~uarch ~noise =
+  let cfg = Dt_refcpu.Uarch.config uarch in
+  let rng = Rng.create (seed lxor 0x5ca1ab1e) in
+  let labeled =
+    Array.to_list corpus.entries
+    |> List.filter_map (fun entry ->
+           let exact = Dt_refcpu.Machine.timing cfg entry.block in
+           let measured =
+             if noise > 0.0 then
+               exact *. (1.0 +. Rng.gaussian rng ~mu:0.0 ~sigma:noise)
+             else exact
+           in
+           (* Filter degenerate measurements, as BHive filters blocks hit
+              by virtual page aliasing. *)
+           if measured > 0.01 && measured < 10000.0 then
+             Some { entry; timing = measured }
+           else None)
+  in
+  (* Content-keyed split: identical across microarchitectures and
+     independent of corpus order. *)
+  let bucket l =
+    let h = Dt_x86.Block.hash l.entry.block land 0xFFFF in
+    if h < 52429 (* 80% of 65536 *) then `Train
+    else if h < 58982 (* next 10% *) then `Valid
+    else `Test
+  in
+  let train = List.filter (fun l -> bucket l = `Train) labeled in
+  let valid = List.filter (fun l -> bucket l = `Valid) labeled in
+  let test = List.filter (fun l -> bucket l = `Test) labeled in
+  {
+    uarch;
+    train = Array.of_list train;
+    valid = Array.of_list valid;
+    test = Array.of_list test;
+  }
+
+let all t = Array.concat [ t.train; t.valid; t.test ]
+
+type summary = {
+  n_train : int;
+  n_valid : int;
+  n_test : int;
+  min_len : int;
+  median_len : float;
+  mean_len : float;
+  max_len : int;
+  median_timing : float;
+  unique_opcodes_train : int;
+  unique_opcodes_total : int;
+}
+
+let unique_opcodes entries =
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun op -> Hashtbl.replace seen op ())
+        (Dt_x86.Block.opcodes l.entry.block))
+    entries;
+  Hashtbl.length seen
+
+let summarize t =
+  let everything = all t in
+  let lens =
+    Array.map
+      (fun l -> float_of_int (Dt_x86.Block.length l.entry.block))
+      everything
+  in
+  let timings = Array.map (fun l -> l.timing *. 100.0) everything in
+  let min_l, max_l = Dt_util.Stats.min_max lens in
+  {
+    n_train = Array.length t.train;
+    n_valid = Array.length t.valid;
+    n_test = Array.length t.test;
+    min_len = int_of_float min_l;
+    median_len = Dt_util.Stats.median lens;
+    mean_len = Dt_util.Stats.mean lens;
+    max_len = int_of_float max_l;
+    median_timing = Dt_util.Stats.median timings;
+    unique_opcodes_train = unique_opcodes t.train;
+    unique_opcodes_total = unique_opcodes everything;
+  }

@@ -1,0 +1,56 @@
+(** The labeled corpus: generation, measurement, splits, statistics.
+
+    Follows the BHive methodology (paper Section V-A): blocks are sampled
+    from application-profile generators, deduplicated, measured on the
+    reference CPU (100 unrolled iterations), filtered, and split
+    80/10/10 into block-wise-disjoint train/validation/test sets.  The
+    same split is used for all microarchitectures. *)
+
+type entry = {
+  block : Dt_x86.Block.t;
+  apps : string list;    (** source applications (merged on dedup) *)
+  category : string;     (** Chen et al. category, see {!Generator.category} *)
+}
+
+type corpus = { entries : entry array }
+
+(** [corpus ~seed ~size] synthesizes [size] unique blocks with the BHive
+    application mix (Clang/LLVM dominating, as in Table V's block
+    counts). *)
+val corpus : seed:int -> size:int -> corpus
+
+type labeled = { entry : entry; timing : float }
+
+type t = {
+  uarch : Dt_refcpu.Uarch.uarch;
+  train : labeled array;
+  valid : labeled array;
+  test : labeled array;
+}
+
+(** [label corpus ~seed ~uarch ~noise] measures every block on the
+    reference machine for [uarch], perturbs measurements with relative
+    Gaussian noise [noise] (measurement error; BHive's filtered datasets
+    have small residual noise), drops degenerate measurements, and splits
+    80/10/10.  The split depends only on block content, so every
+    microarchitecture sees the same partition. *)
+val label :
+  corpus -> seed:int -> uarch:Dt_refcpu.Uarch.uarch -> noise:float -> t
+
+val all : t -> labeled array
+
+(** Table III-style summary statistics, rendered as a report. *)
+type summary = {
+  n_train : int;
+  n_valid : int;
+  n_test : int;
+  min_len : int;
+  median_len : float;
+  mean_len : float;
+  max_len : int;
+  median_timing : float;
+  unique_opcodes_train : int;
+  unique_opcodes_total : int;
+}
+
+val summarize : t -> summary

@@ -1,0 +1,63 @@
+let escape_block block =
+  String.concat "; "
+    (String.split_on_char '\n' (Dt_x86.Block.to_string block))
+
+let to_csv entries =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun (l : Dataset.labeled) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\",%.6f,%s,%s\n"
+           (escape_block l.entry.block)
+           l.timing l.entry.category
+           (String.concat ";" l.entry.apps)))
+    entries;
+  Buffer.contents buf
+
+let save (ds : Dataset.t) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv (Dataset.all ds)))
+
+let parse_line lineno line =
+  let fail msg = failwith (Printf.sprintf "Export line %d: %s" lineno msg) in
+  if String.length line < 2 || line.[0] <> '"' then fail "expected quoted asm";
+  match String.index_from_opt line 1 '"' with
+  | None -> fail "unterminated quote"
+  | Some close -> (
+      let asm = String.sub line 1 (close - 1) in
+      let rest = String.sub line (close + 1) (String.length line - close - 1) in
+      match String.split_on_char ',' rest with
+      | [ ""; timing; category; apps ] -> (
+          match float_of_string_opt timing with
+          | None -> fail ("bad timing " ^ timing)
+          | Some timing -> (
+              match Dt_x86.Block.parse asm with
+              | exception Dt_x86.Parser.Parse_error msg ->
+                  fail ("bad assembly: " ^ msg)
+              | block ->
+                  {
+                    Dataset.entry =
+                      {
+                        Dataset.block;
+                        category;
+                        apps = String.split_on_char ';' apps;
+                      };
+                    timing;
+                  }))
+      | _ -> fail "expected \"asm\",timing,category,apps")
+
+let parse_csv text =
+  String.split_on_char '\n' text
+  |> List.filteri (fun _ line -> String.trim line <> "")
+  |> List.mapi (fun i line -> parse_line (i + 1) line)
+  |> Array.of_list
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse_csv (really_input_string ic n))

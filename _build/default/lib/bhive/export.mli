@@ -1,0 +1,23 @@
+(** Dataset import/export in a BHive-like CSV format.
+
+    BHive publishes its corpus as CSV files of (code, measured
+    throughput); this module does the same for the synthetic corpus so
+    datasets are durable, diffable, and usable outside this repository.
+
+    Format: one record per line,
+    {v "<assembly with ; separators>",<timing>,<category>,<app;app;...> v}
+    The assembly field is quoted; timing is cycles per iteration. *)
+
+(** [to_csv entries] renders labeled entries. *)
+val to_csv : Dataset.labeled array -> string
+
+(** [save ds path] writes all splits of a dataset, in train/valid/test
+    order, as one CSV. *)
+val save : Dataset.t -> string -> unit
+
+(** [parse_csv text] reads records back.
+    Raises [Failure] with a line diagnostic on malformed records. *)
+val parse_csv : string -> Dataset.labeled array
+
+(** [load path] — {!parse_csv} on a file. *)
+val load : string -> Dataset.labeled array

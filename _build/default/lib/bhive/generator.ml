@@ -1,0 +1,337 @@
+open Dt_x86
+module Rng = Dt_util.Rng
+
+let applications =
+  [|
+    "OpenBLAS"; "Redis"; "SQLite"; "GZip"; "TensorFlow"; "Clang/LLVM";
+    "Eigen"; "Embree"; "FFmpeg";
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* Instruction ingredients.                                            *)
+(* ------------------------------------------------------------------ *)
+
+type ingredient =
+  | Mov_rr | Mov_imm | Load | Store | Store_imm
+  | Alu_rr | Alu_ri | Alu_rm | Alu_mr | Cmp | Test
+  | Lea | Shift_r | Shift_m | Movzx | Inc_dec | Mul | Div
+  | Push | Pop | Cmov | Setcc | Xor_zero
+  | Vec_load | Vec_store | Vec_mov | Vec_fp | Vec_fma | Vec_int
+  | Vec_div | Vec_shuf | Vec_cvt | Scalar_fp
+
+(* Generation state: small register pools create natural dependency
+   chains; recently written registers are preferred as sources. *)
+type state = {
+  rng : Rng.t;
+  gpr_pool : Reg.gpr array;
+  vec_pool : Reg.vec array;
+  mutable recent_gpr : Reg.gpr list;
+  mutable recent_vec : Reg.vec list;
+}
+
+let new_state rng =
+  let gprs =
+    Rng.sample_without_replacement rng ~k:(6 + Rng.int rng 5)
+      [| Reg.RAX; Reg.RBX; Reg.RCX; Reg.RDX; Reg.RSI; Reg.RDI;
+         Reg.R8; Reg.R9; Reg.R10; Reg.R11; Reg.R12; Reg.R13; Reg.R14;
+         Reg.R15 |]
+  in
+  let vecs =
+    Rng.sample_without_replacement rng ~k:(5 + Rng.int rng 4) Reg.all_vecs
+  in
+  { rng; gpr_pool = gprs; vec_pool = vecs; recent_gpr = []; recent_vec = [] }
+
+let src_gpr st =
+  match st.recent_gpr with
+  | r :: _ when Rng.bernoulli st.rng 0.55 -> r
+  | _ -> Rng.choice st.rng st.gpr_pool
+
+let dst_gpr st =
+  match st.recent_gpr with
+  | r :: _ when Rng.bernoulli st.rng 0.25 -> r
+  | _ -> Rng.choice st.rng st.gpr_pool
+
+let src_vec st =
+  match st.recent_vec with
+  | v :: _ when Rng.bernoulli st.rng 0.6 -> v
+  | _ -> Rng.choice st.rng st.vec_pool
+
+let dst_vec st =
+  match st.recent_vec with
+  | v :: _ when Rng.bernoulli st.rng 0.3 -> v
+  | _ -> Rng.choice st.rng st.vec_pool
+
+let imm st = Rng.int_range st.rng 0 (if Rng.bernoulli st.rng 0.7 then 16 else 255)
+
+let mem st =
+  let r = Rng.float st.rng 1.0 in
+  let base =
+    if r < 0.4 then Reg.RSP
+    else if r < 0.65 then Reg.RBP
+    else Rng.choice st.rng st.gpr_pool
+  in
+  let disp = 8 * Rng.int_range st.rng (-4) 16 in
+  if Rng.bernoulli st.rng 0.12 then
+    let index = Rng.choice st.rng st.gpr_pool in
+    Operand.mem ~base ~index ~scale:(Rng.choice st.rng [| 1; 4; 8 |]) ~disp ()
+  else Operand.mem ~base ~disp ()
+
+let width_pair st pair32 pair64 =
+  if Rng.bernoulli st.rng 0.5 then pair32 else pair64
+
+let greg r = Operand.Reg (Reg.Gpr r)
+let vreg v = Operand.Reg (Reg.Vec v)
+
+let pick st names = Rng.choice st.rng names
+
+let emit st ingredient =
+  let mk = Instruction.make_named in
+  let g = greg and v = vreg in
+  match ingredient with
+  | Mov_rr ->
+      mk (width_pair st "MOV32rr" "MOV64rr") [ g (dst_gpr st); g (src_gpr st) ]
+  | Mov_imm ->
+      mk (width_pair st "MOV32ri" "MOV64ri") [ g (dst_gpr st); Operand.Imm (imm st) ]
+  | Load ->
+      (* A third of loads pointer-chase (the destination feeds the next
+         address, Redis-style), forming latency chains rather than
+         independent load bursts. *)
+      if Rng.bernoulli st.rng 0.35 then
+        let r = src_gpr st in
+        mk "MOV64rm"
+          [ g r; Operand.mem ~base:r ~disp:(8 * Rng.int_range st.rng 0 8) () ]
+      else mk (width_pair st "MOV32rm" "MOV64rm") [ g (dst_gpr st); mem st ]
+  | Store -> mk (width_pair st "MOV32mr" "MOV64mr") [ mem st; g (src_gpr st) ]
+  | Store_imm ->
+      mk (width_pair st "MOV32mi" "MOV64mi") [ mem st; Operand.Imm (imm st) ]
+  | Alu_rr ->
+      let base = pick st [| "ADD"; "SUB"; "AND"; "OR" |] in
+      let name = base ^ (if Rng.bernoulli st.rng 0.5 then "32rr" else "64rr") in
+      mk name [ g (dst_gpr st); g (src_gpr st) ]
+  | Alu_ri ->
+      let base = pick st [| "ADD"; "SUB"; "AND"; "OR" |] in
+      let name = base ^ (if Rng.bernoulli st.rng 0.5 then "32ri" else "64ri") in
+      mk name [ g (dst_gpr st); Operand.Imm (imm st) ]
+  | Alu_rm ->
+      let base = pick st [| "ADD"; "SUB"; "AND"; "OR" |] in
+      let name = base ^ (if Rng.bernoulli st.rng 0.5 then "32rm" else "64rm") in
+      mk name [ g (dst_gpr st); mem st ]
+  | Alu_mr ->
+      let base = pick st [| "ADD"; "SUB"; "AND"; "OR" |] in
+      if Rng.bernoulli st.rng 0.6 then
+        mk (base ^ if Rng.bernoulli st.rng 0.5 then "32mr" else "64mr")
+          [ mem st; g (src_gpr st) ]
+      else
+        mk (base ^ if Rng.bernoulli st.rng 0.5 then "32mi" else "64mi")
+          [ mem st; Operand.Imm (imm st) ]
+  | Cmp -> (
+      match Rng.int st.rng 3 with
+      | 0 ->
+          mk (width_pair st "CMP32rr" "CMP64rr")
+            [ g (dst_gpr st); g (src_gpr st) ]
+      | 1 ->
+          mk (width_pair st "CMP32ri" "CMP64ri")
+            [ g (src_gpr st); Operand.Imm (imm st) ]
+      | _ -> mk (width_pair st "CMP32rm" "CMP64rm") [ g (src_gpr st); mem st ])
+  | Test ->
+      if Rng.bernoulli st.rng 0.7 then
+        let r = src_gpr st in
+        mk (width_pair st "TEST32rr" "TEST64rr") [ g r; g r ]
+      else
+        mk (width_pair st "TEST32rr" "TEST64rr")
+          [ g (src_gpr st); g (src_gpr st) ]
+  | Lea -> mk "LEA64rm" [ g (dst_gpr st); mem st ]
+  | Shift_r ->
+      let base = pick st [| "SHL"; "SHR"; "SAR"; "ROL" |] in
+      mk (base ^ if Rng.bernoulli st.rng 0.5 then "32ri" else "64ri")
+        [ g (dst_gpr st); Operand.Imm (Rng.int_range st.rng 1 31) ]
+  | Shift_m ->
+      let base = pick st [| "SHL"; "SHR"; "SAR" |] in
+      mk (base ^ if Rng.bernoulli st.rng 0.5 then "32mi" else "64mi")
+        [ mem st; Operand.Imm (Rng.int_range st.rng 1 31) ]
+  | Movzx ->
+      if Rng.bernoulli st.rng 0.5 then
+        mk (pick st [| "MOVZX32rr"; "MOVSX32rr" |])
+          [ g (dst_gpr st); g (src_gpr st) ]
+      else
+        mk (pick st [| "MOVZX32rm"; "MOVSX32rm" |]) [ g (dst_gpr st); mem st ]
+  | Inc_dec ->
+      mk (pick st [| "INC32r"; "INC64r"; "DEC32r"; "DEC64r" |])
+        [ g (dst_gpr st) ]
+  | Mul ->
+      if Rng.bernoulli st.rng 0.7 then
+        mk (width_pair st "IMUL32rr" "IMUL64rr")
+          [ g (dst_gpr st); g (src_gpr st) ]
+      else
+        mk (width_pair st "IMUL32rri" "IMUL64rri")
+          [ g (dst_gpr st); g (src_gpr st); Operand.Imm (imm st) ]
+  | Div ->
+      mk (pick st [| "DIV32r"; "IDIV32r"; "DIV64r"; "IDIV64r" |])
+        [ g (src_gpr st) ]
+  | Push ->
+      if Rng.bernoulli st.rng 0.85 then mk "PUSH64r" [ g (src_gpr st) ]
+      else mk "PUSH64i" [ Operand.Imm (imm st) ]
+  | Pop -> mk "POP64r" [ g (dst_gpr st) ]
+  | Cmov ->
+      mk (pick st [| "CMOVE32rr"; "CMOVE64rr"; "CMOVNE32rr"; "CMOVNE64rr" |])
+        [ g (dst_gpr st); g (src_gpr st) ]
+  | Setcc -> mk "SETE8r" [ g (dst_gpr st) ]
+  | Xor_zero ->
+      let r = dst_gpr st in
+      if Rng.bernoulli st.rng 0.9 then
+        mk (width_pair st "XOR32rr" "XOR64rr") [ g r; g r ]
+      else mk (width_pair st "XOR32rr" "XOR64rr") [ g r; g (src_gpr st) ]
+  | Vec_load ->
+      mk (pick st [| "MOVAPSrm"; "MOVUPSrm" |]) [ v (dst_vec st); mem st ]
+  | Vec_store ->
+      mk (pick st [| "MOVAPSmr"; "MOVUPSmr" |]) [ mem st; v (src_vec st) ]
+  | Vec_mov -> mk "MOVAPSrr" [ v (dst_vec st); v (src_vec st) ]
+  | Vec_fp ->
+      let name =
+        pick st
+          [| "ADDPSrr"; "SUBPSrr"; "ADDPDrr"; "MINPSrr"; "MAXPSrr";
+             "ADDPSrm"; "ADDPDrm" |]
+      in
+      if String.length name >= 2 && String.sub name (String.length name - 2) 2 = "rm"
+      then mk name [ v (dst_vec st); mem st ]
+      else mk name [ v (dst_vec st); v (src_vec st) ]
+  | Vec_fma ->
+      mk (pick st [| "VFMADD231PSrr"; "VFMADD231SDrr" |])
+        [ v (dst_vec st); v (src_vec st) ]
+  | Vec_int ->
+      let name =
+        pick st [| "PADDDrr"; "PSUBDrr"; "PANDrr"; "PORrr"; "PXORrr";
+                   "PMULLDrr"; "PADDDrm" |]
+      in
+      if name = "PADDDrm" then mk name [ v (dst_vec st); mem st ]
+      else if name = "PXORrr" && Rng.bernoulli st.rng 0.5 then
+        let r = dst_vec st in
+        mk name [ v r; v r ]
+      else mk name [ v (dst_vec st); v (src_vec st) ]
+  | Vec_div ->
+      mk (pick st [| "DIVPSrr"; "DIVPDrr"; "SQRTPSrr"; "DIVSSrr"; "DIVSDrr" |])
+        [ v (dst_vec st); v (src_vec st) ]
+  | Vec_shuf ->
+      if Rng.bernoulli st.rng 0.6 then
+        mk "SHUFPSrri"
+          [ v (dst_vec st); v (src_vec st); Operand.Imm (Rng.int st.rng 256) ]
+      else mk "UNPCKLPSrr" [ v (dst_vec st); v (src_vec st) ]
+  | Vec_cvt -> (
+      match Rng.int st.rng 4 with
+      | 0 -> mk "CVTSI2SDrr" [ v (dst_vec st); g (src_gpr st) ]
+      | 1 -> mk "CVTTSD2SIrr" [ g (dst_gpr st); v (src_vec st) ]
+      | 2 -> mk "MOVQXRrr" [ v (dst_vec st); g (src_gpr st) ]
+      | _ -> mk "MOVQRXrr" [ g (dst_gpr st); v (src_vec st) ])
+  | Scalar_fp ->
+      let name =
+        pick st [| "ADDSSrr"; "MULSSrr"; "ADDSDrr"; "MULSDrr"; "MULPSrr";
+                   "MULPDrr"; "ADDSDrm"; "MULSDrm" |]
+      in
+      if String.sub name (String.length name - 2) 2 = "rm" then
+        mk name [ v (dst_vec st); mem st ]
+      else mk name [ v (dst_vec st); v (src_vec st) ]
+
+(* ------------------------------------------------------------------ *)
+(* Application profiles: ingredient mixes.                             *)
+(* ------------------------------------------------------------------ *)
+
+let profile = function
+  | "OpenBLAS" ->
+      [ (2.0, Vec_load); (2.2, Vec_fp); (2.2, Vec_fma); (1.6, Scalar_fp);
+        (1.0, Vec_store); (0.5, Vec_shuf); (0.6, Alu_rr); (0.4, Lea);
+        (0.4, Load); (0.3, Inc_dec); (0.2, Cmp) ]
+  | "Redis" ->
+      [ (2.5, Load); (1.0, Mov_rr); (1.2, Cmp); (0.8, Test); (1.0, Alu_rr);
+        (0.7, Push); (0.7, Pop); (0.8, Store); (0.5, Lea); (0.4, Xor_zero);
+        (0.2, Setcc); (0.5, Mov_imm); (0.3, Alu_ri) ]
+  | "SQLite" ->
+      [ (2.0, Load); (1.0, Store); (1.2, Alu_rr); (1.0, Cmp); (0.5, Cmov);
+        (0.7, Movzx); (0.6, Lea); (0.5, Test); (0.3, Xor_zero); (0.4, Push);
+        (0.4, Pop); (0.4, Shift_r); (0.3, Mov_imm) ]
+  | "GZip" ->
+      [ (2.0, Shift_r); (1.5, Alu_rr); (1.5, Load); (1.0, Store);
+        (1.0, Movzx); (0.8, Inc_dec); (0.7, Cmp); (1.0, Alu_ri);
+        (0.3, Shift_m); (0.3, Alu_mr); (0.6, Alu_rm) ]
+  | "TensorFlow" ->
+      [ (1.5, Vec_load); (1.8, Vec_fp); (1.2, Vec_fma); (0.8, Scalar_fp);
+        (0.6, Vec_cvt); (0.8, Load); (0.8, Alu_rr); (0.5, Lea);
+        (0.8, Vec_store); (0.3, Mov_imm) ]
+  | "Clang/LLVM" ->
+      [ (1.8, Load); (1.0, Store); (1.2, Mov_rr); (0.8, Mov_imm);
+        (1.5, Alu_rr); (1.0, Alu_ri); (1.2, Cmp); (0.8, Test); (1.0, Lea);
+        (0.8, Push); (0.8, Pop); (0.5, Xor_zero); (0.5, Movzx);
+        (0.4, Shift_r); (0.3, Cmov); (0.2, Setcc); (0.15, Mul); (0.05, Div);
+        (0.3, Alu_mr); (0.2, Store_imm); (0.4, Alu_rm) ]
+  | "Eigen" ->
+      [ (2.2, Vec_fp); (2.5, Vec_fma); (1.5, Vec_load); (0.8, Vec_shuf);
+        (0.8, Vec_store); (0.5, Scalar_fp); (0.5, Alu_rr); (0.4, Lea);
+        (0.3, Vec_mov) ]
+  | "Embree" ->
+      [ (1.8, Vec_fp); (1.0, Vec_div); (0.8, Vec_shuf); (1.2, Vec_load);
+        (1.0, Vec_fma); (0.5, Alu_rr); (0.3, Cmp); (0.3, Vec_mov) ]
+  | "FFmpeg" ->
+      [ (2.5, Vec_int); (1.0, Vec_shuf); (1.2, Vec_load); (0.8, Vec_store);
+        (0.8, Movzx); (0.8, Alu_rr); (0.6, Shift_r); (0.6, Load);
+        (0.4, Vec_fp) ]
+  | app -> invalid_arg ("Generator.profile: unknown application " ^ app)
+
+(* BHive-like length distribution: median 3, mean ~5, long tail. *)
+let block_length rng =
+  if Rng.bernoulli rng 0.01 then 20 + Rng.int rng 45
+  else if Rng.bernoulli rng 0.2 then 1
+  else begin
+    let len = ref 2 in
+    while Rng.bernoulli rng 0.72 && !len < 20 do
+      incr len
+    done;
+    !len
+  end
+
+let block rng ~app =
+  let weights = profile app in
+  let st = new_state rng in
+  let len = block_length rng in
+  let instrs =
+    List.init len (fun _ ->
+        let instr = emit st (Rng.weighted_choice st.rng weights) in
+        let take n l = List.filteri (fun i _ -> i < n) l in
+        List.iter
+          (fun r ->
+            match r with
+            | Reg.Gpr g when g <> Reg.RSP ->
+                st.recent_gpr <- take 4 (g :: st.recent_gpr)
+            | Reg.Vec v -> st.recent_vec <- take 4 (v :: st.recent_vec)
+            | Reg.Gpr _ | Reg.Flags -> ())
+          (Instruction.writes instr);
+        instr)
+  in
+  Block.of_list instrs
+
+let category b =
+  let has_load = ref false and has_store = ref false in
+  let loads = ref 0 and stores = ref 0 in
+  let has_vec = ref false and has_scalar_arith = ref false in
+  Array.iter
+    (fun (i : Instruction.t) ->
+      let op = i.opcode in
+      if op.load then begin has_load := true; incr loads end;
+      if op.store then begin has_store := true; incr stores end;
+      if op.vec_op then has_vec := true;
+      (match op.kind with
+      | Opcode.Alu | Opcode.Mul | Opcode.Div | Opcode.Shift | Opcode.Movzx
+      | Opcode.Cmov | Opcode.Setcc ->
+          has_scalar_arith := true
+      | Opcode.Mov | Opcode.Stack | Opcode.Nop | Opcode.VecMove
+      | Opcode.VecAlu | Opcode.VecMul | Opcode.VecDiv | Opcode.VecShuffle
+      | Opcode.VecCvt | Opcode.VecFma ->
+          ()))
+    b.Block.instrs;
+  if !has_load || !has_store then
+    if !loads >= 2 * !stores && !stores = 0 then "Ld"
+    else if !stores >= 2 * !loads && !loads = 0 then "St"
+    else if !loads >= 2 * !stores then "Ld"
+    else if !stores >= 2 * !loads then "St"
+    else "Ld/St"
+  else if !has_vec && !has_scalar_arith then "Scalar/Vec"
+  else if !has_vec then "Vec"
+  else "Scalar"

@@ -1,0 +1,26 @@
+(** Synthetic basic-block generators standing in for the BHive corpus.
+
+    BHive samples basic blocks from nine applications (OpenBLAS, Redis,
+    SQLite, GZip, TensorFlow, Clang/LLVM, Eigen, Embree, FFmpeg); each
+    application has a characteristic instruction mix.  The generators
+    below synthesize blocks with those mixes: pointer-chasing loads for
+    Redis, vector FP with FMA for OpenBLAS/Eigen, shift/logic streams for
+    GZip, a broad scalar mix with stack traffic for Clang, and so on.
+    Block lengths follow the BHive shape (median 3, mean ~5, long tail).
+
+    Real-world idioms that create the paper's simulator/machine mismatch
+    are generated at realistic rates: ~90% of XOR rr instances are
+    dependency-breaking zero idioms (the paper reports 4047 of 4218),
+    PUSH/POP sequences exercise the stack engine, and read-modify-write
+    instructions on stack slots recreate the ADD32mr memory chain. *)
+
+val applications : string array
+
+(** [block rng ~app] synthesizes one basic block in the style of [app].
+    Raises [Invalid_argument] for an unknown application name. *)
+val block : Dt_util.Rng.t -> app:string -> Dt_x86.Block.t
+
+(** [category b] assigns the Chen et al. hardware-resource category used
+    by Table V: ["Scalar"], ["Vec"], ["Scalar/Vec"], ["Ld"], ["St"] or
+    ["Ld/St"]. *)
+val category : Dt_x86.Block.t -> string

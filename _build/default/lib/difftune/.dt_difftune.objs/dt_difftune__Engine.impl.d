@@ -1,0 +1,1 @@
+lib/difftune/engine.ml: Array Dt_autodiff Dt_nn Dt_surrogate Dt_tensor Dt_util Dt_x86 Float Fun Hashtbl List Printf Spec

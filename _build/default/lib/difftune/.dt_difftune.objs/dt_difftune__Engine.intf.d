@@ -1,0 +1,1 @@
+lib/difftune/engine.mli: Dt_surrogate Dt_util Dt_x86 Spec

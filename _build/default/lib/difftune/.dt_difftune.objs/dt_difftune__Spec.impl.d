@@ -1,0 +1,1 @@
+lib/difftune/spec.ml: Array Dt_autodiff Dt_mca Dt_tensor Dt_usim Dt_util Dt_x86 Float

@@ -1,0 +1,1 @@
+lib/difftune/spec.mli: Dt_autodiff Dt_mca Dt_refcpu Dt_util Dt_x86

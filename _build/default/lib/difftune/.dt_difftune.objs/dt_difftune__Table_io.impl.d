@@ -1,0 +1,1 @@
+lib/difftune/table_io.ml: Array Buffer Dt_x86 Fun List Printf Spec String

@@ -1,0 +1,1 @@
+lib/difftune/table_io.mli: Spec

@@ -1,0 +1,533 @@
+module T = Dt_tensor.Tensor
+module Ad = Dt_autodiff.Ad
+module Nn = Dt_nn.Nn
+module Model = Dt_surrogate.Model
+module Rng = Dt_util.Rng
+
+type config = {
+  seed : int;
+  sim_multiplier : int;
+  surrogate_passes : float;
+  surrogate_lr : float;
+  table_lr : float;
+  table_passes : float;
+  batch : int;
+  table_batch : int;
+  embed_dim : int;
+  token_hidden : int;
+  instr_hidden : int;
+  token_layers : int;
+  instr_layers : int;
+  max_train_block_len : int;
+  grad_clip : float;
+  use_analytic : bool;
+  head_hidden : int;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    seed = 0;
+    sim_multiplier = 10;
+    surrogate_passes = 2.0;
+    surrogate_lr = 0.001;
+    table_lr = 0.05;
+    table_passes = 1.0;
+    batch = 256;
+    table_batch = 64;
+    embed_dim = 16;
+    token_hidden = 32;
+    instr_hidden = 32;
+    token_layers = 4;
+    instr_layers = 4;
+    max_train_block_len = 24;
+    grad_clip = 5.0;
+    use_analytic = true;
+    head_hidden = 16;
+    log = ignore;
+  }
+
+let fast_config =
+  {
+    default_config with
+    sim_multiplier = 4;
+    surrogate_passes = 1.0;
+    batch = 32;
+    table_batch = 16;
+    embed_dim = 8;
+    token_hidden = 12;
+    instr_hidden = 12;
+    token_layers = 1;
+    instr_layers = 1;
+    max_train_block_len = 12;
+  }
+
+type sim_sample = {
+  block_idx : int;
+  per : float array array;
+  global : float array;
+  target : float;
+}
+
+let collect config (spec : Spec.t) blocks =
+  let rng = Rng.create (config.seed lxor 0x1d1f_f7) in
+  let eligible =
+    Array.of_list
+      (List.filter
+         (fun b -> Dt_x86.Block.length b <= config.max_train_block_len)
+         (Array.to_list blocks))
+  in
+  if Array.length eligible = 0 then
+    invalid_arg "Engine.collect: no training blocks within length limit";
+  let n = config.sim_multiplier * Array.length eligible in
+  (* Index map back into the original [blocks] array. *)
+  let index_of = Hashtbl.create (Array.length blocks) in
+  Array.iteri
+    (fun i b -> Hashtbl.replace index_of (Dt_x86.Block.to_string b) i)
+    blocks;
+  Array.init n (fun _ ->
+      let bi = Rng.int rng (Array.length eligible) in
+      let block = eligible.(bi) in
+      let table = spec.sample rng in
+      let target = spec.timing table block in
+      let per, global = Spec.normalize_block spec table block in
+      {
+        block_idx = Hashtbl.find index_of (Dt_x86.Block.to_string block);
+        per;
+        global;
+        target;
+      })
+
+let make_model config (spec : Spec.t) rng =
+  let mcfg =
+    {
+      Model.embed_dim = config.embed_dim;
+      token_hidden = config.token_hidden;
+      instr_hidden = config.instr_hidden;
+      token_layers = config.token_layers;
+      instr_layers = config.instr_layers;
+      with_params = true;
+      per_instr_params = spec.per_width;
+      global_params = spec.global_width;
+      feature_width =
+        (if config.use_analytic && spec.bounds <> None then Spec.n_bounds
+         else 0);
+      head_hidden = config.head_hidden;
+    }
+  in
+  Model.create ~config:mcfg rng
+
+let sample_loss model ctx (spec : Spec.t) block (s : sim_sample) =
+  let params =
+    {
+      Model.per_instr =
+        Array.map (fun v -> Ad.constant ctx (T.vector v)) s.per;
+      global =
+        (if Array.length s.global = 0 then None
+         else Some (Ad.constant ctx (T.vector s.global)));
+    }
+  in
+  let features =
+    if (Model.config model).feature_width = 0 then None
+    else
+      match spec.bounds with
+      | Some f ->
+          Some (f ctx block ~per:params.per_instr ~global:params.global)
+      | None -> None
+  in
+  let pred = Model.predict model ctx block ~params:(Some params) ~features in
+  Ad.mape ctx pred ~target:(Float.max s.target 1e-3)
+
+let train_surrogate config spec model (data : sim_sample array) blocks =
+  let rng = Rng.create (config.seed lxor 0x5e_ed) in
+  let store = Model.store model in
+  let opt = Nn.Optimizer.adam store ~lr:config.surrogate_lr in
+  let n = Array.length data in
+  let steps = int_of_float (config.surrogate_passes *. float_of_int n) in
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  let last_avg = ref Float.nan in
+  let running = Dt_util.Stats.Welford.create () in
+  let in_batch = ref 0 in
+  for step = 0 to steps - 1 do
+    let s = data.(order.(step mod n)) in
+    if step > 0 && step mod n = 0 then Rng.shuffle rng order;
+    let ctx = Ad.new_ctx () in
+    let loss = sample_loss model ctx spec blocks.(s.block_idx) s in
+    Ad.backward ctx loss;
+    Dt_util.Stats.Welford.add running (Ad.scalar_value loss);
+    incr in_batch;
+    if !in_batch = config.batch || step = steps - 1 then begin
+      Nn.Store.clip_grads store ~max_norm:(config.grad_clip *. float_of_int !in_batch);
+      Nn.Optimizer.step opt ~batch:!in_batch;
+      in_batch := 0
+    end;
+    if step = (2 * steps) / 3 then
+      Nn.Optimizer.set_lr opt (config.surrogate_lr *. 0.3);
+    if (step + 1) mod 2000 = 0 then begin
+      last_avg := Dt_util.Stats.Welford.mean running;
+      config.log
+        (Printf.sprintf "surrogate step %d/%d loss %.3f" (step + 1) steps
+           !last_avg)
+    end
+  done;
+  if Dt_util.Stats.Welford.count running > 0 then
+    Dt_util.Stats.Welford.mean running
+  else Float.nan
+
+(* Extract the current relaxed table into raw integer space. *)
+let extract_table (spec : Spec.t) theta_per theta_global =
+  let n_opc = Dt_x86.Opcode.count in
+  {
+    Spec.per =
+      Array.init n_opc (fun i ->
+          Array.init spec.per_width (fun j ->
+              Float.round (Float.abs (T.get theta_per i j))
+              +. spec.per_lower.(j)));
+    global =
+      Array.init spec.global_width (fun j ->
+          Float.round (Float.abs (T.get theta_global 0 j))
+          +. spec.global_lower.(j));
+  }
+
+(* True-simulator validation error of a raw table on a block sample. *)
+let validation_error (spec : Spec.t) table valid =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (b, y) -> acc := !acc +. (Float.abs (spec.timing table b -. y) /. y))
+    valid;
+  !acc /. float_of_int (Array.length valid)
+
+let optimize_table ?init ?(valid = [||]) config (spec : Spec.t) model ~train =
+  let rng = Rng.create (config.seed lxor 0x7ab1e) in
+  (* Initialize the relaxed table in offset space (value - lower bound):
+     a random draw from the sampling distribution, per the paper, unless
+     a warm start is provided (iterative refinement). *)
+  let init = match init with Some t -> t | None -> spec.sample rng in
+  let n_opc = Dt_x86.Opcode.count in
+  let theta_per = T.zeros ~rows:n_opc ~cols:(max 1 spec.per_width) in
+  for i = 0 to n_opc - 1 do
+    for j = 0 to spec.per_width - 1 do
+      T.set theta_per i j (init.per.(i).(j) -. spec.per_lower.(j))
+    done
+  done;
+  let theta_global = T.zeros ~rows:1 ~cols:(max 1 spec.global_width) in
+  for j = 0 to spec.global_width - 1 do
+    T.set theta_global 0 j (init.global.(j) -. spec.global_lower.(j))
+  done;
+  let theta_store = Nn.Store.create () in
+  let per_node = Nn.Store.param theta_store ~name:"theta.per" theta_per in
+  let global_node =
+    Nn.Store.param theta_store ~name:"theta.global" theta_global
+  in
+  let opt = Nn.Optimizer.adam theta_store ~lr:config.table_lr in
+  let per_scale = T.vector (Array.copy spec.per_scale) in
+  let global_scale = T.vector (Array.copy spec.global_scale) in
+  let surrogate_store = Model.store model in
+  let eligible =
+    Array.of_list
+      (List.filter
+         (fun (b, _) -> Dt_x86.Block.length b <= config.max_train_block_len)
+         (Array.to_list train))
+  in
+  let n = Array.length eligible in
+  if n = 0 then invalid_arg "Engine.optimize_table: no usable training blocks";
+  let steps = int_of_float (config.table_passes *. float_of_int n) in
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  let in_batch = ref 0 in
+  (* Validation-gated extraction: periodically extract the integer table
+     and keep the snapshot with the lowest true-simulator error on the
+     validation split (the split the paper reserves for development
+     decisions).  Gradient descent through an imperfect surrogate can
+     wander; selection on the *original* simulator is cheap and unbiased
+     with respect to the test set. *)
+  let valid =
+    if Array.length valid > 256 then Array.sub valid 0 256 else valid
+  in
+  let best_table = ref None in
+  let consider () =
+    if Array.length valid > 0 then begin
+      let candidate = extract_table spec theta_per theta_global in
+      let err = validation_error spec candidate valid in
+      match !best_table with
+      | Some (_, best_err) when best_err <= err -> ()
+      | _ -> best_table := Some (candidate, err)
+    end
+  in
+  let snapshot_every = max 500 (steps / 12) in
+  for step = 0 to steps - 1 do
+    let block, y = eligible.(order.(step mod n)) in
+    if step > 0 && step mod n = 0 then Rng.shuffle rng order;
+    let ctx = Ad.new_ctx () in
+    let scale_node v = Ad.constant ctx v in
+    let per_inputs =
+      Array.map
+        (fun (instr : Dt_x86.Instruction.t) ->
+          let r = Ad.row ctx ~m:per_node instr.opcode.index in
+          let r = Ad.abs_ ctx r in
+          let r =
+            if spec.per_width = T.size (Ad.value r) then r
+            else Ad.slice ctx r ~pos:0 ~len:spec.per_width
+          in
+          Ad.mul ctx r (scale_node per_scale))
+        block.instrs
+    in
+    let global_input =
+      if spec.global_width = 0 then None
+      else
+        let gview = Ad.row ctx ~m:global_node 0 in
+        let g = Ad.abs_ ctx gview in
+        Some (Ad.mul ctx g (scale_node global_scale))
+    in
+    let params = { Model.per_instr = per_inputs; global = global_input } in
+    let features =
+      if (Model.config model).feature_width = 0 then None
+      else
+        match spec.bounds with
+        | Some f -> Some (f ctx block ~per:per_inputs ~global:global_input)
+        | None -> None
+    in
+    let pred = Model.predict model ctx block ~params:(Some params) ~features in
+    let loss = Ad.mape ctx pred ~target:(Float.max y 1e-3) in
+    Ad.backward ctx loss;
+    incr in_batch;
+    if !in_batch = config.table_batch || step = steps - 1 then begin
+      Nn.Optimizer.step opt ~batch:!in_batch;
+      (* The surrogate is frozen: its accumulated gradients are simply
+         discarded. *)
+      Nn.Store.zero_grads surrogate_store;
+      in_batch := 0;
+      (* Keep |theta| inside the sampling distribution's support: the
+         surrogate cannot be trusted to extrapolate outside the region it
+         was trained on (paper Section VII, "Sampling distributions"). *)
+      for i = 0 to n_opc - 1 do
+        for j = 0 to spec.per_width - 1 do
+          let hi = spec.per_upper.(j) -. spec.per_lower.(j) in
+          let v = T.get theta_per i j in
+          if Float.abs v > hi then T.set theta_per i j (if v < 0.0 then -.hi else hi)
+        done
+      done;
+      for j = 0 to spec.global_width - 1 do
+        let hi = spec.global_upper.(j) -. spec.global_lower.(j) in
+        let v = T.get theta_global 0 j in
+        if Float.abs v > hi then
+          T.set theta_global 0 j (if v < 0.0 then -.hi else hi)
+      done
+    end;
+    if (step + 1) mod snapshot_every = 0 then consider ();
+    if (step + 1) mod 2000 = 0 then
+      config.log (Printf.sprintf "table step %d/%d" (step + 1) steps)
+  done;
+  (* Extraction: |theta| + lower bound, rounded; prefer the best
+     validation snapshot when a validation split was provided. *)
+  let final = extract_table spec theta_per theta_global in
+  match !best_table with
+  | None -> final
+  | Some (best, best_err) ->
+      let final_err = validation_error spec final valid in
+      if final_err <= best_err then final else best
+
+type result = {
+  table : Spec.table;
+  model : Model.t;
+  surrogate_loss : float;
+}
+
+let learn ?(valid = [||]) config (spec : Spec.t) ~train =
+  let rng = Rng.create config.seed in
+  config.log
+    (Printf.sprintf "difftune[%s]: collecting simulated dataset" spec.name);
+  let blocks = Array.map fst train in
+  let data = collect config spec blocks in
+  config.log
+    (Printf.sprintf "difftune[%s]: training surrogate on %d samples" spec.name
+       (Array.length data));
+  let model = make_model config spec rng in
+  let surrogate_loss = train_surrogate config spec model data blocks in
+  config.log
+    (Printf.sprintf "difftune[%s]: optimizing parameter table" spec.name);
+  let table = optimize_table ~valid config spec model ~train in
+  { table; model; surrogate_loss }
+
+(* ------------------------------------------------------------------ *)
+(* Iterative refinement (paper Section VII, after Shirobokov et al.):   *)
+(* re-collect the simulated dataset in a shrinking neighbourhood of the *)
+(* current parameter estimate, re-train the surrogate there, and        *)
+(* continue the parameter descent from the previous estimate.  This     *)
+(* removes the dependence on a hand-specified global sampling           *)
+(* distribution: the surrogate only ever needs local fidelity.          *)
+(* ------------------------------------------------------------------ *)
+
+let local_sample (spec : Spec.t) ~center ~radius rng =
+  let jitter v lo hi =
+    let span = radius *. (hi -. lo) in
+    Float.min hi (Float.max lo (v +. Rng.float_range rng (-.span) span))
+  in
+  (* An epsilon of global samples keeps coverage of the full support. *)
+  if Rng.bernoulli rng 0.2 then spec.sample rng
+  else
+    {
+      Spec.per =
+        Array.map
+          (fun row ->
+            Array.mapi
+              (fun j v ->
+                Float.round (jitter v spec.per_lower.(j) spec.per_upper.(j)))
+              row)
+          center.Spec.per;
+      global =
+        Array.mapi
+          (fun j v ->
+            Float.round (jitter v spec.global_lower.(j) spec.global_upper.(j)))
+          center.Spec.global;
+    }
+
+let learn_iterative ?(valid = [||]) config ?(rounds = 3) (spec : Spec.t)
+    ~train =
+  if rounds < 1 then invalid_arg "Engine.learn_iterative: rounds must be >= 1";
+  let rng = Rng.create config.seed in
+  let blocks = Array.map fst train in
+  let model = make_model config spec rng in
+  (* Round budgets: split the configured budget across rounds. *)
+  let per_round =
+    {
+      config with
+      sim_multiplier = max 1 (config.sim_multiplier / rounds);
+      surrogate_passes = config.surrogate_passes;
+      table_passes = Float.max 1.0 (config.table_passes /. float_of_int rounds);
+    }
+  in
+  let center = ref (spec.sample (Rng.create (config.seed lxor 0xce11e))) in
+  let loss = ref Float.nan in
+  for round = 1 to rounds do
+    let radius = 0.5 /. float_of_int round in
+    let local_spec =
+      if round = 1 then spec
+      else
+        { spec with sample = (fun rng -> local_sample spec ~center:!center ~radius rng) }
+    in
+    config.log
+      (Printf.sprintf "difftune[%s]: refinement round %d/%d (radius %.2f)"
+         spec.name round rounds radius);
+    let data = collect { per_round with seed = config.seed + round } local_spec blocks in
+    loss := train_surrogate { per_round with seed = config.seed + round }
+        local_spec model data blocks;
+    let table =
+      optimize_table ~init:!center ~valid
+        { per_round with seed = config.seed + round }
+        spec model ~train
+    in
+    center := table
+  done;
+  { table = !center; model; surrogate_loss = !loss }
+
+(* ------------------------------------------------------------------ *)
+(* Ithemal baseline: no parameter inputs, trained on ground truth.      *)
+(* ------------------------------------------------------------------ *)
+
+let spec_features (spec : Spec.t) ~reference block =
+  match spec.bounds with
+  | None -> [||]
+  | Some f ->
+      let ctx = Ad.new_ctx () in
+      let per, global = Spec.normalize_block spec reference block in
+      let per = Array.map (fun v -> Ad.constant ctx (T.vector v)) per in
+      let global =
+        if Array.length global = 0 then None
+        else Some (Ad.constant ctx (T.vector global))
+      in
+      Array.copy (Ad.value (f ctx block ~per ~global)).T.data
+
+let make_ithemal_model config ~feature_width rng =
+  let mcfg =
+    {
+      Model.embed_dim = config.embed_dim;
+      token_hidden = config.token_hidden;
+      instr_hidden = config.instr_hidden;
+      token_layers = config.token_layers;
+      instr_layers = config.instr_layers;
+      with_params = false;
+      per_instr_params = 0;
+      global_params = 0;
+      feature_width = (if config.use_analytic then feature_width else 0);
+      head_hidden = config.head_hidden;
+    }
+  in
+  Model.create ~config:mcfg rng
+
+let train_ithemal config ~features ~train =
+  let rng = Rng.create (config.seed lxor 0x17e3a1) in
+  let feature_width =
+    match (features, train) with
+    | Some f, (b, _) :: _ -> Array.length (f b)
+    | Some _, [] -> invalid_arg "Engine.train_ithemal: empty training set"
+    | None, _ -> 0
+  in
+  let train = Array.of_list train in
+  let model = make_ithemal_model config ~feature_width rng in
+  let store = Model.store model in
+  let opt = Nn.Optimizer.adam store ~lr:config.surrogate_lr in
+  let eligible =
+    Array.of_list
+      (List.filter
+         (fun (b, _) -> Dt_x86.Block.length b <= config.max_train_block_len)
+         (Array.to_list train))
+  in
+  let n = Array.length eligible in
+  if n = 0 then invalid_arg "Engine.train_ithemal: no usable training blocks";
+  (* Features are static per block: precompute them once. *)
+  let feats = Hashtbl.create n in
+  (match features with
+  | None -> ()
+  | Some f ->
+      Array.iter
+        (fun (b, _) ->
+          Hashtbl.replace feats (Dt_x86.Block.to_string b) (f b))
+        eligible);
+  (* Match the surrogate's optimization budget per sample. *)
+  let steps =
+    int_of_float
+      (config.surrogate_passes *. float_of_int (config.sim_multiplier * n))
+  in
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  let in_batch = ref 0 in
+  for step = 0 to steps - 1 do
+    let block, y = eligible.(order.(step mod n)) in
+    if step > 0 && step mod n = 0 then Rng.shuffle rng order;
+    let ctx = Ad.new_ctx () in
+    let features =
+      if (Model.config model).feature_width = 0 then None
+      else
+        Some
+          (Ad.constant ctx
+             (T.vector (Hashtbl.find feats (Dt_x86.Block.to_string block))))
+    in
+    let pred = Model.predict model ctx block ~params:None ~features in
+    let loss = Ad.mape ctx pred ~target:(Float.max y 1e-3) in
+    Ad.backward ctx loss;
+    incr in_batch;
+    if !in_batch = config.batch || step = steps - 1 then begin
+      Nn.Store.clip_grads store
+        ~max_norm:(config.grad_clip *. float_of_int !in_batch);
+      Nn.Optimizer.step opt ~batch:!in_batch;
+      in_batch := 0
+    end;
+    if step = (2 * steps) / 3 then
+      Nn.Optimizer.set_lr opt (config.surrogate_lr *. 0.3);
+    if (step + 1) mod 5000 = 0 then
+      config.log (Printf.sprintf "ithemal step %d/%d" (step + 1) steps)
+  done;
+  model
+
+let ithemal_predict ~features model block =
+  let ctx = Ad.new_ctx () in
+  let features =
+    if (Model.config model).feature_width = 0 then None
+    else
+      match features with
+      | Some f -> Some (Ad.constant ctx (T.vector (f block)))
+      | None -> None
+  in
+  Ad.scalar_value (Model.predict model ctx block ~params:None ~features)

@@ -1,0 +1,127 @@
+(** The DiffTune algorithm (paper Section III, Figure 1):
+
+    1. {!collect} a simulated dataset by sampling parameter tables from
+       the spec's distribution and recording the original simulator's
+       outputs (Equation for D̂);
+    2. {!train_surrogate} — fit the differentiable surrogate to mimic
+       the simulator over (θ, x) pairs (Equation 2);
+    3. {!optimize_table} — freeze the surrogate, relax the table to
+       floats, and run gradient descent on the table against the true
+       measurements (Equation 3);
+    4. extract integer parameters (abs + lower bound + round) and plug
+       them back into the original simulator ({!Spec.round_table}).
+
+    {!learn} runs the full pipeline. *)
+
+module Model = Dt_surrogate.Model
+
+type config = {
+  seed : int;
+  sim_multiplier : int;      (** simulated dataset size = this x |train| *)
+  surrogate_passes : float;  (** epochs over the simulated dataset *)
+  surrogate_lr : float;      (** paper: 0.001 (Adam) *)
+  table_lr : float;          (** paper: 0.05 (Adam) *)
+  table_passes : float;      (** paper: 1 epoch *)
+  batch : int;               (** paper: 256 *)
+  table_batch : int;
+      (** minibatch for the parameter-table phase; smaller than [batch]
+          so small corpora still yield enough optimizer updates *)
+  embed_dim : int;
+  token_hidden : int;
+  instr_hidden : int;
+  token_layers : int;        (** paper: 4 *)
+  instr_layers : int;
+  max_train_block_len : int; (** skip longer blocks during training *)
+  grad_clip : float;
+  use_analytic : bool;
+      (** physics-informed surrogate (differentiable analytic bounds +
+          learned correction) instead of the pure-LSTM surrogate; see
+          {!Spec.t.bounds} and DESIGN.md *)
+  head_hidden : int;  (** hidden width of the prediction head (0 = linear) *)
+  log : string -> unit;
+}
+
+(** Paper-shaped hyperparameters at CPU scale. *)
+val default_config : config
+
+(** Small, fast settings for tests. *)
+val fast_config : config
+
+type sim_sample = {
+  block_idx : int;
+  per : float array array;   (** normalized per-instruction inputs *)
+  global : float array;      (** normalized global inputs *)
+  target : float;            (** simulator output under the sampled table *)
+}
+
+(** [collect config spec blocks] builds the simulated dataset: for each
+    sample, a fresh table from [spec.sample] and a block drawn from
+    [blocks]. *)
+val collect :
+  config -> Spec.t -> Dt_x86.Block.t array -> sim_sample array
+
+(** [make_model config spec rng] builds a surrogate sized for the spec. *)
+val make_model : config -> Spec.t -> Dt_util.Rng.t -> Model.t
+
+(** [train_surrogate config spec model data blocks] — SGD/Adam over the
+    simulated dataset; returns the final average training loss. *)
+val train_surrogate :
+  config -> Spec.t -> Model.t -> sim_sample array -> Dt_x86.Block.t array ->
+  float
+
+(** [optimize_table config spec model ~train] — frozen-surrogate gradient
+    descent on the table; returns the extracted (rounded, bounded) raw
+    table.  [?init] warm-starts from an existing raw table instead of a
+    random draw (iterative refinement).  [?valid] enables
+    validation-gated extraction: the integer table is snapshotted
+    periodically and the snapshot with the lowest {e true-simulator}
+    error on the validation blocks is returned (capped at 256 blocks;
+    the validation split is the one the paper reserves for development
+    decisions). *)
+val optimize_table :
+  ?init:Spec.table ->
+  ?valid:(Dt_x86.Block.t * float) array ->
+  config -> Spec.t -> Model.t -> train:(Dt_x86.Block.t * float) array ->
+  Spec.table
+
+type result = {
+  table : Spec.table;     (** extracted parameters, pluggable into [spec.timing] *)
+  model : Model.t;        (** the trained surrogate *)
+  surrogate_loss : float; (** final surrogate training loss *)
+}
+
+val learn :
+  ?valid:(Dt_x86.Block.t * float) array ->
+  config -> Spec.t -> train:(Dt_x86.Block.t * float) array -> result
+
+(** Iterative local refinement (paper Section VII, after Shirobokov et
+    al. [16]): alternates re-collecting the simulated dataset in a
+    shrinking neighbourhood of the current parameter estimate with
+    continued surrogate training and warm-started parameter descent.
+    Removes the reliance on a well-chosen global sampling distribution. *)
+val learn_iterative :
+  ?valid:(Dt_x86.Block.t * float) array ->
+  config -> ?rounds:int -> Spec.t -> train:(Dt_x86.Block.t * float) array ->
+  result
+
+(** Static per-block analytic features from a spec's bound builder
+    evaluated at a fixed [reference] table (e.g. the defaults) — a
+    convenient feature function for {!train_ithemal}. *)
+val spec_features :
+  Spec.t -> reference:Spec.table -> Dt_x86.Block.t -> float array
+
+(** The Ithemal baseline (paper Table IV): the same network with no
+    parameter inputs, trained directly on ground-truth measurements.  For
+    compute parity with the physics-informed surrogate it may receive
+    static analytic features per block (e.g. {!spec_features}, or the
+    IACA bound decomposition); pass [None] for the pure paper
+    architecture. *)
+val train_ithemal :
+  config -> features:(Dt_x86.Block.t -> float array) option ->
+  train:(Dt_x86.Block.t * float) list -> Model.t
+
+(** Prediction with a model produced by {!train_ithemal}; [features] must
+    be the same function used at training time. *)
+val ithemal_predict :
+  features:(Dt_x86.Block.t -> float array) option -> Model.t ->
+  Dt_x86.Block.t -> float

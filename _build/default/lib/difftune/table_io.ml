@@ -1,0 +1,74 @@
+let to_string (spec : Spec.t) (table : Spec.table) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# difftune parameter table v1\n";
+  Buffer.add_string buf (Printf.sprintf "spec %s\n" spec.name);
+  if spec.global_width > 0 then begin
+    Buffer.add_string buf "global";
+    Array.iter
+      (fun v -> Buffer.add_string buf (Printf.sprintf " %g" v))
+      table.global;
+    Buffer.add_char buf '\n'
+  end;
+  Array.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf "opcode %s" Dt_x86.Opcode.database.(i).name);
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %g" v)) row;
+      Buffer.add_char buf '\n')
+    table.per;
+  Buffer.contents buf
+
+let save spec table path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string spec table))
+
+let of_string (spec : Spec.t) ~fallback text =
+  let table = Spec.copy_table fallback in
+  let fail line msg = failwith (Printf.sprintf "Table_io line %d: %s" line msg) in
+  let parse_floats line fields expected =
+    if List.length fields <> expected then
+      fail line (Printf.sprintf "expected %d values, got %d" expected
+                   (List.length fields));
+    Array.of_list
+      (List.map
+         (fun s ->
+           match float_of_string_opt s with
+           | Some v -> v
+           | None -> fail line (Printf.sprintf "bad number %S" s))
+         fields)
+  in
+  String.split_on_char '\n' text
+  |> List.iteri (fun idx raw ->
+         let line = idx + 1 in
+         let s = String.trim raw in
+         if s = "" || s.[0] = '#' then ()
+         else
+           match String.split_on_char ' ' s |> List.filter (( <> ) "") with
+           | "spec" :: name ->
+               let name = String.concat " " name in
+               if name <> spec.name then
+                 fail line
+                   (Printf.sprintf "table is for spec %S, expected %S" name
+                      spec.name)
+           | "global" :: fields ->
+               let values = parse_floats line fields spec.global_width in
+               Array.blit values 0 table.global 0 spec.global_width
+           | "opcode" :: name :: fields -> (
+               match Dt_x86.Opcode.by_name name with
+               | None -> fail line (Printf.sprintf "unknown opcode %S" name)
+               | Some op ->
+                   let values = parse_floats line fields spec.per_width in
+                   Array.blit values 0 table.per.(op.index) 0 spec.per_width)
+           | _ -> fail line (Printf.sprintf "unrecognized line %S" s));
+  table
+
+let load spec ~fallback path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      of_string spec ~fallback text)

@@ -1,0 +1,30 @@
+(** Textual serialization of parameter tables.
+
+    Learned tables are the artifact DiffTune produces; this module makes
+    them durable and diffable.  The format is a line-oriented text file:
+
+    {v
+    # difftune parameter table v1
+    spec <name>
+    global <v0> <v1> ...
+    opcode <NAME> <v0> <v1> ... <v_{per_width-1}>
+    v}
+
+    Opcode rows are keyed by name, not index, so tables survive additions
+    to the opcode database; rows for unknown opcodes are rejected, and
+    missing opcodes keep the values of the [fallback] table (the paper
+    keeps randomly initialized values for opcodes unseen in training). *)
+
+(** [save spec table path] writes the table. *)
+val save : Spec.t -> Spec.table -> string -> unit
+
+(** [to_string spec table] renders the table. *)
+val to_string : Spec.t -> Spec.table -> string
+
+(** [load spec ~fallback path] reads a table saved by {!save}.
+    Raises [Failure] with a line diagnostic on malformed input,
+    mismatched spec name, or wrong row widths. *)
+val load : Spec.t -> fallback:Spec.table -> string -> Spec.table
+
+(** [of_string spec ~fallback text] — as {!load}, from memory. *)
+val of_string : Spec.t -> fallback:Spec.table -> string -> Spec.table

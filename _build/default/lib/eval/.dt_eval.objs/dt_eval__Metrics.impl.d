@@ -1,0 +1,1 @@
+lib/eval/metrics.ml: Array Dt_util Float Fun Hashtbl Int64 List

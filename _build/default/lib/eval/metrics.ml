@@ -1,0 +1,179 @@
+let check_pair name p a =
+  if Array.length p <> Array.length a then
+    invalid_arg (name ^ ": length mismatch");
+  if Array.length p = 0 then invalid_arg (name ^ ": empty input")
+
+let ape ~predicted ~actual =
+  check_pair "Metrics.ape" predicted actual;
+  Array.mapi
+    (fun i p ->
+      if actual.(i) <= 0.0 then invalid_arg "Metrics.ape: nonpositive actual";
+      Float.abs (p -. actual.(i)) /. actual.(i))
+    predicted
+
+let mape ~predicted ~actual =
+  Dt_util.Stats.mean (ape ~predicted ~actual)
+
+(* ---- Kendall's tau-b ---- *)
+
+(* Count inversions in [a] between positions, merge-sort style. *)
+let count_inversions a =
+  let n = Array.length a in
+  let buf = Array.make n 0.0 in
+  let rec go lo hi =
+    if hi - lo <= 1 then 0L
+    else begin
+      let mid = (lo + hi) / 2 in
+      let inv = Int64.add (go lo mid) (go mid hi) in
+      let i = ref lo and j = ref mid and k = ref lo in
+      let inv = ref inv in
+      while !i < mid && !j < hi do
+        if a.(!i) <= a.(!j) then begin
+          buf.(!k) <- a.(!i);
+          incr i
+        end
+        else begin
+          buf.(!k) <- a.(!j);
+          inv := Int64.add !inv (Int64.of_int (mid - !i));
+          incr j
+        end;
+        incr k
+      done;
+      while !i < mid do
+        buf.(!k) <- a.(!i);
+        incr i;
+        incr k
+      done;
+      while !j < hi do
+        buf.(!k) <- a.(!j);
+        incr j;
+        incr k
+      done;
+      Array.blit buf lo a lo (hi - lo);
+      !inv
+    end
+  in
+  go 0 n
+
+(* Sum over tie groups of k*(k-1)/2. *)
+let tie_term values =
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let total = ref 0L in
+  let run = ref 1 in
+  for i = 1 to Array.length sorted - 1 do
+    if sorted.(i) = sorted.(i - 1) then incr run
+    else begin
+      total :=
+        Int64.add !total (Int64.of_int (!run * (!run - 1) / 2));
+      run := 1
+    end
+  done;
+  total := Int64.add !total (Int64.of_int (!run * (!run - 1) / 2));
+  !total
+
+(* Joint ties: pairs tied in both x and y. *)
+let joint_tie_term xs ys =
+  let pairs = Array.init (Array.length xs) (fun i -> (xs.(i), ys.(i))) in
+  Array.sort compare pairs;
+  let total = ref 0L in
+  let run = ref 1 in
+  for i = 1 to Array.length pairs - 1 do
+    if pairs.(i) = pairs.(i - 1) then incr run
+    else begin
+      total := Int64.add !total (Int64.of_int (!run * (!run - 1) / 2));
+      run := 1
+    end
+  done;
+  total := Int64.add !total (Int64.of_int (!run * (!run - 1) / 2));
+  !total
+
+let kendall_tau xs ys =
+  check_pair "Metrics.kendall_tau" xs ys;
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Metrics.kendall_tau: need at least 2 samples";
+  (* Sort by x (breaking ties by y), then count inversions in y: each
+     inversion is a discordant pair among x-distinct pairs. *)
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      match compare xs.(i) xs.(j) with 0 -> compare ys.(i) ys.(j) | c -> c)
+    idx;
+  let y_sorted = Array.map (fun i -> ys.(i)) idx in
+  let discordant = count_inversions (Array.copy y_sorted) in
+  let n_pairs = Int64.of_int (n * (n - 1) / 2) in
+  let tx = tie_term xs and ty = tie_term ys in
+  let txy = joint_tie_term xs ys in
+  (* Pairs tied in x (incl. joint) are neither concordant nor discordant;
+     same for y.  Concordant = total - tx - ty + txy - discordant. *)
+  let to_f = Int64.to_float in
+  let concordant =
+    to_f n_pairs -. to_f tx -. to_f ty +. to_f txy -. to_f discordant
+  in
+  let denom =
+    sqrt ((to_f n_pairs -. to_f tx) *. (to_f n_pairs -. to_f ty))
+  in
+  if denom = 0.0 then 0.0 else (concordant -. to_f discordant) /. denom
+
+let kendall_tau_naive xs ys =
+  check_pair "Metrics.kendall_tau_naive" xs ys;
+  let n = Array.length xs in
+  let concordant = ref 0 and discordant = ref 0 in
+  let tx = ref 0 and ty = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let dx = compare xs.(i) xs.(j) and dy = compare ys.(i) ys.(j) in
+      if dx = 0 && dy = 0 then ()
+      else if dx = 0 then incr tx
+      else if dy = 0 then incr ty
+      else if dx * dy > 0 then incr concordant
+      else incr discordant
+    done
+  done;
+  let c = float_of_int !concordant and d = float_of_int !discordant in
+  let denom =
+    sqrt ((c +. d +. float_of_int !tx) *. (c +. d +. float_of_int !ty))
+  in
+  if denom = 0.0 then 0.0 else (c -. d) /. denom
+
+let bootstrap_ci rng ~resamples values =
+  if Array.length values = 0 then invalid_arg "Metrics.bootstrap_ci: empty";
+  let n = Array.length values in
+  let means =
+    Array.init resamples (fun _ ->
+        let acc = ref 0.0 in
+        for _ = 1 to n do
+          acc := !acc +. values.(Dt_util.Rng.int rng n)
+        done;
+        !acc /. float_of_int n)
+  in
+  Array.sort compare means;
+  let mean = Dt_util.Stats.mean values in
+  let lo = means.(int_of_float (0.025 *. float_of_int resamples)) in
+  let hi = means.(int_of_float (0.975 *. float_of_int resamples)) in
+  (mean, (hi -. lo) /. 2.0)
+
+let group_errors ~groups ~errors =
+  if Array.length groups <> Array.length errors then
+    invalid_arg "Metrics.group_errors: length mismatch";
+  let table : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i labels ->
+      List.iter
+        (fun label ->
+          let sum, count =
+            match Hashtbl.find_opt table label with
+            | Some cell -> cell
+            | None ->
+                let cell = (ref 0.0, ref 0) in
+                Hashtbl.add table label cell;
+                cell
+          in
+          sum := !sum +. errors.(i);
+          incr count)
+        labels)
+    groups;
+  Hashtbl.fold
+    (fun label (sum, count) acc -> (label, !count, !sum /. float_of_int !count) :: acc)
+    table []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)

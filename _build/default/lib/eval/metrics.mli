@@ -1,0 +1,27 @@
+(** Evaluation metrics (paper Section V-A):
+    mean absolute percentage error and Kendall's tau rank correlation. *)
+
+(** [mape ~predicted ~actual] = mean of [|p - a| / a].  Arrays must be the
+    same non-zero length with positive actuals. *)
+val mape : predicted:float array -> actual:float array -> float
+
+(** Per-sample absolute percentage errors. *)
+val ape : predicted:float array -> actual:float array -> float array
+
+(** [kendall_tau xs ys] — tau-b rank correlation in O(n log n) via
+    merge-sort inversion counting, with tie correction. *)
+val kendall_tau : float array -> float array -> float
+
+(** Reference O(n^2) implementation (property tests compare the two). *)
+val kendall_tau_naive : float array -> float array -> float
+
+(** [bootstrap_ci rng ~resamples values] — (mean, 95% CI half-width) of
+    the mean under nonparametric bootstrap. *)
+val bootstrap_ci :
+  Dt_util.Rng.t -> resamples:int -> float array -> float * float
+
+(** [group_errors ~groups ~errors] — average error per group label,
+    sorted by label; a sample may carry several labels (per-application
+    analysis). *)
+val group_errors :
+  groups:string list array -> errors:float array -> (string * int * float) list

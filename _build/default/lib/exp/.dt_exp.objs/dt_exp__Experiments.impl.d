@@ -1,0 +1,1 @@
+lib/exp/experiments.ml: Array Dt_autodiff Dt_bhive Dt_difftune Dt_eval Dt_iaca Dt_mca Dt_measure Dt_refcpu Dt_surrogate Dt_tensor Dt_usim Dt_util Dt_x86 Float List Option Printf Runner

@@ -1,0 +1,1 @@
+lib/exp/runner.ml: Array Dt_bhive Dt_difftune Dt_eval Dt_iaca Dt_mca Dt_opentuner Dt_refcpu Dt_util Dt_x86 Float Hashtbl List Printf Scale

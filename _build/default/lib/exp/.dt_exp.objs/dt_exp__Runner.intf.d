@@ -1,0 +1,1 @@
+lib/exp/runner.mli: Dt_bhive Dt_difftune Dt_mca Dt_refcpu Dt_x86 Scale

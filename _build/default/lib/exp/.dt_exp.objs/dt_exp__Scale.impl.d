@@ -1,0 +1,1 @@
+lib/exp/scale.ml: Dt_difftune Printf Sys

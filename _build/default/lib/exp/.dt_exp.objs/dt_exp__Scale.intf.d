@@ -1,0 +1,1 @@
+lib/exp/scale.mli: Dt_difftune

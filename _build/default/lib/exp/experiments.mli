@@ -1,0 +1,57 @@
+(** One function per paper artifact (see the per-experiment index in
+    DESIGN.md).  Each prints a report comparing the paper's values with
+    the measured reproduction and returns nothing; heavy artifacts are
+    shared through the {!Runner}. *)
+
+type runner = Runner.t
+
+val table3 : runner -> unit
+(** Dataset summary statistics. *)
+
+val table4 : runner -> unit
+(** Main result: default / DiffTune / Ithemal / IACA / OpenTuner error and
+    Kendall tau per microarchitecture. *)
+
+val table5 : runner -> unit
+(** Haswell per-application and per-category error, default vs learned. *)
+
+val table6 : runner -> unit
+(** Default vs learned global parameters. *)
+
+val fig2 : runner -> unit
+(** Surrogate smoothness: llvm-mca timing vs the trained surrogate while
+    varying DispatchWidth on [shrq $5, 16(%rsp)]. *)
+
+val fig4 : runner -> unit
+(** Histograms of default vs learned per-instruction parameters. *)
+
+val fig5 : runner -> unit
+(** Error sensitivity to DispatchWidth and ReorderBufferSize around the
+    default and learned tables. *)
+
+val ablation_wl : runner -> unit
+(** Section VI-B: learning WriteLatency only. *)
+
+val cases : runner -> unit
+(** Section VI-C case studies: PUSH64r, XOR32rr, ADD32mr. *)
+
+val table8 : runner -> unit
+(** Appendix A: llvm_sim default vs learned. *)
+
+val random_tables : runner -> unit
+(** Section V-A: error of llvm-mca under random parameter tables. *)
+
+val measured_latency : runner -> unit
+(** Section II-B: plug min/median/max uops.info-style measured latencies
+    into llvm-mca and watch the error exceed the curated defaults. *)
+
+val extension_idioms : runner -> unit
+(** Beyond the paper (its Section VII future work): learn per-opcode
+    boolean zero-idiom flags by continuous relaxation and rounding. *)
+
+val ablation_surrogate : runner -> unit
+(** DESIGN.md ablation: held-out fidelity of the physics-informed
+    surrogate vs the paper's pure-LSTM architecture at equal budget. *)
+
+(** All experiment names, in run order, with their runners. *)
+val all : (string * (runner -> unit)) list

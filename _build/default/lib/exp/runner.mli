@@ -1,0 +1,43 @@
+(** Shared, memoized experiment state: the corpus, per-microarchitecture
+    labeled datasets, and trained artifacts (DiffTune runs, Ithemal
+    models, OpenTuner searches).  Tables and figures that share a learned
+    table (Table IV, Table V, Table VI, Figures 4-5) reuse the same run,
+    as in the paper. *)
+
+module Uarch = Dt_refcpu.Uarch
+module Spec = Dt_difftune.Spec
+module Engine = Dt_difftune.Engine
+
+type t
+
+val create : Scale.t -> t
+val scale : t -> Scale.t
+
+val dataset : t -> Uarch.uarch -> Dt_bhive.Dataset.t
+
+(** Default llvm-mca parameters for a microarchitecture. *)
+val default_params : Uarch.uarch -> Dt_mca.Params.t
+
+(** DiffTune runs on the full llvm-mca spec, one per configured seed. *)
+val difftune : t -> Uarch.uarch -> Engine.result list
+
+(** DiffTune on the WriteLatency-only spec (Section VI-B). *)
+val difftune_wl : t -> Uarch.uarch -> Engine.result
+
+(** DiffTune on the llvm_sim spec (Appendix A). *)
+val difftune_usim : t -> Uarch.uarch -> Engine.result
+
+(** The Ithemal baseline predictor. *)
+val ithemal : t -> Uarch.uarch -> Dt_x86.Block.t -> float
+
+(** The OpenTuner baseline's best table. *)
+val opentuner : t -> Uarch.uarch -> Spec.table
+
+(** [evaluate ds f] — (MAPE, Kendall tau) of predictor [f] on the test
+    split. *)
+val evaluate :
+  Dt_bhive.Dataset.t -> (Dt_x86.Block.t -> float) -> float * float
+
+(** Per-sample test absolute percentage errors of a predictor. *)
+val test_errors :
+  Dt_bhive.Dataset.t -> (Dt_x86.Block.t -> float) -> float array

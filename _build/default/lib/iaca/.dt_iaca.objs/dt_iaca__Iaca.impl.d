@@ -1,0 +1,1 @@
+lib/iaca/iaca.ml: Array Block Dt_refcpu Dt_x86 Float Instruction List Opcode Operand Reg

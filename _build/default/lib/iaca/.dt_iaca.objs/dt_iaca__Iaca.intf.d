@@ -1,0 +1,1 @@
+lib/iaca/iaca.mli: Dt_refcpu Dt_x86

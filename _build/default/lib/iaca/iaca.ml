@@ -1,0 +1,120 @@
+open Dt_x86
+
+type bounds = { frontend : float; backend : float; latency : float }
+
+(* Latency of the value produced by one instruction, as seen by a
+   register-dependent consumer: the documented chain latency. *)
+let chain_latency cfg (instr : Instruction.t) =
+  (* IACA recognizes dependency-breaking zero idioms but, like the real
+     tool, does not model move elimination: register moves cost their
+     documented cycle on the chain. *)
+  if Instruction.is_zero_idiom instr then 0
+  else
+    (* IACA's internal tables are close to, but not identical to, the
+       machine: its L1 latency assumption is one cycle pessimistic
+       (the well-known 4-vs-5-cycle discrepancy in its load modeling). *)
+    Dt_refcpu.Uarch.documented_latency cfg instr.opcode
+    + if instr.opcode.load then 1 else 0
+
+(* Longest loop-carried dependency chain, in cycles per iteration:
+   propagate earliest-ready times through K iterations of the pure
+   dataflow graph and take the slope of the completion front. *)
+let latency_bound cfg (block : Block.t) =
+  let len = Array.length block.instrs in
+  let k1 = 8 and k2 = 24 in
+  let ready = Array.make Reg.count 0.0 in
+  let front = ref 0.0 in
+  let front_at_k1 = ref 0.0 in
+  for iter = 1 to k2 do
+    for i = 0 to len - 1 do
+      let instr = block.instrs.(i) in
+      let op = instr.Instruction.opcode in
+      let total = float_of_int (chain_latency cfg instr) in
+      (* Register data sources of a load-op form bypass the memory
+         latency: only the value flowing through the address registers
+         pays it.  IACA models this per-path. *)
+      let compute_only =
+        if op.load then
+          Float.max (total -. float_of_int cfg.Dt_refcpu.Uarch.load_latency) 0.
+        else total
+      in
+      let addr =
+        match Instruction.mem_operand instr with
+        | Some m -> Operand.mem_uses m
+        | None -> []
+      in
+      let finish =
+        List.fold_left
+          (fun acc r ->
+            let through =
+              if List.exists (Reg.equal r) addr then total else compute_only
+            in
+            Float.max acc (ready.(Reg.index r) +. through))
+          total
+          (if Instruction.is_zero_idiom instr then []
+           else Instruction.reads instr)
+      in
+      let start = finish -. total in
+      List.iter
+        (fun r ->
+          (* IACA knows the stack engine: PUSH/POP update RSP at rename,
+             so the RSP chain has zero latency even though the data
+             result pays the full load latency. *)
+          let dest_finish =
+            if
+              cfg.stack_engine
+              && instr.opcode.kind = Opcode.Stack
+              && Reg.equal r (Reg.Gpr Reg.RSP)
+            then start
+            else finish
+          in
+          ready.(Reg.index r) <- dest_finish)
+        (Instruction.writes instr);
+      front := Float.max !front finish
+    done;
+    if iter = k1 then front_at_k1 := !front
+  done;
+  Float.max 0.0 ((!front -. !front_at_k1) /. float_of_int (k2 - k1))
+
+let uop_pressure cfg (block : Block.t) =
+  let ports = Array.make cfg.Dt_refcpu.Uarch.num_ports 0.0 in
+  let total_uops = ref 0 in
+  Array.iter
+    (fun (instr : Instruction.t) ->
+      if Instruction.is_zero_idiom instr then
+        (* Eliminated at rename: one slot, no port. *)
+        incr total_uops
+      else begin
+        let us = Dt_refcpu.Uarch.uops cfg instr.opcode in
+        total_uops := !total_uops + List.length us;
+        List.iter
+          (fun (u : Dt_refcpu.Uarch.uop_spec) ->
+            match u.ports with
+            | [] -> ()
+            | ps ->
+                (* Spread occupancy fractionally across the group. *)
+                let share =
+                  float_of_int u.occupancy /. float_of_int (List.length ps)
+                in
+                List.iter (fun p -> ports.(p) <- ports.(p) +. share) ps)
+          us
+      end)
+    block.instrs;
+  (!total_uops, Array.fold_left Float.max 0.0 ports)
+
+let bounds uarch block =
+  let cfg = Dt_refcpu.Uarch.config uarch in
+  let total_uops, port_bound = uop_pressure cfg block in
+  {
+    frontend = float_of_int total_uops /. float_of_int cfg.dispatch_width;
+    backend = port_bound;
+    latency = latency_bound cfg block;
+  }
+
+let predict uarch block =
+  match uarch with
+  | Dt_refcpu.Uarch.Zen2 -> None
+  | Dt_refcpu.Uarch.Ivy_bridge | Dt_refcpu.Uarch.Haswell
+  | Dt_refcpu.Uarch.Skylake ->
+      let b = bounds uarch block in
+      Some (Float.max b.frontend (Float.max b.backend b.latency))

@@ -1,0 +1,22 @@
+(** Analytical throughput model baseline, playing the role of IACA in the
+    paper's Table IV: the strongest non-learned analytical predictor.
+
+    Like IACA it embeds vendor knowledge of the microarchitecture (full
+    port groups, zero-idiom elimination, documented latencies) but uses no
+    cycle-level simulation: the predicted steady-state timing of a block
+    is the maximum of three classical bounds,
+    - frontend: total micro-ops / dispatch width,
+    - backend: the most-pressured execution port, with micro-ops spread
+      fractionally over their port group,
+    - latency: the critical loop-carried dependency chain (cycles per
+      iteration of the dependence graph's worst cycle).
+
+    IACA only supports Intel microarchitectures; call it on Zen 2 and it
+    returns [None] — rendered as "N/A" in the tables, as in the paper. *)
+
+val predict : Dt_refcpu.Uarch.uarch -> Dt_x86.Block.t -> float option
+
+(** The bound decomposition, exposed for tests and analysis examples. *)
+type bounds = { frontend : float; backend : float; latency : float }
+
+val bounds : Dt_refcpu.Uarch.uarch -> Dt_x86.Block.t -> bounds

@@ -1,0 +1,1 @@
+lib/mca/params.ml: Array Dt_refcpu Dt_x86 Float Printf

@@ -1,0 +1,1 @@
+lib/mca/params.mli: Dt_refcpu

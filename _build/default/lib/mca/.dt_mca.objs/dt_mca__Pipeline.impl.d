@@ -1,0 +1,1 @@
+lib/mca/pipeline.ml: Array Block Dt_x86 Fun Instruction List Operand Params Reg

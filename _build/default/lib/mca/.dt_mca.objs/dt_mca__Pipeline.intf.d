@@ -1,0 +1,1 @@
+lib/mca/pipeline.mli: Dt_x86 Params

@@ -1,0 +1,1 @@
+lib/mca/report.ml: Array Buffer Bytes Dt_util Dt_x86 List Params Pipeline Printf String

@@ -1,0 +1,1 @@
+lib/mca/report.mli: Dt_x86 Params

@@ -1,0 +1,103 @@
+let num_ports = 10
+let num_read_advance = 3
+
+type t = {
+  dispatch_width : int;
+  reorder_buffer_size : int;
+  num_micro_ops : int array;
+  write_latency : int array;
+  read_advance : int array array;
+  port_map : int array array;
+  zero_idiom_enabled : bool array;
+}
+
+let per_opcode_count = 1 + 1 + num_read_advance + num_ports
+
+let total_count t = 2 + (per_opcode_count * Array.length t.num_micro_ops)
+
+let validate t =
+  let n = Dt_x86.Opcode.count in
+  let check_shape name len expected =
+    if len <> expected then
+      invalid_arg
+        (Printf.sprintf "Mca.Params: %s has length %d, expected %d" name len
+           expected)
+  in
+  check_shape "num_micro_ops" (Array.length t.num_micro_ops) n;
+  check_shape "write_latency" (Array.length t.write_latency) n;
+  check_shape "read_advance" (Array.length t.read_advance) n;
+  check_shape "port_map" (Array.length t.port_map) n;
+  check_shape "zero_idiom_enabled" (Array.length t.zero_idiom_enabled) n;
+  if t.dispatch_width < 1 then invalid_arg "Mca.Params: dispatch_width < 1";
+  if t.reorder_buffer_size < 1 then
+    invalid_arg "Mca.Params: reorder_buffer_size < 1";
+  for i = 0 to n - 1 do
+    if t.num_micro_ops.(i) < 1 then
+      invalid_arg (Printf.sprintf "Mca.Params: num_micro_ops[%d] < 1" i);
+    if t.write_latency.(i) < 0 then
+      invalid_arg (Printf.sprintf "Mca.Params: write_latency[%d] < 0" i);
+    check_shape "read_advance row" (Array.length t.read_advance.(i))
+      num_read_advance;
+    check_shape "port_map row" (Array.length t.port_map.(i)) num_ports;
+    Array.iter
+      (fun v ->
+        if v < 0 then
+          invalid_arg (Printf.sprintf "Mca.Params: read_advance[%d] < 0" i))
+      t.read_advance.(i);
+    Array.iter
+      (fun v ->
+        if v < 0 then
+          invalid_arg (Printf.sprintf "Mca.Params: port_map[%d] < 0" i))
+      t.port_map.(i)
+  done
+
+let copy t =
+  {
+    t with
+    num_micro_ops = Array.copy t.num_micro_ops;
+    write_latency = Array.copy t.write_latency;
+    read_advance = Array.map Array.copy t.read_advance;
+    port_map = Array.map Array.copy t.port_map;
+    zero_idiom_enabled = Array.copy t.zero_idiom_enabled;
+  }
+
+let default uarch =
+  let cfg = Dt_refcpu.Uarch.config uarch in
+  let n = Dt_x86.Opcode.count in
+  let num_micro_ops = Array.make n 1 in
+  let write_latency = Array.make n 0 in
+  let read_advance = Array.init n (fun _ -> Array.make num_read_advance 0) in
+  let port_map = Array.init n (fun _ -> Array.make num_ports 0) in
+  Array.iter
+    (fun (op : Dt_x86.Opcode.t) ->
+      let i = op.index in
+      num_micro_ops.(i) <- Dt_refcpu.Uarch.documented_uops cfg op;
+      write_latency.(i) <- Dt_refcpu.Uarch.documented_latency cfg op;
+      let doc_pm = Dt_refcpu.Uarch.documented_port_map cfg op in
+      Array.iteri
+        (fun p cycles ->
+          if p < num_ports then
+            port_map.(i).(p) <- int_of_float (Float.round cycles))
+        doc_pm;
+      (* LLVM-style ReadAfterLd: the register *data* sources of load-op
+         forms are read late, hiding the memory latency from the
+         dependency chain.  Pure loads (dst_read = false) need their
+         address early and get no advance. *)
+      if op.load && op.dst_read
+         && (op.form = Dt_x86.Opcode.RM || op.form = Dt_x86.Opcode.MR)
+      then read_advance.(i).(0) <- cfg.load_latency)
+    Dt_x86.Opcode.database;
+  let t =
+    {
+      dispatch_width = cfg.dispatch_width;
+      reorder_buffer_size = cfg.rob_size;
+      num_micro_ops;
+      write_latency;
+      read_advance;
+      port_map;
+      (* Disabled by default, as in the paper's llvm-mca Intel model. *)
+      zero_idiom_enabled = Array.make n false;
+    }
+  in
+  validate t;
+  t

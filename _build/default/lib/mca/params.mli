@@ -1,0 +1,57 @@
+(** The llvm-mca parameter table (paper Table II).
+
+    Two global parameters plus, per opcode, 15 per-instruction parameters:
+    NumMicroOps (1), WriteLatency (1), ReadAdvanceCycles (3), and a
+    PortMap over {!num_ports} = 10 execution ports.  With the 189-opcode
+    ISA this is 2 + 189*15 = 2837 learnable parameters (the paper's llvm-
+    mca instance has 11265 over 837 opcodes). *)
+
+(** Number of execution ports in the simulation model.  The paper fixes
+    this at 10 (llvm-mca's Haswell default) for all microarchitectures. *)
+val num_ports : int
+
+(** Number of ReadAdvanceCycles entries per instruction. *)
+val num_read_advance : int
+
+type t = {
+  dispatch_width : int;            (** global; integer >= 1 *)
+  reorder_buffer_size : int;       (** global; integer >= 1 *)
+  num_micro_ops : int array;       (** per opcode; integer >= 1 *)
+  write_latency : int array;       (** per opcode; integer >= 0 *)
+  read_advance : int array array;  (** per opcode x 3; integer >= 0 *)
+  port_map : int array array;      (** per opcode x 10; integer >= 0 *)
+  zero_idiom_enabled : bool array;
+      (** per opcode; when set, instances whose operands make them zero
+          idioms break dependencies and bypass execution.  llvm-mca
+          supports this behaviour but it is {e disabled by default} in
+          the Intel model the paper studies; the boolean-parameter
+          extension of Section VII learns these flags from timing data
+          (see {!Dt_difftune.Spec.mca_full_idioms}). *)
+}
+
+(** [validate t] checks array shapes and constraint bounds, raising
+    [Invalid_argument] with a description of the first violation. *)
+val validate : t -> unit
+
+(** Deep copy (the optimizers mutate tables in place). *)
+val copy : t -> t
+
+(** [default uarch] — the "expert-provided" table for a microarchitecture,
+    derived from the reference CPU's documented values exactly as LLVM's
+    scheduling models are derived from vendor documentation and
+    measurement tables (Agner Fog, uops.info):
+    - WriteLatency: documented data latency (folding L1 latency into
+      load-op forms);
+    - NumMicroOps: documented micro-op counts;
+    - PortMap: documented port bindings with port groups collapsed onto
+      their first port (the paper zeroes port-group entries);
+    - ReadAdvanceCycles: LLVM-style ReadAfterLd acceleration on register
+      sources of load-op forms, else 0;
+    - DispatchWidth / ReorderBufferSize: documented widths. *)
+val default : Dt_refcpu.Uarch.uarch -> t
+
+(** Per-instruction parameter count (15 = 1 + 1 + 3 + 10). *)
+val per_opcode_count : int
+
+(** Total parameter count (2 + 15 * opcodes). *)
+val total_count : t -> int

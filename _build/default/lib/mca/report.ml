@@ -1,0 +1,110 @@
+let summary (p : Params.t) ?(iterations = 100) block =
+  let len = Dt_x86.Block.length block in
+  let cycles =
+    int_of_float
+      (Pipeline.timing p ~iterations block *. float_of_int iterations)
+  in
+  let uops_per_iter =
+    Array.fold_left
+      (fun acc (i : Dt_x86.Instruction.t) ->
+        acc + p.num_micro_ops.(i.opcode.index))
+      0 block.instrs
+  in
+  let total_instructions = iterations * len in
+  let total_uops = iterations * uops_per_iter in
+  let fcycles = float_of_int cycles in
+  Printf.sprintf
+    "Iterations:        %d\n\
+     Instructions:      %d\n\
+     Total Cycles:      %d\n\
+     Total uOps:        %d\n\
+     Dispatch Width:    %d\n\
+     uOps Per Cycle:    %.2f\n\
+     IPC:               %.2f\n\
+     Block RThroughput: %.1f\n"
+    iterations total_instructions cycles total_uops p.dispatch_width
+    (float_of_int total_uops /. fcycles)
+    (float_of_int total_instructions /. fcycles)
+    (fcycles /. float_of_int iterations)
+
+let instruction_info (p : Params.t) (block : Dt_x86.Block.t) =
+  let t =
+    Dt_util.Text_table.create
+      [ "#"; "uOps"; "Latency"; "RdAdv"; "Ports"; "Instruction" ]
+  in
+  Array.iteri
+    (fun i (instr : Dt_x86.Instruction.t) ->
+      let op = instr.opcode.index in
+      let ports =
+        let used = ref [] in
+        Array.iteri
+          (fun q c ->
+            if c > 0 then used := Printf.sprintf "p%d:%d" q c :: !used)
+          p.port_map.(op);
+        if !used = [] then "-" else String.concat "," (List.rev !used)
+      in
+      let rdadv =
+        let r = p.read_advance.(op) in
+        if Array.for_all (( = ) 0) r then "-"
+        else
+          String.concat "/" (Array.to_list (Array.map string_of_int r))
+      in
+      Dt_util.Text_table.add_row t
+        [
+          string_of_int i;
+          string_of_int p.num_micro_ops.(op);
+          string_of_int p.write_latency.(op);
+          rdadv;
+          ports;
+          Dt_x86.Instruction.to_string instr;
+        ])
+    block.instrs;
+  "Instruction Info:\n" ^ Dt_util.Text_table.render t
+
+let timeline (p : Params.t) ?(iterations = 3) block =
+  let events, total = Pipeline.trace p ~iterations block in
+  let len = Dt_x86.Block.length block in
+  let width = min total 80 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "Timeline (%d iterations, %d cycles):\n" iterations total);
+  Buffer.add_string buf (Printf.sprintf "%-8s%s\n" "" (String.make width '-'));
+  for inst = 0 to (iterations * len) - 1 do
+    let iter = inst / len and pos = inst mod len in
+    let d = events.dispatch_at.(inst)
+    and i = events.issue_at.(inst)
+    and e = events.ready_at.(inst)
+    and r = events.retire_at.(inst) in
+    let line = Bytes.make width ' ' in
+    let put c col = if col >= 0 && col < width then Bytes.set line col c in
+    (* Waiting in the scheduler between dispatch and issue. *)
+    if d >= 0 && i > d then
+      for c = d + 1 to min (i - 1) (width - 1) do
+        put '=' c
+      done;
+    (* Executing between issue and readiness. *)
+    if i >= 0 && e > i then
+      for c = i + 1 to min (e - 1) (width - 1) do
+        put 'e' c
+      done;
+    if i >= 0 && e > i then put 'E' e;
+    put 'D' d;
+    if e = i then put 'E' i;
+    (* Retirement can coincide with the execute cycle in this model; keep
+       both marks visible by nudging R right when its cell is taken. *)
+    let r_col =
+      if r >= 0 && r < width && Bytes.get line r <> ' ' then r + 1 else r
+    in
+    put 'R' r_col;
+    Buffer.add_string buf
+      (Printf.sprintf "[%d,%d]%*s%s  %s\n" iter pos
+         (max 0 (2 - String.length (string_of_int pos)))
+         "" (Bytes.to_string line)
+         (Dt_x86.Instruction.to_string block.instrs.(pos)))
+  done;
+  Buffer.contents buf
+
+let full (p : Params.t) ?iterations block =
+  summary p ?iterations block
+  ^ "\n" ^ instruction_info p block ^ "\n"
+  ^ timeline p block

@@ -1,0 +1,40 @@
+(** llvm-mca-style textual reports.
+
+    The real llvm-mca's user interface is its report: a summary header
+    (iterations, cycles, IPC, uOps per cycle), an instruction-info table
+    (micro-ops, latency, throughput, resource usage per instruction) and
+    an optional timeline view tracing each instruction instance through
+    dispatch / issue / execute / retire.  This module renders the same
+    three views for the clone, for any parameter table — handy both for
+    debugging the simulator and for inspecting what a learned table
+    actually does to the pipeline. *)
+
+(** [summary params ?iterations block] — the header block, e.g.
+    {v
+    Iterations:        100
+    Instructions:      300
+    Total Cycles:      403
+    Total uOps:        500
+    Dispatch Width:    4
+    uOps Per Cycle:    1.24
+    IPC:               0.74
+    Block RThroughput: 4.0
+    v} *)
+val summary : Params.t -> ?iterations:int -> Dt_x86.Block.t -> string
+
+(** [instruction_info params block] — per-instruction static table:
+    micro-ops, WriteLatency, ReadAdvance, ports used. *)
+val instruction_info : Params.t -> Dt_x86.Block.t -> string
+
+(** [timeline params ?iterations block] — llvm-mca's timeline view for
+    the first iterations (default 3):
+    {v
+    [0,0]  DeeER .    .  addq %rax, %rbx
+    [0,1]  D==eeER    .  addq %rbx, %rcx
+    v}
+    [D] dispatch, [=] waiting in the scheduler, [e] executing, [E] last
+    execute cycle (results ready), [R] retired. *)
+val timeline : Params.t -> ?iterations:int -> Dt_x86.Block.t -> string
+
+(** All three sections concatenated. *)
+val full : Params.t -> ?iterations:int -> Dt_x86.Block.t -> string

@@ -1,0 +1,1 @@
+lib/measure/measure.ml: Array Block Dt_refcpu Dt_util Dt_x86 Float Instruction List Opcode Operand Reg

@@ -1,0 +1,1 @@
+lib/measure/measure.mli: Dt_refcpu Dt_x86

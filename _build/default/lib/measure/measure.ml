@@ -1,0 +1,189 @@
+open Dt_x86
+
+type observation = {
+  pattern : string;
+  block : Block.t;
+  chain_length : int;
+  latency : float;
+}
+
+type strategy = Min | Median | Max
+
+let strategy_name = function Min -> "min" | Median -> "median" | Max -> "max"
+
+(* Registers used by the synthesized kernels.  RAX/RDX are reserved for
+   implicit-operand instructions, RBP as a stable base pointer. *)
+let r1 = Reg.RBX
+let r2 = Reg.RCX
+let v1 = Reg.XMM1
+let v2 = Reg.XMM2
+
+let greg r = Operand.Reg (Reg.Gpr r)
+let vreg v = Operand.Reg (Reg.Vec v)
+let mem_slot = Operand.mem ~base:Reg.RBP ~disp:16 ()
+
+(* Timing of a kernel under the reference machine. *)
+let time cfg block = Dt_refcpu.Machine.timing cfg block
+
+let obs cfg pattern chain_length instrs =
+  let block = Block.of_list instrs in
+  {
+    pattern;
+    block;
+    chain_length;
+    latency = time cfg block /. float_of_int chain_length;
+  }
+
+(* Build the operand list for a register kernel given the destination and
+   source registers appropriate to the opcode's class. *)
+let reg_operand (op : Opcode.t) slot gpr vec =
+  match
+    (op.vec_op, op.name)
+  with
+  | _, ("CVTSI2SDrr" | "MOVQXRrr") -> if slot = 0 then vreg vec else greg gpr
+  | _, ("CVTTSD2SIrr" | "MOVQRXrr") -> if slot = 0 then greg gpr else vreg vec
+  | true, _ -> vreg vec
+  | false, _ -> greg gpr
+
+let make_rr op dst_g src_g dst_v src_v =
+  Instruction.make op [ reg_operand op 0 dst_g dst_v; reg_operand op 1 src_g src_v ]
+
+(* Does a register-register chain through this opcode actually exist?
+   The destination must be written and some register source read. *)
+let chainable_rr (op : Opcode.t) = op.dst_written && op.form = Opcode.RR
+
+let imm_for (op : Opcode.t) =
+  (* Shift counts must be small; general immediates are arbitrary. *)
+  match op.kind with Opcode.Shift -> 3 | _ -> 7
+
+let latency_observations cfg (op : Opcode.t) =
+  let mk = Instruction.make in
+  let kernels =
+    match op.form with
+    | Opcode.RR when chainable_rr op ->
+        (* Two patterns, as uops.info varies operands: a same-register
+           self-chain (which a zero-idiom capable instruction breaks!) and
+           a two-instruction cycle through distinct registers. *)
+        [
+          ("same-reg chain", 1, [ make_rr op r1 r1 v1 v1 ]);
+          ( "two-reg cycle", 2,
+            [ make_rr op r1 r2 v1 v2; make_rr op r2 r1 v2 v1 ] );
+        ]
+    | Opcode.RI when op.dst_written && op.dst_read ->
+        [
+          ( "imm self-chain", 1,
+            [ mk op [ reg_operand op 0 r1 v1; Operand.Imm (imm_for op) ] ] );
+        ]
+    | Opcode.R when op.dst_written && op.dst_read ->
+        [ ("unary self-chain", 1, [ mk op [ greg r1 ] ]) ]
+    | Opcode.R when op.implicit_writes <> [] && op.implicit_reads <> [] ->
+        (* MUL/DIV chain through RAX implicitly. *)
+        [ ("implicit rax chain", 1, [ mk op [ greg r2 ] ]) ]
+    | Opcode.RM when op.dst_read && op.dst_written ->
+        (* Load-op self-chain through the register source. *)
+        [
+          ( "load-op chain", 1,
+            [ mk op [ reg_operand op 0 r1 v1; mem_slot ] ] );
+        ]
+    | Opcode.RM when op.dst_written && not op.vec_op && op.load ->
+        (* Pure load: pointer chase through the base register. *)
+        [
+          ( "pointer chase", 1,
+            [ mk op [ greg Reg.RAX; Operand.mem ~base:Reg.RAX ~disp:0 () ] ] );
+        ]
+    | Opcode.MR when op.dst_read && op.dst_written ->
+        (* Read-modify-write on one address: the memory round trip the
+           paper's ADD32mr case study shows is unrepresentable. *)
+        [
+          ("rmw memory chain", 1, [ mk op [ mem_slot; reg_operand op 1 r1 v1 ] ]);
+        ]
+    | Opcode.RRR ->
+        (* AVX: chain through src1 = dst; vary whether the second source
+           coincides (which turns idiom-capable opcodes into idioms). *)
+        [
+          ( "avx chain", 1,
+            [ mk op [ vreg v1; vreg v1; vreg v2 ] ] );
+          ( "avx same-source", 1,
+            [ mk op [ vreg v1; vreg v1; vreg v1 ] ] );
+        ]
+    | _ -> (
+        (* Store/load round trips for data movement through memory. *)
+        match op.name with
+        | "MOV64mr" ->
+            [
+              ( "store-load roundtrip", 2,
+                [
+                  mk op [ mem_slot; greg r1 ];
+                  Instruction.make_named "MOV64rm" [ greg r1; mem_slot ];
+                ] );
+            ]
+        | "PUSH64r" ->
+            [
+              ( "push-pop roundtrip", 2,
+                [
+                  mk op [ greg r1 ];
+                  Instruction.make_named "POP64r" [ greg r1 ];
+                ] );
+            ]
+        | _ -> [])
+  in
+  List.filter_map
+    (fun (pattern, chain, instrs) ->
+      match obs cfg pattern chain instrs with
+      | o -> Some o
+      | exception Invalid_argument _ -> None)
+    kernels
+
+let throughput cfg (op : Opcode.t) =
+  let pools_g = [| Reg.RBX; Reg.RCX; Reg.RSI; Reg.RDI |] in
+  let pools_v = [| Reg.XMM1; Reg.XMM2; Reg.XMM3; Reg.XMM4 |] in
+  let instr k =
+    let g = pools_g.(k mod 4) and v = pools_v.(k mod 4) in
+    let g' = pools_g.((k + 1) mod 4) and v' = pools_v.((k + 1) mod 4) in
+    let slot = Operand.mem ~base:Reg.RBP ~disp:(16 + (8 * k)) () in
+    match op.form with
+    | Opcode.RR -> Some (make_rr op g g' v v')
+    | Opcode.RI ->
+        Some
+          (Instruction.make op
+             [ reg_operand op 0 g v; Operand.Imm (imm_for op) ])
+    | Opcode.R -> Some (Instruction.make op [ reg_operand op 0 g v ])
+    | Opcode.RM -> Some (Instruction.make op [ reg_operand op 0 g v; slot ])
+    | Opcode.MR -> Some (Instruction.make op [ slot; reg_operand op 1 g v ])
+    | Opcode.MI ->
+        Some (Instruction.make op [ slot; Operand.Imm (imm_for op) ])
+    | Opcode.M -> Some (Instruction.make op [ slot ])
+    | Opcode.I -> Some (Instruction.make op [ Operand.Imm (imm_for op) ])
+    | Opcode.RRI ->
+        Some
+          (Instruction.make op
+             [ reg_operand op 0 g v; reg_operand op 1 g' v';
+               Operand.Imm (imm_for op) ])
+    | Opcode.RRR ->
+        Some (Instruction.make op [ vreg v; vreg v'; vreg v' ])
+    | Opcode.NoOps -> Some (Instruction.make op [])
+  in
+  match List.filter_map instr [ 0; 1; 2; 3 ] with
+  | [] -> None
+  | instrs -> (
+      match Block.of_list instrs with
+      | block -> Some (time cfg block /. float_of_int (List.length instrs))
+      | exception Invalid_argument _ -> None)
+
+let collapse strategy values =
+  match strategy with
+  | Min -> Dt_util.Stats.min_max values |> fst
+  | Max -> Dt_util.Stats.min_max values |> snd
+  | Median -> Dt_util.Stats.median values
+
+let measured_write_latency cfg ~strategy =
+  Array.map
+    (fun (op : Opcode.t) ->
+      match latency_observations cfg op with
+      | [] -> Dt_refcpu.Uarch.documented_latency cfg op
+      | observations ->
+          let values =
+            Array.of_list (List.map (fun o -> o.latency) observations)
+          in
+          max 0 (int_of_float (Float.round (collapse strategy values))))
+    Opcode.database

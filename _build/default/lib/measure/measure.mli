@@ -1,0 +1,52 @@
+(** A uops.info / Agner-Fog-style fine-grained measurement harness
+    (paper Sections II-B and VIII-A).
+
+    The classic methodology for filling a simulator's parameter tables is
+    to {e measure} each instruction on the machine: synthesize a
+    microbenchmark whose steady-state cycles per iteration reveal one
+    instruction's latency (a dependency chain through the instruction) or
+    throughput (independent copies), and read the parameter off the
+    timer.  This module implements that methodology against the reference
+    CPU.
+
+    The paper's point — reproduced by the [measured_latency] experiment —
+    is that these measurements do {e not} define a unique value for
+    llvm-mca's [WriteLatency]: different operand patterns yield different
+    latencies (per-destination results, zero idioms, eliminated moves,
+    store-to-load round trips), and plugging the minimum / median /
+    maximum observed value into the simulator yields errors of 103% /
+    150% / 218% on Haswell — all far worse than the curated defaults. *)
+
+(** One microbenchmark observation for an opcode. *)
+type observation = {
+  pattern : string;        (** human-readable description of the kernel *)
+  block : Dt_x86.Block.t;  (** the synthesized kernel *)
+  chain_length : int;      (** instructions of the opcode on the carried
+                               dependency chain (1 or 2) *)
+  latency : float;         (** measured cycles per chain link *)
+}
+
+(** [latency_observations cfg op] synthesizes and times the latency
+    kernels available for [op]'s form (same-register chains,
+    two-instruction cycles, memory round trips, implicit-register
+    chains).  Opcodes with no constructible chain (pure flag producers,
+    NOP) return []. *)
+val latency_observations :
+  Dt_refcpu.Uarch.t -> Dt_x86.Opcode.t -> observation list
+
+(** [throughput cfg op] — steady-state cycles per instruction for
+    independent copies of [op] (reciprocal throughput), or [None] when no
+    independent kernel can be built. *)
+val throughput : Dt_refcpu.Uarch.t -> Dt_x86.Opcode.t -> float option
+
+(** How to collapse multiple observations into one parameter value. *)
+type strategy = Min | Median | Max
+
+val strategy_name : strategy -> string
+
+(** [measured_write_latency cfg ~strategy] — a full per-opcode
+    WriteLatency table: the strategy applied to each opcode's latency
+    observations, rounded to an integer; opcodes with no observations
+    keep the documented default. *)
+val measured_write_latency :
+  Dt_refcpu.Uarch.t -> strategy:strategy -> int array

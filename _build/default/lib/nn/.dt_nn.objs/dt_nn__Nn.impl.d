@@ -1,0 +1,1 @@
+lib/nn/nn.ml: Array Dt_autodiff Dt_tensor Dt_util Hashtbl List Printf

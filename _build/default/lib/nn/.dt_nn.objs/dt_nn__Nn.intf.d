@@ -1,0 +1,1 @@
+lib/nn/nn.mli: Dt_autodiff Dt_tensor Dt_util

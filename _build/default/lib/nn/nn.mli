@@ -1,0 +1,86 @@
+(** Neural-network layers and optimizers over the autodiff substrate.
+
+    Provides exactly what the Ithemal-style surrogate needs (paper
+    Section IV): embedding lookup tables, stacked LSTMs, fully connected
+    layers, and the Adam/SGD optimizers used to train both the surrogate
+    and the parameter table. *)
+
+module T = Dt_tensor.Tensor
+module Ad = Dt_autodiff.Ad
+
+(** A parameter store: named tensors with gradient buffers.  Layers
+    register their weights here; optimizers walk the store. *)
+module Store : sig
+  type t
+
+  val create : unit -> t
+
+  (** [param store ~name tensor] registers a tensor and returns the leaf
+      node sharing its gradient buffer. *)
+  val param : t -> name:string -> T.t -> Ad.node
+
+  val zero_grads : t -> unit
+
+  (** Total parameter count. *)
+  val size : t -> int
+
+  (** Global gradient L2 norm (diagnostics / clipping). *)
+  val grad_norm : t -> float
+
+  (** [clip_grads store ~max_norm] rescales all gradients if the global
+      norm exceeds [max_norm]. *)
+  val clip_grads : t -> max_norm:float -> unit
+
+  val iter : t -> (string -> value:T.t -> grad:T.t -> unit) -> unit
+end
+
+(** Fully connected layer [y = W x + b]. *)
+module Linear : sig
+  type t
+
+  val create : Store.t -> Dt_util.Rng.t -> name:string -> input:int -> output:int -> t
+  val forward : t -> Ad.ctx -> Ad.node -> Ad.node
+end
+
+(** Embedding lookup table: vocabulary of [count] vectors of size [dim]. *)
+module Embedding : sig
+  type t
+
+  val create : Store.t -> Dt_util.Rng.t -> name:string -> count:int -> dim:int -> t
+  val forward : t -> Ad.ctx -> int -> Ad.node
+end
+
+(** A stack of LSTM layers processing a sequence of vector nodes and
+    returning the top layer's final hidden state — the sequence
+    summarizer used twice in the surrogate (token level and instruction
+    level). *)
+module Lstm : sig
+  type t
+
+  (** [create store rng ~name ~input ~hidden ~layers] — [layers] stacked
+      cells; layer 0 consumes [input]-sized vectors, the rest consume
+      [hidden]-sized ones. *)
+  val create :
+    Store.t -> Dt_util.Rng.t -> name:string -> input:int -> hidden:int ->
+    layers:int -> t
+
+  val hidden_size : t -> int
+
+  (** [forward t ctx inputs] runs the stack over the sequence (empty
+      input is invalid) and returns the final top hidden state. *)
+  val forward : t -> Ad.ctx -> Ad.node list -> Ad.node
+end
+
+(** Optimizers.  Gradients are expected to be *sums* over a minibatch;
+    [step] divides by [batch] before updating and then clears them. *)
+module Optimizer : sig
+  type t
+
+  val sgd : Store.t -> lr:float -> t
+  val adam : Store.t -> lr:float -> t
+
+  val step : t -> batch:int -> unit
+
+  (** Change the learning rate (schedules). *)
+  val set_lr : t -> float -> unit
+end

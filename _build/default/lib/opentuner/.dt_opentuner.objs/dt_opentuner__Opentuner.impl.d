@@ -1,0 +1,1 @@
+lib/opentuner/opentuner.ml: Array Dt_util Float List Printf

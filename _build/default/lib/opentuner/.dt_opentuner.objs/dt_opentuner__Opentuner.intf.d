@@ -1,0 +1,1 @@
+lib/opentuner/opentuner.mli:

@@ -1,0 +1,169 @@
+module Rng = Dt_util.Rng
+
+type config = {
+  seed : int;
+  budget_evaluations : int;
+  eval_blocks : int;
+  log : string -> unit;
+}
+
+let default_config =
+  { seed = 0; budget_evaluations = 100_000; eval_blocks = 64; log = ignore }
+
+type result = {
+  best : float array;
+  best_cost : float;
+  evaluations_used : int;
+  technique_wins : (string * int) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Search techniques: each proposes a candidate given the current best
+   and a population of previously evaluated points.                    *)
+(* ------------------------------------------------------------------ *)
+
+type point = { vec : float array; cost : float }
+
+type state = {
+  rng : Rng.t;
+  lower : float array;
+  upper : float array;
+  mutable best : point;
+  mutable population : point list; (* bounded, most recent first *)
+  mutable temperature : float;     (* annealing schedule *)
+}
+
+let dim st = Array.length st.lower
+
+let clamp st i v = Float.min st.upper.(i) (Float.max st.lower.(i) v)
+
+let uniform_point st =
+  Array.init (dim st) (fun i -> Rng.float_range st.rng st.lower.(i) st.upper.(i))
+
+let mutate_point st base ~rate ~scale =
+  Array.mapi
+    (fun i v ->
+      if Rng.bernoulli st.rng rate then
+        let span = st.upper.(i) -. st.lower.(i) in
+        clamp st i (v +. Rng.gaussian st.rng ~mu:0.0 ~sigma:(scale *. span))
+      else v)
+    base
+
+let pick_population st =
+  match st.population with
+  | [] -> { vec = uniform_point st; cost = infinity }
+  | l -> Rng.choice_list st.rng l
+
+let propose_random st = uniform_point st
+
+let propose_hill_climb st = mutate_point st st.best.vec ~rate:0.05 ~scale:0.15
+
+let propose_annealing st =
+  let t = st.temperature in
+  st.temperature <- Float.max 0.02 (t *. 0.995);
+  let base = if Rng.bernoulli st.rng 0.7 then st.best.vec else (pick_population st).vec in
+  mutate_point st base ~rate:(0.05 +. (0.3 *. t)) ~scale:(0.05 +. (0.5 *. t))
+
+let propose_differential_evolution st =
+  let a = pick_population st and b = pick_population st and c = pick_population st in
+  Array.init (dim st) (fun i ->
+      let v = a.vec.(i) +. (0.8 *. (b.vec.(i) -. c.vec.(i))) in
+      if Rng.bernoulli st.rng 0.5 then clamp st i v else st.best.vec.(i))
+
+let propose_genetic st =
+  let a = pick_population st and b = pick_population st in
+  let child =
+    Array.init (dim st) (fun i ->
+        if Rng.bernoulli st.rng 0.5 then a.vec.(i) else b.vec.(i))
+  in
+  mutate_point st child ~rate:0.02 ~scale:0.1
+
+let techniques =
+  [|
+    ("random", propose_random);
+    ("hill-climb", propose_hill_climb);
+    ("annealing", propose_annealing);
+    ("diff-evolution", propose_differential_evolution);
+    ("genetic", propose_genetic);
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* UCB1 bandit over techniques: reward 1 when a proposal improves on
+   the current best.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let optimize config ~lower ~upper ~evaluate =
+  if Array.length lower <> Array.length upper then
+    invalid_arg "Opentuner.optimize: bound length mismatch";
+  let rng = Rng.create config.seed in
+  let st =
+    {
+      rng;
+      lower;
+      upper;
+      best = { vec = [||]; cost = infinity };
+      population = [];
+      temperature = 1.0;
+    }
+  in
+  let k = Array.length techniques in
+  let pulls = Array.make k 0 and rewards = Array.make k 0.0 in
+  let evaluations = ref 0 in
+  let wins = Array.make k 0 in
+  (* Initial candidate. *)
+  let eval vec =
+    evaluations := !evaluations + config.eval_blocks;
+    evaluate vec ~n:config.eval_blocks
+  in
+  let first = uniform_point st in
+  st.best <- { vec = first; cost = eval first };
+  st.population <- [ st.best ];
+  let iteration = ref 0 in
+  while !evaluations + config.eval_blocks <= config.budget_evaluations do
+    incr iteration;
+    (* UCB1 technique selection. *)
+    let total = float_of_int (Array.fold_left ( + ) 0 pulls + 1) in
+    let choose =
+      let best_i = ref 0 and best_v = ref neg_infinity in
+      for i = 0 to k - 1 do
+        let v =
+          if pulls.(i) = 0 then infinity
+          else
+            (rewards.(i) /. float_of_int pulls.(i))
+            +. sqrt (2.0 *. log total /. float_of_int pulls.(i))
+        in
+        if v > !best_v then begin
+          best_v := v;
+          best_i := i
+        end
+      done;
+      !best_i
+    in
+    let name, propose = techniques.(choose) in
+    ignore name;
+    let candidate = propose st in
+    let cost = eval candidate in
+    pulls.(choose) <- pulls.(choose) + 1;
+    let improved = cost < st.best.cost in
+    if improved then begin
+      rewards.(choose) <- rewards.(choose) +. 1.0;
+      wins.(choose) <- wins.(choose) + 1;
+      st.best <- { vec = candidate; cost }
+    end;
+    let point = { vec = candidate; cost } in
+    st.population <-
+      point :: (if List.length st.population > 40 then
+                  List.filteri (fun i _ -> i < 40) st.population
+                else st.population);
+    if !iteration mod 200 = 0 then
+      config.log
+        (Printf.sprintf "opentuner iter %d best %.3f (used %d/%d)" !iteration
+           st.best.cost !evaluations config.budget_evaluations)
+  done;
+  {
+    best = st.best.vec;
+    best_cost = st.best.cost;
+    evaluations_used = !evaluations;
+    technique_wins =
+      Array.to_list (Array.mapi (fun i (n, _) -> (n, wins.(i))) techniques);
+  }

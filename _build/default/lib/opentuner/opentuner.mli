@@ -1,0 +1,42 @@
+(** Black-box global optimization baseline (paper Section V-C).
+
+    A faithful scaled-down OpenTuner: an ensemble of search techniques
+    (random search, greedy hill climbing, simulated annealing,
+    differential evolution, and a genetic technique) coordinated by a
+    multi-armed bandit (UCB1) that, on each iteration, picks the
+    technique whose recent proposals have been most promising.  The
+    candidate representation is a flat float vector with per-dimension
+    box bounds — exactly how llvm-mca's parameter table is searched in
+    the paper, with per-instruction values in [0, 5], DispatchWidth in
+    [1, 10] and ReorderBufferSize in [50, 250].
+
+    Budget parity: [budget_evaluations] counts {e block evaluations};
+    each candidate evaluation on a batch of [eval_blocks] blocks consumes
+    that many, matching the paper's "same number of basic blocks as used
+    end-to-end" protocol. *)
+
+type config = {
+  seed : int;
+  budget_evaluations : int;  (** total block-evaluation budget *)
+  eval_blocks : int;         (** blocks sampled per candidate evaluation *)
+  log : string -> unit;
+}
+
+val default_config : config
+
+type result = {
+  best : float array;
+  best_cost : float;          (** error of [best] on the evaluation subset *)
+  evaluations_used : int;
+  technique_wins : (string * int) list;
+}
+
+(** [optimize config ~lower ~upper ~evaluate] minimizes
+    [evaluate candidate ~n] (the candidate's average error over [n]
+    sampled blocks) within the box [lower, upper]. *)
+val optimize :
+  config ->
+  lower:float array ->
+  upper:float array ->
+  evaluate:(float array -> n:int -> float) ->
+  result

@@ -1,0 +1,1 @@
+lib/refcpu/machine.ml: Array Block Dt_x86 Hashtbl Instruction List Opcode Operand Option Queue Reg Uarch

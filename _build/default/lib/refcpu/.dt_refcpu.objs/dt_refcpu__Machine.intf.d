@@ -1,0 +1,1 @@
+lib/refcpu/machine.mli: Dt_x86 Uarch

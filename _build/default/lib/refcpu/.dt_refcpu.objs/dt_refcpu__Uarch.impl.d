@@ -1,0 +1,1 @@
+lib/refcpu/uarch.ml: Array Dt_x86 List String

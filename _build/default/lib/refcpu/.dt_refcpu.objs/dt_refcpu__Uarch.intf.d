@@ -1,0 +1,1 @@
+lib/refcpu/uarch.mli: Dt_x86

@@ -1,0 +1,19 @@
+(** The reference out-of-order machine: ground truth for all experiments.
+
+    This simulator plays the role of the physical CPUs measured by BHive.
+    It is deliberately *more detailed* than the llvm-mca clone whose
+    parameters DiffTune learns: it models a decode frontend, zero-idiom
+    and move elimination at rename, a stack engine, per-destination result
+    latencies, unpipelined execution units, and memory dependence chains
+    with store-to-load forwarding.  None of these have a direct llvm-mca
+    parameter, which recreates the paper's simulator/machine mismatch. *)
+
+(** [cycles_per_iteration cfg ~iterations block] runs [iterations] back-to-
+    back copies of [block] (BHive unrolls blocks in a loop, default 100)
+    and returns total cycles divided by [iterations]. *)
+val cycles_per_iteration :
+  Uarch.t -> ?iterations:int -> Dt_x86.Block.t -> float
+
+(** [timing cfg block] is [cycles_per_iteration] with the BHive convention
+    of 100 iterations — the paper's definition of a block's timing. *)
+val timing : Uarch.t -> Dt_x86.Block.t -> float

@@ -1,0 +1,381 @@
+type uarch = Ivy_bridge | Haswell | Skylake | Zen2
+
+let all_uarchs = [ Ivy_bridge; Haswell; Skylake; Zen2 ]
+
+let uarch_name = function
+  | Ivy_bridge -> "ivybridge"
+  | Haswell -> "haswell"
+  | Skylake -> "skylake"
+  | Zen2 -> "zen2"
+
+let uarch_of_name = function
+  | "ivybridge" -> Some Ivy_bridge
+  | "haswell" -> Some Haswell
+  | "skylake" -> Some Skylake
+  | "zen2" -> Some Zen2
+  | _ -> None
+
+type t = {
+  uarch : uarch;
+  name : string;
+  decode_width : int;
+  dispatch_width : int;
+  retire_width : int;
+  rob_size : int;
+  sched_size : int;
+  num_ports : int;
+  load_latency : int;
+  forward_latency : int;
+  mov_elimination : bool;
+  zero_idiom_elim : bool;
+  stack_engine : bool;
+}
+
+(* Execution characteristics that vary across microarchitectures: port
+   bindings per functional class and latencies of the non-trivial units. *)
+type chars = {
+  alu_ports : int list;
+  shift_ports : int list;
+  mul_ports : int list;
+  div_ports : int list;
+  vec_int_ports : int list;
+  fp_add_ports : int list;
+  fp_mul_ports : int list;
+  fma_ports : int list;
+  shuffle_ports : int list;
+  cvt_ports : int list;
+  load_ports : int list;
+  sta_ports : int list;
+  std_ports : int list;
+  mul_lat : int;
+  div_lat : int;
+  div_occ : int;
+  div64_extra : int;
+  cmov_lat : int;
+  lea_complex_lat : int;
+  fp_add_lat : int;
+  fp_mul_lat : int;
+  fma_lat : int;
+  vec_div_lat : int;
+  vec_div_occ : int;
+  pmulld_lat : int;
+  cvt_lat : int;
+}
+
+let config = function
+  | Ivy_bridge ->
+      {
+        uarch = Ivy_bridge;
+        name = "ivybridge";
+        decode_width = 4;
+        dispatch_width = 4;
+        retire_width = 4;
+        rob_size = 168;
+        sched_size = 54;
+        num_ports = 6;
+        load_latency = 5;
+        forward_latency = 6;
+        mov_elimination = true;
+        zero_idiom_elim = true;
+        stack_engine = true;
+      }
+  | Haswell ->
+      {
+        uarch = Haswell;
+        name = "haswell";
+        decode_width = 4;
+        dispatch_width = 4;
+        retire_width = 4;
+        rob_size = 192;
+        sched_size = 60;
+        num_ports = 8;
+        load_latency = 4;
+        forward_latency = 5;
+        mov_elimination = true;
+        zero_idiom_elim = true;
+        stack_engine = true;
+      }
+  | Skylake ->
+      {
+        uarch = Skylake;
+        name = "skylake";
+        decode_width = 5;
+        dispatch_width = 4;
+        retire_width = 4;
+        rob_size = 224;
+        sched_size = 97;
+        num_ports = 8;
+        load_latency = 4;
+        forward_latency = 4;
+        mov_elimination = true;
+        zero_idiom_elim = true;
+        stack_engine = true;
+      }
+  | Zen2 ->
+      {
+        uarch = Zen2;
+        name = "zen2";
+        decode_width = 5;
+        dispatch_width = 5;
+        retire_width = 5;
+        rob_size = 224;
+        sched_size = 92;
+        num_ports = 10;
+        load_latency = 4;
+        forward_latency = 7;
+        mov_elimination = true;
+        zero_idiom_elim = true;
+        stack_engine = true;
+      }
+
+let chars_of = function
+  | Ivy_bridge ->
+      {
+        alu_ports = [ 0; 1; 5 ];
+        shift_ports = [ 0; 5 ];
+        mul_ports = [ 1 ];
+        div_ports = [ 0 ];
+        vec_int_ports = [ 0; 1; 5 ];
+        fp_add_ports = [ 1 ];
+        fp_mul_ports = [ 0 ];
+        fma_ports = [ 0 ];
+        shuffle_ports = [ 5 ];
+        cvt_ports = [ 1 ];
+        load_ports = [ 2; 3 ];
+        sta_ports = [ 2; 3 ];
+        std_ports = [ 4 ];
+        mul_lat = 3;
+        div_lat = 25;
+        div_occ = 12;
+        div64_extra = 25;
+        cmov_lat = 2;
+        lea_complex_lat = 3;
+        fp_add_lat = 3;
+        fp_mul_lat = 5;
+        fma_lat = 8;
+        vec_div_lat = 13;
+        vec_div_occ = 7;
+        pmulld_lat = 5;
+        cvt_lat = 4;
+      }
+  | Haswell ->
+      {
+        alu_ports = [ 0; 1; 5; 6 ];
+        shift_ports = [ 0; 6 ];
+        mul_ports = [ 1 ];
+        div_ports = [ 0 ];
+        vec_int_ports = [ 0; 1; 5 ];
+        fp_add_ports = [ 1 ];
+        fp_mul_ports = [ 0; 1 ];
+        fma_ports = [ 0; 1 ];
+        shuffle_ports = [ 5 ];
+        cvt_ports = [ 1 ];
+        load_ports = [ 2; 3 ];
+        sta_ports = [ 2; 3; 7 ];
+        std_ports = [ 4 ];
+        mul_lat = 3;
+        div_lat = 22;
+        div_occ = 9;
+        div64_extra = 20;
+        cmov_lat = 2;
+        lea_complex_lat = 3;
+        fp_add_lat = 3;
+        fp_mul_lat = 5;
+        fma_lat = 5;
+        vec_div_lat = 11;
+        vec_div_occ = 5;
+        pmulld_lat = 10;
+        cvt_lat = 4;
+      }
+  | Skylake ->
+      {
+        alu_ports = [ 0; 1; 5; 6 ];
+        shift_ports = [ 0; 6 ];
+        mul_ports = [ 1 ];
+        div_ports = [ 0 ];
+        vec_int_ports = [ 0; 1; 5 ];
+        fp_add_ports = [ 0; 1 ];
+        fp_mul_ports = [ 0; 1 ];
+        fma_ports = [ 0; 1 ];
+        shuffle_ports = [ 5 ];
+        cvt_ports = [ 1 ];
+        load_ports = [ 2; 3 ];
+        sta_ports = [ 2; 3; 7 ];
+        std_ports = [ 4 ];
+        mul_lat = 3;
+        div_lat = 18;
+        div_occ = 6;
+        div64_extra = 18;
+        cmov_lat = 1;
+        lea_complex_lat = 3;
+        fp_add_lat = 4;
+        fp_mul_lat = 4;
+        fma_lat = 4;
+        vec_div_lat = 11;
+        vec_div_occ = 3;
+        pmulld_lat = 10;
+        cvt_lat = 4;
+      }
+  | Zen2 ->
+      {
+        alu_ports = [ 0; 1; 2; 3 ];
+        shift_ports = [ 1; 2 ];
+        mul_ports = [ 1 ];
+        div_ports = [ 2 ];
+        vec_int_ports = [ 4; 5; 6; 7 ];
+        fp_add_ports = [ 5; 6 ];
+        fp_mul_ports = [ 4; 5 ];
+        fma_ports = [ 4; 5 ];
+        shuffle_ports = [ 6; 7 ];
+        cvt_ports = [ 7 ];
+        load_ports = [ 8; 9 ];
+        sta_ports = [ 8; 9 ];
+        std_ports = [ 9 ];
+        mul_lat = 3;
+        div_lat = 14;
+        div_occ = 5;
+        div64_extra = 12;
+        cmov_lat = 1;
+        lea_complex_lat = 2;
+        fp_add_lat = 3;
+        fp_mul_lat = 3;
+        fma_lat = 5;
+        vec_div_lat = 10;
+        vec_div_occ = 3;
+        pmulld_lat = 4;
+        cvt_lat = 3;
+      }
+
+type uop_class = Compute | Load | Store_address | Store_data
+
+type uop_spec = {
+  cls : uop_class;
+  latency : int;
+  extra_dest_latency : int;
+  flag_latency : int;
+  ports : int list;
+  occupancy : int;
+}
+
+let simple_uop cls latency ports =
+  {
+    cls;
+    latency;
+    extra_dest_latency = 0;
+    flag_latency = latency;
+    ports;
+    occupancy = 1;
+  }
+
+(* The compute micro-op of an opcode, or None for pure data movement
+   through memory (loads/stores with no ALU work). *)
+let compute_uop ch (op : Dt_x86.Opcode.t) =
+  let mk ?(extra = 0) ?flag ?(occ = 1) latency ports =
+    Some
+      {
+        cls = Compute;
+        latency;
+        extra_dest_latency = extra;
+        flag_latency = (match flag with Some f -> f | None -> latency);
+        ports;
+        occupancy = occ;
+      }
+  in
+  let is_64 = op.width = Dt_x86.Reg.W64 in
+  match op.kind with
+  | Alu when op.name = "LEA64rm" -> mk ch.lea_complex_lat ch.alu_ports
+  | Alu -> mk 1 ch.alu_ports
+  | Shift -> mk 1 ch.shift_ports
+  | Mul -> mk ~extra:1 ch.mul_lat ch.mul_ports
+  | Div ->
+      let lat = ch.div_lat + if is_64 then ch.div64_extra else 0 in
+      let occ = ch.div_occ + if is_64 then ch.div_occ else 0 in
+      mk ~extra:1 ~occ lat ch.div_ports
+  | Movzx -> mk 1 ch.alu_ports
+  | Cmov -> mk ch.cmov_lat ch.alu_ports
+  | Setcc -> mk 1 ch.alu_ports
+  | Nop -> None
+  | Mov ->
+      (* Register-register and immediate moves execute on an ALU port;
+         pure loads/stores have no compute micro-op. *)
+      if op.load || op.store then None else mk 1 ch.alu_ports
+  | Stack -> None
+  | VecMove -> if op.load || op.store then None else mk 1 ch.vec_int_ports
+  | VecAlu ->
+      (* Vector integer and logic operations are single-cycle; FP adds pay
+         the FP-add latency. *)
+      let is_int_or_logic =
+        op.name.[0] = 'P'
+        || (String.length op.name > 1 && op.name.[0] = 'V' && op.name.[1] = 'P')
+        || List.mem op.name
+             [ "XORPSrr"; "ANDPSrr"; "ORPSrr"; "VXORPSrrr" ]
+      in
+      if is_int_or_logic then mk 1 ch.vec_int_ports
+      else mk ch.fp_add_lat ch.fp_add_ports
+  | VecMul ->
+      if op.name = "PMULLDrr" || op.name = "PMULLDrm" then
+        mk ch.pmulld_lat ch.fp_mul_ports
+      else mk ch.fp_mul_lat ch.fp_mul_ports
+  | VecDiv -> mk ~occ:ch.vec_div_occ ch.vec_div_lat ch.div_ports
+  | VecShuffle -> mk 1 ch.shuffle_ports
+  | VecCvt -> mk ch.cvt_lat ch.cvt_ports
+  | VecFma -> mk ch.fma_lat ch.fma_ports
+
+let uops cfg (op : Dt_x86.Opcode.t) =
+  let ch = chars_of cfg.uarch in
+  let load =
+    if op.load then [ simple_uop Load cfg.load_latency ch.load_ports ]
+    else []
+  in
+  let compute = match compute_uop ch op with Some u -> [ u ] | None -> [] in
+  let store =
+    if op.store then
+      [
+        simple_uop Store_address 1 ch.sta_ports;
+        simple_uop Store_data 1 ch.std_ports;
+      ]
+    else []
+  in
+  let all = load @ compute @ store in
+  (* Every instruction decomposes into at least one micro-op. *)
+  if all = [] then [ simple_uop Compute 1 ch.alu_ports ] else all
+
+let documented_uops cfg op = List.length (uops cfg op)
+
+let documented_latency cfg (op : Dt_x86.Opcode.t) =
+  let us = uops cfg op in
+  let reg_result_latency =
+    (* Data latency accumulated along the intra-instruction chain:
+       load feeds compute. *)
+    List.fold_left
+      (fun acc u ->
+        match u.cls with
+        | Load | Compute -> acc + u.latency
+        | Store_address | Store_data -> acc)
+      0 us
+  in
+  if op.kind = Dt_x86.Opcode.Stack then
+    (* PUSH/POP: vendor tables list a latency of 2 (the paper's default
+       Haswell WriteLatency for PUSH64r); the stack-engine behaviour that
+       makes the effective chain latency ~0 has no documented value. *)
+    2
+  else if op.store && not op.dst_written then
+    (* Pure stores (MOV mr): documentation lists the store-queue latency
+       observed by a reload, conventionally 2. *)
+    2
+  else max reg_result_latency 1
+
+let documented_port_map cfg op =
+  let pm = Array.make cfg.num_ports 0.0 in
+  List.iter
+    (fun u ->
+      match u.ports with
+      | [ p ] ->
+          (* Only single-port bindings survive: port-group resources are
+             zeroed (paper Section V-A removes port-group simulation), so
+             micro-ops that may issue to several ports contribute no
+             PortMap cycles in the default table. *)
+          pm.(p) <- pm.(p) +. float_of_int u.occupancy
+      | [] | _ :: _ -> ())
+    (uops cfg op);
+  pm

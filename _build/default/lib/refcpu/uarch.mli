@@ -1,0 +1,76 @@
+(** Microarchitecture configurations for the reference CPU.
+
+    The reference CPU stands in for the physical machines measured by
+    BHive (paper Section V-A).  Each configuration fixes the "true"
+    hardware behaviour for one microarchitecture: pipeline widths, port
+    topology, instruction characteristics, and the behaviours that the
+    llvm-mca model cannot express (zero-idiom elimination, move
+    elimination, the stack engine, store-to-load forwarding, per-
+    destination-operand latencies).  Those inexpressible behaviours are
+    exactly what creates the simulator-vs-machine model mismatch the paper
+    studies. *)
+
+type uarch = Ivy_bridge | Haswell | Skylake | Zen2
+
+val all_uarchs : uarch list
+val uarch_name : uarch -> string
+val uarch_of_name : string -> uarch option
+
+type t = {
+  uarch : uarch;
+  name : string;
+  decode_width : int;       (** micro-ops decoded per cycle (frontend) *)
+  dispatch_width : int;     (** micro-ops renamed/dispatched per cycle *)
+  retire_width : int;       (** micro-ops retired per cycle *)
+  rob_size : int;           (** reorder-buffer entries (micro-ops) *)
+  sched_size : int;         (** scheduler window entries *)
+  num_ports : int;          (** execution ports *)
+  load_latency : int;       (** L1 hit latency, cycles *)
+  forward_latency : int;    (** store-to-load forwarding latency *)
+  mov_elimination : bool;   (** GPR/vector reg-reg moves eliminated at rename *)
+  zero_idiom_elim : bool;   (** zero idioms eliminated at rename *)
+  stack_engine : bool;      (** RSP updates of PUSH/POP handled at rename *)
+}
+
+val config : uarch -> t
+
+(** One micro-op of an instruction's decomposition. *)
+type uop_class =
+  | Compute   (** the main execution micro-op *)
+  | Load      (** memory read micro-op *)
+  | Store_address
+  | Store_data
+
+type uop_spec = {
+  cls : uop_class;
+  latency : int;        (** cycles until the primary result is available *)
+  extra_dest_latency : int;
+      (** additional cycles before secondary destinations (e.g. RDX of
+          MUL) are available — the per-destination latency spread that
+          makes a single "WriteLatency" fundamentally unmeasurable *)
+  flag_latency : int;   (** cycles before the flags result is available *)
+  ports : int list;     (** ports this micro-op may issue to *)
+  occupancy : int;      (** cycles the chosen port stays busy (>1 for
+                            unpipelined units such as dividers) *)
+}
+
+(** [uops cfg op] is the micro-op decomposition of an instruction with
+    opcode [op] on configuration [cfg], in program order
+    (load, then compute, then store-address/store-data). *)
+val uops : t -> Dt_x86.Opcode.t -> uop_spec list
+
+(** What an expert reads in vendor documentation — used to seed llvm-mca's
+    default ("expert-provided") parameter tables.  [documented_latency] is
+    the data latency of the compute micro-op plus the load latency for
+    load-op forms (matching how LLVM's scheduling models fold memory
+    latency into instruction WriteLatency). *)
+val documented_latency : t -> Dt_x86.Opcode.t -> int
+
+(** Total micro-op count of the decomposition. *)
+val documented_uops : t -> Dt_x86.Opcode.t -> int
+
+(** [documented_port_map cfg op] is a [num_ports]-sized vector of cycles
+    the instruction occupies each port, as an expert would derive from
+    documented port bindings (each micro-op charged to its first listed
+    port alternative group, spread uniformly). *)
+val documented_port_map : t -> Dt_x86.Opcode.t -> float array

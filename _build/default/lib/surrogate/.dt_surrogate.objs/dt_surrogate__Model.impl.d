@@ -1,0 +1,1 @@
+lib/surrogate/model.ml: Array Dt_autodiff Dt_nn Dt_tensor Dt_x86 List Option Tokenizer

@@ -1,0 +1,1 @@
+lib/surrogate/model.mli: Dt_autodiff Dt_nn Dt_util Dt_x86

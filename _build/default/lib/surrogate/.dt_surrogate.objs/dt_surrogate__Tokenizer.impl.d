@@ -1,0 +1,1 @@
+lib/surrogate/tokenizer.ml: Array Dt_x86 Instruction List Opcode Operand Reg

@@ -1,0 +1,1 @@
+lib/surrogate/tokenizer.mli: Dt_x86

@@ -1,0 +1,155 @@
+module T = Dt_tensor.Tensor
+module Ad = Dt_autodiff.Ad
+module Nn = Dt_nn.Nn
+
+type config = {
+  embed_dim : int;
+  token_hidden : int;
+  instr_hidden : int;
+  token_layers : int;
+  instr_layers : int;
+  with_params : bool;
+  per_instr_params : int;
+  global_params : int;
+  feature_width : int;
+  head_hidden : int;
+}
+
+let default_config =
+  {
+    embed_dim = 16;
+    token_hidden = 32;
+    instr_hidden = 32;
+    token_layers = 4;
+    instr_layers = 4;
+    with_params = true;
+    per_instr_params = 15;
+    global_params = 2;
+    feature_width = 0;
+    head_hidden = 0;
+  }
+
+let ithemal_config =
+  { default_config with with_params = false; per_instr_params = 0; global_params = 0 }
+
+type t = {
+  cfg : config;
+  store : Nn.Store.t;
+  embedding : Nn.Embedding.t;
+  token_lstm : Nn.Lstm.t;
+  instr_lstm : Nn.Lstm.t;
+  head1 : Nn.Linear.t;
+  head2 : Nn.Linear.t option;
+}
+
+let create ?(config = default_config) rng =
+  let store = Nn.Store.create () in
+  let embedding =
+    Nn.Embedding.create store rng ~name:"embed" ~count:Tokenizer.vocab_size
+      ~dim:config.embed_dim
+  in
+  let token_lstm =
+    Nn.Lstm.create store rng ~name:"token" ~input:config.embed_dim
+      ~hidden:config.token_hidden ~layers:config.token_layers
+  in
+  let instr_input =
+    config.token_hidden
+    + if config.with_params then config.per_instr_params + config.global_params
+      else 0
+  in
+  let instr_lstm =
+    Nn.Lstm.create store rng ~name:"instr" ~input:instr_input
+      ~hidden:config.instr_hidden ~layers:config.instr_layers
+  in
+  let head_input = config.instr_hidden + config.feature_width in
+  let head1, head2 =
+    if config.head_hidden = 0 then
+      (Nn.Linear.create store rng ~name:"head" ~input:head_input ~output:1, None)
+    else
+      ( Nn.Linear.create store rng ~name:"head1" ~input:head_input
+          ~output:config.head_hidden,
+        Some
+          (Nn.Linear.create store rng ~name:"head2" ~input:config.head_hidden
+             ~output:1) )
+  in
+  { cfg = config; store; embedding; token_lstm; instr_lstm; head1; head2 }
+
+let config t = t.cfg
+let store t = t.store
+
+type param_inputs = { per_instr : Ad.node array; global : Ad.node option }
+
+let predict t ctx (block : Dt_x86.Block.t) ~params ~features =
+  (match (t.cfg.with_params, params) with
+  | true, None -> invalid_arg "Model.predict: parameter inputs required"
+  | false, Some _ -> invalid_arg "Model.predict: unexpected parameter inputs"
+  | true, Some p ->
+      if Array.length p.per_instr <> Array.length block.instrs then
+        invalid_arg "Model.predict: per-instruction parameter count mismatch"
+  | false, None -> ());
+  (match (t.cfg.feature_width, features) with
+  | 0, Some _ -> invalid_arg "Model.predict: unexpected features"
+  | 0, None -> ()
+  | w, Some f ->
+      if Dt_tensor.Tensor.size (Ad.value f) <> w then
+        invalid_arg "Model.predict: feature width mismatch"
+  | _, None -> invalid_arg "Model.predict: features required");
+  let instr_vectors =
+    Array.to_list
+      (Array.mapi
+         (fun i instr ->
+           let toks = Tokenizer.tokens instr in
+           let embedded =
+             List.map (Nn.Embedding.forward t.embedding ctx) toks
+           in
+           let h = Nn.Lstm.forward t.token_lstm ctx embedded in
+           match params with
+           | Some p ->
+               let parts =
+                 match p.global with
+                 | Some g -> [ h; p.per_instr.(i); g ]
+                 | None -> [ h; p.per_instr.(i) ]
+               in
+               Ad.concat ctx parts
+           | None -> h)
+         block.instrs)
+  in
+  let block_vec = Nn.Lstm.forward t.instr_lstm ctx instr_vectors in
+  let head ctx x =
+    match t.head2 with
+    | None -> Nn.Linear.forward t.head1 ctx x
+    | Some h2 ->
+        Nn.Linear.forward h2 ctx (Ad.tanh_ ctx (Nn.Linear.forward t.head1 ctx x))
+  in
+  match features with
+  | None -> head ctx block_vec
+  | Some f ->
+      (* Physics-informed head: the analytic bounds give the base timing;
+         the network produces a bounded multiplicative correction. *)
+      let base =
+        Ad.max2 ctx (Ad.reduce_max ctx f)
+          (Ad.constant ctx
+             (let t0 = T.zeros ~rows:1 ~cols:1 in
+              t0.T.data.(0) <- 0.05;
+              t0))
+      in
+      let corr = head ctx (Ad.concat ctx [ block_vec; f ]) in
+      (* Clamp the log-correction to [-4, 4] via tanh for stability. *)
+      let corr = Ad.scale ctx (Ad.tanh_ ctx (Ad.scale ctx corr 0.25)) 4.0 in
+      Ad.mul ctx base (Ad.exp_ ctx corr)
+
+let predict_value t (block : Dt_x86.Block.t) ~params ?features () =
+  let ctx = Ad.new_ctx () in
+  let params =
+    Option.map
+      (fun (per, glob) ->
+        {
+          per_instr = Array.map (fun v -> Ad.constant ctx (T.vector v)) per;
+          global =
+            (if Array.length glob = 0 then None
+             else Some (Ad.constant ctx (T.vector glob)));
+        })
+      params
+  in
+  let features = Option.map (fun f -> Ad.constant ctx (T.vector f)) features in
+  Ad.scalar_value (predict t ctx block ~params ~features)

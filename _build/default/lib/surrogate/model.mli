@@ -1,0 +1,72 @@
+(** The differentiable surrogate: a modified Ithemal (paper Figure 3).
+
+    Architecture, following Mendis et al. with the paper's two changes:
+    - a token-level stacked LSTM turns each instruction's canonicalized
+      token embeddings into an instruction vector;
+    - {b change 1}: both LSTMs are stacks (the paper uses 4; depth is a
+      config knob and an ablation axis);
+    - {b change 2}: the proposed simulator parameters are concatenated to
+      each instruction vector (per-instruction parameters) and to every
+      instruction (global parameters) before the instruction-level LSTM;
+    - a fully connected head maps the block vector to a timing.
+
+    With [with_params = false] the same network is exactly an Ithemal
+    model — the paper's learned baseline — trained directly on ground
+    truth. *)
+
+type config = {
+  embed_dim : int;
+  token_hidden : int;
+  instr_hidden : int;
+  token_layers : int;
+  instr_layers : int;
+  with_params : bool;
+  per_instr_params : int;  (** width of the per-instruction parameter vector *)
+  global_params : int;     (** width of the global parameter vector *)
+  feature_width : int;
+      (** width of the differentiable analytic-bound vector; 0 selects the
+          pure-LSTM (paper-architecture) surrogate, > 0 the
+          physics-informed surrogate whose prediction is
+          [max(bounds) * exp(correction)] with the correction produced by
+          the network (see DESIGN.md on this scaled-compute
+          substitution) *)
+  head_hidden : int;
+      (** hidden width of the prediction head; 0 = a single linear layer
+          (the paper's fully connected layer), > 0 = a two-layer MLP *)
+}
+
+(** Paper-shaped configuration scaled for CPU training: 4-stack LSTMs,
+    llvm-mca's 15 per-instruction + 2 global parameters. *)
+val default_config : config
+
+(** Ithemal-baseline configuration (no parameter inputs). *)
+val ithemal_config : config
+
+type t
+
+val create : ?config:config -> Dt_util.Rng.t -> t
+val config : t -> config
+val store : t -> Dt_nn.Nn.Store.t
+
+(** Parameter inputs for one block: [per_instr.(i)] is the (normalized)
+    parameter vector node for instruction [i]; [global] the global
+    vector node.  Built from constants during surrogate training and from
+    the learnable parameter-table leaves during parameter optimization. *)
+type param_inputs = {
+  per_instr : Dt_autodiff.Ad.node array;
+  global : Dt_autodiff.Ad.node option;  (** [None] when [global_params = 0] *)
+}
+
+(** [predict t ctx block ~params ~features] — the predicted timing node.
+    [params] must be [Some] iff the config has [with_params]; [features]
+    must be [Some] (a [feature_width] vector node of analytic bounds) iff
+    [feature_width > 0]. *)
+val predict :
+  t -> Dt_autodiff.Ad.ctx -> Dt_x86.Block.t -> params:param_inputs option ->
+  features:Dt_autodiff.Ad.node option -> Dt_autodiff.Ad.node
+
+(** Convenience: scalar prediction without gradient use; [features] are
+    plain floats. *)
+val predict_value :
+  t -> Dt_x86.Block.t -> params:(float array array * float array) option ->
+  ?features:float array -> unit -> float

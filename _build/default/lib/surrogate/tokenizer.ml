@@ -1,0 +1,61 @@
+open Dt_x86
+
+(* Token id layout:
+   [0, Opcode.count)                     opcode tokens
+   [Opcode.count, Opcode.count+Reg.count) register tokens
+   then CONST, MEM, <S>, <D>, <E>. *)
+
+let reg_base = Opcode.count
+let const_token = reg_base + Reg.count
+let mem_token = const_token + 1
+let s_token = mem_token + 1
+let d_token = s_token + 1
+let e_token = d_token + 1
+let vocab_size = e_token + 1
+
+let reg_token r = reg_base + Reg.index r
+
+let operand_tokens operand =
+  match operand with
+  | Operand.Reg r -> [ reg_token r ]
+  | Operand.Imm _ -> [ const_token ]
+  | Operand.Mem m ->
+      mem_token :: List.map reg_token (Operand.mem_uses m)
+
+let tokens (instr : Instruction.t) =
+  let op = instr.opcode in
+  (* Partition operands into sources and destinations the way Ithemal's
+     canonicalization does, using the opcode's read/write semantics. *)
+  let dsts = ref [] and srcs = ref [] in
+  Array.iteri
+    (fun slot operand ->
+      let is_dst_slot = slot = 0 in
+      match operand with
+      | Operand.Mem _ ->
+          (* Memory operands appear on the side(s) they are accessed. *)
+          if is_dst_slot && op.store then dsts := operand :: !dsts;
+          if (is_dst_slot && op.load) || not is_dst_slot then
+            srcs := operand :: !srcs
+      | Operand.Reg _ ->
+          if is_dst_slot && op.dst_written then dsts := operand :: !dsts;
+          if (is_dst_slot && op.dst_read) || not is_dst_slot then
+            srcs := operand :: !srcs
+      | Operand.Imm _ -> srcs := operand :: !srcs)
+    instr.operands;
+  let src_tokens = List.concat_map operand_tokens (List.rev !srcs) in
+  let dst_tokens = List.concat_map operand_tokens (List.rev !dsts) in
+  (op.index :: s_token :: src_tokens) @ (d_token :: dst_tokens) @ [ e_token ]
+
+let token_name i =
+  if i < reg_base then Opcode.database.(i).name
+  else if i < const_token then
+    let idx = i - reg_base in
+    if idx < 16 then Reg.name (Reg.Gpr Reg.all_gprs.(idx))
+    else if idx < 32 then Reg.name (Reg.Vec Reg.all_vecs.(idx - 16))
+    else "flags"
+  else if i = const_token then "CONST"
+  else if i = mem_token then "MEM"
+  else if i = s_token then "<S>"
+  else if i = d_token then "<D>"
+  else if i = e_token then "<E>"
+  else invalid_arg "Tokenizer.token_name: out of range"

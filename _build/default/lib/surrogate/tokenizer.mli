@@ -1,0 +1,14 @@
+(** Ithemal-style canonicalization of instructions into token sequences
+    (paper Figure 3): each instruction becomes
+    [opcode, <S>, source tokens, <D>, destination tokens, <E>], where
+    registers map to their own tokens, immediates to [CONST], and memory
+    operands to [MEM] followed by their address-register tokens. *)
+
+(** Total vocabulary size (opcodes + registers + specials). *)
+val vocab_size : int
+
+(** [tokens instr] — token ids, each in [0, vocab_size). *)
+val tokens : Dt_x86.Instruction.t -> int list
+
+(** Human-readable token name (debugging). *)
+val token_name : int -> string

@@ -1,0 +1,134 @@
+type t = { data : float array; rows : int; cols : int }
+
+let create ~rows ~cols v =
+  if rows <= 0 || cols <= 0 then invalid_arg "Tensor.create: bad shape";
+  { data = Array.make (rows * cols) v; rows; cols }
+
+let zeros ~rows ~cols = create ~rows ~cols 0.0
+
+let vector data = { data; rows = 1; cols = Array.length data }
+
+let of_array ~rows ~cols data =
+  if Array.length data <> rows * cols then
+    invalid_arg "Tensor.of_array: data length does not match shape";
+  { data; rows; cols }
+
+let copy t = { t with data = Array.copy t.data }
+let size t = t.rows * t.cols
+let same_shape a b = a.rows = b.rows && a.cols = b.cols
+
+let get t i j = t.data.((i * t.cols) + j)
+let set t i j v = t.data.((i * t.cols) + j) <- v
+
+let zero_ t = Array.fill t.data 0 (Array.length t.data) 0.0
+
+let randn rng ~rows ~cols ~sigma =
+  let t = zeros ~rows ~cols in
+  for i = 0 to size t - 1 do
+    t.data.(i) <- Dt_util.Rng.gaussian rng ~mu:0.0 ~sigma
+  done;
+  t
+
+let check_vec name v n =
+  if v.rows <> 1 || v.cols <> n then
+    invalid_arg (Printf.sprintf "Tensor.%s: vector shape mismatch" name)
+
+let gemv ~m ~x ~y ~beta =
+  check_vec "gemv" x m.cols;
+  check_vec "gemv" y m.rows;
+  let xd = x.data and yd = y.data and md = m.data in
+  let cols = m.cols in
+  for i = 0 to m.rows - 1 do
+    let base = i * cols in
+    let acc = ref 0.0 in
+    for j = 0 to cols - 1 do
+      acc := !acc +. (Array.unsafe_get md (base + j) *. Array.unsafe_get xd j)
+    done;
+    yd.(i) <- !acc +. (beta *. yd.(i))
+  done
+
+let gemv_t ~m ~x ~y ~beta =
+  check_vec "gemv_t" x m.rows;
+  check_vec "gemv_t" y m.cols;
+  let xd = x.data and yd = y.data and md = m.data in
+  let cols = m.cols in
+  if beta = 0.0 then Array.fill yd 0 cols 0.0
+  else if beta <> 1.0 then
+    for j = 0 to cols - 1 do
+      yd.(j) <- beta *. yd.(j)
+    done;
+  for i = 0 to m.rows - 1 do
+    let base = i * cols in
+    let xi = Array.unsafe_get xd i in
+    if xi <> 0.0 then
+      for j = 0 to cols - 1 do
+        Array.unsafe_set yd j
+          (Array.unsafe_get yd j +. (xi *. Array.unsafe_get md (base + j)))
+      done
+  done
+
+let ger ~m ~x ~y =
+  check_vec "ger" x m.rows;
+  check_vec "ger" y m.cols;
+  let xd = x.data and yd = y.data and md = m.data in
+  let cols = m.cols in
+  for i = 0 to m.rows - 1 do
+    let base = i * cols in
+    let xi = Array.unsafe_get xd i in
+    if xi <> 0.0 then
+      for j = 0 to cols - 1 do
+        Array.unsafe_set md (base + j)
+          (Array.unsafe_get md (base + j) +. (xi *. Array.unsafe_get yd j))
+      done
+  done
+
+let axpy ~alpha ~x ~y =
+  if not (same_shape x y) then invalid_arg "Tensor.axpy: shape mismatch";
+  let xd = x.data and yd = y.data in
+  for i = 0 to Array.length xd - 1 do
+    Array.unsafe_set yd i
+      (Array.unsafe_get yd i +. (alpha *. Array.unsafe_get xd i))
+  done
+
+let binop name f ~dst ~a ~b =
+  if not (same_shape a b && same_shape a dst) then
+    invalid_arg ("Tensor." ^ name ^ ": shape mismatch");
+  for i = 0 to size a - 1 do
+    dst.data.(i) <- f a.data.(i) b.data.(i)
+  done
+
+let add_ ~dst ~a ~b = binop "add_" ( +. ) ~dst ~a ~b
+let mul_ ~dst ~a ~b = binop "mul_" ( *. ) ~dst ~a ~b
+
+let scale_ t alpha =
+  for i = 0 to size t - 1 do
+    t.data.(i) <- t.data.(i) *. alpha
+  done
+
+let dot a b =
+  if not (same_shape a b) then invalid_arg "Tensor.dot: shape mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to size a - 1 do
+    acc := !acc +. (a.data.(i) *. b.data.(i))
+  done;
+  !acc
+
+let map f t = { t with data = Array.map f t.data }
+
+let map_ f t =
+  for i = 0 to size t - 1 do
+    t.data.(i) <- f t.data.(i)
+  done
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+
+let to_string t =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "[%dx%d:" t.rows t.cols);
+  Array.iteri
+    (fun i v ->
+      if i < 8 then Buffer.add_string b (Printf.sprintf " %.4g" v)
+      else if i = 8 then Buffer.add_string b " ...")
+    t.data;
+  Buffer.add_string b "]";
+  Buffer.contents b

@@ -1,0 +1,58 @@
+(** Dense float tensors backed by flat OCaml float arrays (which the
+    runtime stores unboxed).  Only the ranks the neural substrate needs:
+    vectors and matrices.  All binary operations check shapes and raise
+    [Invalid_argument] on mismatch. *)
+
+type t = { data : float array; rows : int; cols : int }
+
+(** Vectors are represented as [rows = 1] tensors. *)
+
+val create : rows:int -> cols:int -> float -> t
+val zeros : rows:int -> cols:int -> t
+val vector : float array -> t
+
+(** [of_array ~rows ~cols data] wraps (not copies) a flat row-major array. *)
+val of_array : rows:int -> cols:int -> float array -> t
+
+val copy : t -> t
+val size : t -> int
+val same_shape : t -> t -> bool
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+(** In-place fill with zeros. *)
+val zero_ : t -> unit
+
+(** [randn rng ~rows ~cols ~sigma] — Gaussian initialization. *)
+val randn : Dt_util.Rng.t -> rows:int -> cols:int -> sigma:float -> t
+
+(* In-place kernels used by the autodiff layer.  The destination is the
+   first argument. *)
+
+(** [gemv ~m ~x ~y ~beta] computes [y <- m x + beta * y] for a vector [x]. *)
+val gemv : m:t -> x:t -> y:t -> beta:float -> unit
+
+(** [gemv_t ~m ~x ~y ~beta] computes [y <- m^T x + beta * y]. *)
+val gemv_t : m:t -> x:t -> y:t -> beta:float -> unit
+
+(** [ger ~m ~x ~y] computes the rank-1 update [m <- m + x y^T] where [x]
+    indexes rows of [m]. *)
+val ger : m:t -> x:t -> y:t -> unit
+
+(** [axpy ~alpha ~x ~y] computes [y <- alpha * x + y]. *)
+val axpy : alpha:float -> x:t -> y:t -> unit
+
+(** [add_ ~dst ~a ~b], [mul_ ~dst ~a ~b]: elementwise, any matching shapes. *)
+val add_ : dst:t -> a:t -> b:t -> unit
+val mul_ : dst:t -> a:t -> b:t -> unit
+
+val scale_ : t -> float -> unit
+val dot : t -> t -> float
+
+(** Map into a fresh tensor / in place. *)
+val map : (float -> float) -> t -> t
+val map_ : (float -> float) -> t -> unit
+
+val sum : t -> float
+val to_string : t -> string

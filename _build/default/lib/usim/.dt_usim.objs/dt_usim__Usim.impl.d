@@ -1,0 +1,1 @@
+lib/usim/usim.ml: Array Block Dt_refcpu Dt_x86 Instruction List Opcode Reg

@@ -1,0 +1,1 @@
+lib/usim/usim.mli: Dt_refcpu Dt_x86

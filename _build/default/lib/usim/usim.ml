@@ -1,0 +1,207 @@
+open Dt_x86
+
+let num_ports = 10
+let decode_width = 4
+let rob_size = 192
+let retire_width = 4
+
+(* Cap on micro-ops per instruction, to bound simulation cost under
+   randomly sampled PortMap tables. *)
+let max_uops_per_instr = 24
+
+type params = { write_latency : int array; port_map : int array array }
+
+let validate p =
+  let n = Opcode.count in
+  if Array.length p.write_latency <> n then
+    invalid_arg "Usim: write_latency has wrong length";
+  if Array.length p.port_map <> n then
+    invalid_arg "Usim: port_map has wrong length";
+  for i = 0 to n - 1 do
+    if p.write_latency.(i) < 0 then invalid_arg "Usim: write_latency < 0";
+    if Array.length p.port_map.(i) <> num_ports then
+      invalid_arg "Usim: port_map row has wrong length";
+    Array.iter (fun v -> if v < 0 then invalid_arg "Usim: port_map < 0")
+      p.port_map.(i)
+  done
+
+let copy p =
+  {
+    write_latency = Array.copy p.write_latency;
+    port_map = Array.map Array.copy p.port_map;
+  }
+
+let default uarch =
+  let cfg = Dt_refcpu.Uarch.config uarch in
+  let n = Opcode.count in
+  let write_latency = Array.make n 0 in
+  let port_map = Array.init n (fun _ -> Array.make num_ports 0) in
+  Array.iter
+    (fun (op : Opcode.t) ->
+      write_latency.(op.index) <- Dt_refcpu.Uarch.documented_latency cfg op;
+      List.iter
+        (fun (u : Dt_refcpu.Uarch.uop_spec) ->
+          match u.ports with
+          | p :: _ when p < num_ports ->
+              port_map.(op.index).(p) <- port_map.(op.index).(p) + 1
+          | _ -> ())
+        (Dt_refcpu.Uarch.uops cfg op))
+    Opcode.database;
+  let p = { write_latency; port_map } in
+  validate p;
+  p
+
+(* Static per-block-position info: opcode and register dependencies as
+   distances back in the dynamic instruction stream. *)
+type static_instr = { opcode : int; deps : int array; uop_ports : int array }
+
+(* A port value of -1 marks a free micro-op (all-zero PortMap row). *)
+let analyze p (block : Block.t) =
+  let len = Array.length block.instrs in
+  let last_writer = Array.make Reg.count (-1) in
+  let result = Array.make len { opcode = 0; deps = [||]; uop_ports = [||] } in
+  for copy = 0 to 1 do
+    Array.iteri
+      (fun i instr ->
+        let pos = (copy * len) + i in
+        let deps =
+          Instruction.reads instr
+          |> List.filter_map (fun r ->
+                 let w = last_writer.(Reg.index r) in
+                 if w >= 0 then Some (pos - w) else None)
+        in
+        if copy = 1 then begin
+          let opcode = instr.Instruction.opcode.index in
+          let ports = ref [] in
+          let total = ref 0 in
+          Array.iteri
+            (fun port count ->
+              for _ = 1 to count do
+                if !total < max_uops_per_instr then begin
+                  ports := port :: !ports;
+                  incr total
+                end
+              done)
+            p.port_map.(opcode);
+          let uop_ports =
+            if !ports = [] then [| -1 |] else Array.of_list (List.rev !ports)
+          in
+          result.(i) <- { opcode; deps = Array.of_list deps; uop_ports }
+        end;
+        List.iter
+          (fun r -> last_writer.(Reg.index r) <- pos)
+          (Instruction.writes instr))
+      block.instrs
+  done;
+  result
+
+let run p ~iterations (block : Block.t) =
+  let len = Array.length block.instrs in
+  let static = analyze p block in
+  let n = iterations * len in
+  (* Instruction-level result availability; micro-op level execution. *)
+  let result_time = Array.make n max_int in
+  (* Per instruction: number of micro-ops not yet executed, and the issue
+     time of its last-issued micro-op. *)
+  let uops_left = Array.make n 0 in
+  let last_issue = Array.make n 0 in
+  let decoded = Array.make n false in
+  let port_busy = Array.make num_ports 0 in
+  let decode_head = ref 0 in
+  let head_uops_left = ref 0 in
+  let retire_head = ref 0 in
+  let retire_uops_left = ref 0 in
+  let oldest_waiting = ref 0 in
+  let in_rob = ref 0 in
+  let cycle = ref 0 in
+  let uop_count i = Array.length static.(i mod len).uop_ports in
+  while !retire_head < n do
+    let now = !cycle in
+    (* ---- Retire: in order, executed instructions, micro-op budget. ---- *)
+    let budget = ref retire_width in
+    let blocked = ref false in
+    while (not !blocked) && !retire_head < n && !budget > 0 do
+      let i = !retire_head in
+      if decoded.(i) && uops_left.(i) = 0 && result_time.(i) <= now then begin
+        if !retire_uops_left = 0 then retire_uops_left := uop_count i;
+        let take = min !retire_uops_left !budget in
+        retire_uops_left := !retire_uops_left - take;
+        budget := !budget - take;
+        in_rob := !in_rob - take;
+        if !retire_uops_left = 0 then incr retire_head
+      end
+      else blocked := true
+    done;
+    (* ---- Decode: frontend delivers micro-ops in order. ---- *)
+    let budget = ref decode_width in
+    let stalled = ref false in
+    while (not !stalled) && !decode_head < n && !budget > 0 do
+      let i = !decode_head in
+      if !head_uops_left = 0 then head_uops_left := uop_count i;
+      if !in_rob < rob_size then begin
+        let take = min (min !head_uops_left !budget) (rob_size - !in_rob) in
+        head_uops_left := !head_uops_left - take;
+        budget := !budget - take;
+        in_rob := !in_rob + take;
+        if !head_uops_left = 0 then begin
+          decoded.(i) <- true;
+          uops_left.(i) <- uop_count i;
+          incr decode_head
+        end
+        else if take = 0 then stalled := true
+      end
+      else stalled := true
+    done;
+    (* ---- Dispatch/execute micro-ops out of order, oldest first.  A
+       micro-op runs once its instruction's register sources are ready
+       and its pinned port is free. ---- *)
+    let first_unfinished = ref (-1) in
+    for i = !oldest_waiting to !decode_head - 1 do
+      if decoded.(i) && uops_left.(i) > 0 then begin
+        if !first_unfinished < 0 then first_unfinished := i;
+        let st = static.(i mod len) in
+        let deps_ready =
+          Array.for_all
+            (fun dist ->
+              let producer = i - dist in
+              producer < 0 || result_time.(producer) <= now)
+            st.deps
+        in
+        if deps_ready then begin
+          let total = Array.length st.uop_ports in
+          (* Issue as many of this instruction's remaining micro-ops as
+             have free ports this cycle. *)
+          let next = ref (total - uops_left.(i)) in
+          let continue_issue = ref true in
+          while !continue_issue && !next < total do
+            let port = st.uop_ports.(!next) in
+            if port < 0 then begin
+              (* Port-free micro-op: executes without a resource. *)
+              last_issue.(i) <- now;
+              uops_left.(i) <- uops_left.(i) - 1;
+              incr next
+            end
+            else if port_busy.(port) <= now then begin
+              port_busy.(port) <- now + 1;
+              last_issue.(i) <- now;
+              uops_left.(i) <- uops_left.(i) - 1;
+              incr next
+            end
+            else continue_issue := false
+          done;
+          if uops_left.(i) = 0 then
+            result_time.(i) <-
+              last_issue.(i) + p.write_latency.(st.opcode)
+        end
+      end
+    done;
+    if !first_unfinished >= 0 then
+      oldest_waiting := max !oldest_waiting !first_unfinished;
+    incr cycle
+  done;
+  !cycle
+
+let timing p ?(iterations = 100) block =
+  if iterations <= 0 then
+    invalid_arg "Usim.timing: iterations must be positive";
+  float_of_int (run p ~iterations block) /. float_of_int iterations

@@ -1,0 +1,35 @@
+(** llvm_sim clone (paper Appendix A): a second, structurally different
+    basic-block simulator used to show DiffTune generalizes beyond
+    llvm-mca.
+
+    Differences from the llvm-mca clone, mirroring the paper:
+    - it models the {b frontend}: instructions are decoded into micro-ops
+      at a fixed decode width before dispatch;
+    - it simulates {b micro-ops individually}: the PortMap parameter gives
+      the {e number of micro-ops} the instruction dispatches to each port
+      (Table VII), and each micro-op is pinned to its port;
+    - register renaming has an unlimited physical register file;
+    - only two parameter families are read from the scheduling model and
+      learned: per-instruction WriteLatency and PortMap.
+
+    Structural constants (not learned, as in llvm_sim which is
+    implemented for Haswell only): decode width 4 micro-ops/cycle,
+    reorder buffer 192 micro-ops, retire width 4 micro-ops/cycle. *)
+
+val num_ports : int
+
+type params = {
+  write_latency : int array;  (** per opcode; integer >= 0 *)
+  port_map : int array array; (** per opcode x 10 micro-op counts, >= 0 *)
+}
+
+val validate : params -> unit
+val copy : params -> params
+
+(** Expert default: documented latencies; micro-ops pinned to the first
+    port of their documented binding group. *)
+val default : Dt_refcpu.Uarch.uarch -> params
+
+(** Predicted cycles per iteration over [iterations] (default 100) copies
+    of the block. *)
+val timing : params -> ?iterations:int -> Dt_x86.Block.t -> float

@@ -1,0 +1,37 @@
+(** Descriptive statistics used across the evaluation harness. *)
+
+(** [mean xs] — arithmetic mean.  Raises [Invalid_argument] on empty input. *)
+val mean : float array -> float
+
+(** [stddev xs] — population standard deviation. *)
+val stddev : float array -> float
+
+(** [median xs] — median (average of middle two for even lengths). *)
+val median : float array -> float
+
+(** [percentile xs p] — linear-interpolation percentile, [p] in [0,100]. *)
+val percentile : float array -> float -> float
+
+(** [min_max xs] — (minimum, maximum) of a non-empty array. *)
+val min_max : float array -> float * float
+
+(** Streaming mean/variance accumulator (Welford's algorithm). *)
+module Welford : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  (** Population standard deviation of the values seen so far. *)
+  val stddev : t -> float
+end
+
+(** [histogram ~lo ~hi ~bins xs] counts values in [bins] equal-width buckets
+    spanning [lo, hi]; values outside the range clamp to the end buckets. *)
+val histogram : lo:float -> hi:float -> bins:int -> float array -> int array
+
+(** [int_histogram ~max_value xs] counts integer values 0..max_value, with
+    larger values clamped into the last bucket. *)
+val int_histogram : max_value:int -> int array -> int array

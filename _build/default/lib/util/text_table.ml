@@ -1,0 +1,44 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Text_table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Separator -> ()) rows;
+  let buf = Buffer.create 256 in
+  let rule () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (widths.(i) - String.length c + 1) ' '))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter (function Cells c -> line c | Separator -> rule ()) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

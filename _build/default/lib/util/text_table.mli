@@ -1,0 +1,18 @@
+(** Minimal fixed-width text table renderer for experiment reports. *)
+
+type t
+
+(** [create headers] starts a table with the given column headers. *)
+val create : string list -> t
+
+(** [add_row t cells] appends a row; the cell count must match the header. *)
+val add_row : t -> string list -> unit
+
+(** [add_separator t] inserts a horizontal rule between row groups. *)
+val add_separator : t -> unit
+
+(** [render t] lays the table out with one space of padding per side. *)
+val render : t -> string
+
+(** [print t] renders to stdout followed by a newline. *)
+val print : t -> unit

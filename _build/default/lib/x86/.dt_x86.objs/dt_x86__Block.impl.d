@@ -1,0 +1,1 @@
+lib/x86/block.ml: Array Hashtbl Instruction Int List Parser Reg String

@@ -1,0 +1,1 @@
+lib/x86/block.mli: Instruction Reg

@@ -1,0 +1,1 @@
+lib/x86/instruction.ml: Array List Opcode Operand Printf Reg String

@@ -1,0 +1,1 @@
+lib/x86/instruction.mli: Opcode Operand Reg

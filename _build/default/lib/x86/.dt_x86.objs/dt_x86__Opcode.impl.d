@@ -1,0 +1,1 @@
+lib/x86/opcode.ml: Array Hashtbl List Printf Reg

@@ -1,0 +1,1 @@
+lib/x86/parser.ml: Buffer Instruction List Opcode Operand Printf Reg String

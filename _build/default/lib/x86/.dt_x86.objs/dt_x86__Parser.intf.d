@@ -1,0 +1,1 @@
+lib/x86/parser.mli: Instruction

@@ -1,0 +1,46 @@
+type t = { instrs : Instruction.t array }
+
+let of_array instrs =
+  if Array.length instrs = 0 then invalid_arg "Block.of_array: empty block";
+  { instrs }
+
+let of_list instrs = of_array (Array.of_list instrs)
+
+let parse s = of_list (Parser.block s)
+
+let length t = Array.length t.instrs
+
+let opcodes t =
+  Array.to_list t.instrs
+  |> List.map (fun (i : Instruction.t) -> i.opcode.index)
+  |> List.sort_uniq Int.compare
+
+let to_string t =
+  Array.to_list t.instrs |> List.map Instruction.to_string |> String.concat "\n"
+
+let equal a b = to_string a = to_string b
+
+let hash t = Hashtbl.hash (to_string t)
+
+let dependencies t =
+  let deps = Array.make (Array.length t.instrs) [] in
+  (* last_writer.(r) is the most recent instruction index writing register
+     index r, or -1. *)
+  let last_writer = Array.make Reg.count (-1) in
+  Array.iteri
+    (fun i instr ->
+      let reads =
+        if Instruction.is_zero_idiom instr then []
+        else Instruction.reads instr
+      in
+      deps.(i) <-
+        List.filter_map
+          (fun r ->
+            let w = last_writer.(Reg.index r) in
+            if w >= 0 then Some (w, r) else None)
+          reads;
+      List.iter
+        (fun r -> last_writer.(Reg.index r) <- i)
+        (Instruction.writes instr))
+    t.instrs;
+  deps

@@ -1,0 +1,30 @@
+(** Basic blocks: straight-line instruction sequences (no branches), the
+    unit of simulation and of the learned dataset — as in BHive. *)
+
+type t = { instrs : Instruction.t array }
+
+val of_list : Instruction.t list -> t
+val of_array : Instruction.t array -> t
+
+(** [parse s] builds a block from AT&T assembly text. *)
+val parse : string -> t
+
+val length : t -> int
+
+(** Distinct opcode indices appearing in the block. *)
+val opcodes : t -> int list
+
+(** Multi-line AT&T rendering. *)
+val to_string : t -> string
+
+(** Structural equality (same opcodes and operands in order). *)
+val equal : t -> t -> bool
+
+(** A content hash for block-wise-disjoint dataset splits. *)
+val hash : t -> int
+
+(** [dependencies b] computes, for each instruction index [i], the list of
+    [(producer_index, register)] pairs [i] register-depends on within a
+    single iteration of the block (the most recent earlier writer of each
+    register read). *)
+val dependencies : t -> (int * Reg.t) list array

@@ -1,0 +1,145 @@
+type t = { opcode : Opcode.t; operands : Operand.t array }
+
+(* Expected operand shape per slot: register, immediate, or memory. *)
+type slot_shape = SReg | SImm | SMem
+
+let form_shape = function
+  | Opcode.RR -> [ SReg; SReg ]
+  | RI -> [ SReg; SImm ]
+  | RM -> [ SReg; SMem ]
+  | MR -> [ SMem; SReg ]
+  | MI -> [ SMem; SImm ]
+  | R -> [ SReg ]
+  | M -> [ SMem ]
+  | I -> [ SImm ]
+  | RRI -> [ SReg; SReg; SImm ]
+  | RRR -> [ SReg; SReg; SReg ]
+  | NoOps -> []
+
+(* Register class expected in a given register slot.  Vector opcodes use
+   vector registers except for the GPR<->XMM transfer and conversion
+   opcodes, which mix classes. *)
+type reg_class = CGpr | CVec
+
+let slot_class (op : Opcode.t) slot =
+  match op.name with
+  | "CVTSI2SDrr" | "MOVQXRrr" -> if slot = 0 then CVec else CGpr
+  | "CVTTSD2SIrr" | "MOVQRXrr" -> if slot = 0 then CGpr else CVec
+  | _ -> if op.vec_op then CVec else CGpr
+
+let check_operand op slot shape operand =
+  let fail msg =
+    invalid_arg
+      (Printf.sprintf "Instruction.make: %s operand %d: %s" op.Opcode.name slot
+         msg)
+  in
+  match (shape, operand) with
+  | SImm, Operand.Imm _ -> ()
+  | SMem, Operand.Mem _ -> ()
+  | SReg, Operand.Reg r -> (
+      match (slot_class op slot, r) with
+      | CGpr, Reg.Gpr _ | CVec, Reg.Vec _ -> ()
+      | CGpr, (Reg.Vec _ | Reg.Flags) -> fail "expected a GPR"
+      | CVec, (Reg.Gpr _ | Reg.Flags) -> fail "expected a vector register")
+  | SImm, (Operand.Reg _ | Operand.Mem _) -> fail "expected an immediate"
+  | SMem, (Operand.Reg _ | Operand.Imm _) -> fail "expected a memory operand"
+  | SReg, (Operand.Imm _ | Operand.Mem _) -> fail "expected a register"
+
+let make opcode operands =
+  let shapes = form_shape opcode.Opcode.form in
+  if List.length operands <> List.length shapes then
+    invalid_arg
+      (Printf.sprintf "Instruction.make: %s expects %d operands, got %d"
+         opcode.name (List.length shapes) (List.length operands));
+  List.iteri
+    (fun slot (shape, operand) -> check_operand opcode slot shape operand)
+    (List.combine shapes operands);
+  { opcode; operands = Array.of_list operands }
+
+let make_named name operands =
+  match Opcode.by_name name with
+  | Some op -> make op operands
+  | None -> invalid_arg ("Instruction.make_named: unknown opcode " ^ name)
+
+let dedup_regs regs =
+  List.sort_uniq Reg.compare regs
+
+let mem_operand t =
+  Array.fold_left
+    (fun acc operand ->
+      match operand with Operand.Mem m -> Some m | _ -> acc)
+    None t.operands
+
+(* The "dst" slot is operand 0 for every form that has operands. *)
+let dst_slot_reg t =
+  if Array.length t.operands = 0 then None
+  else match t.operands.(0) with Operand.Reg r -> Some r | _ -> None
+
+let src_slot_regs t =
+  let regs = ref [] in
+  Array.iteri
+    (fun slot operand ->
+      match operand with
+      | Operand.Reg r when slot > 0 -> regs := r :: !regs
+      | _ -> ())
+    t.operands;
+  !regs
+
+let is_zero_idiom t =
+  t.opcode.zero_idiom
+  &&
+  match Array.length t.operands with
+  | 2 -> Operand.equal t.operands.(0) t.operands.(1)
+  | 3 ->
+      (* AVX three-operand idioms zero the destination when both sources
+         coincide (vpxor %x, %x, %y). *)
+      Operand.equal t.operands.(1) t.operands.(2)
+  | _ -> false
+
+let reads t =
+  let op = t.opcode in
+  let acc = ref op.implicit_reads in
+  if op.reads_flags then acc := Reg.Flags :: !acc;
+  (* Address registers of any memory operand are always read. *)
+  Array.iter
+    (fun operand ->
+      match operand with
+      | Operand.Mem m -> acc := Operand.mem_uses m @ !acc
+      | _ -> ())
+    t.operands;
+  (* Source register slots. *)
+  acc := src_slot_regs t @ !acc;
+  (* Destination register, when it is also a source. *)
+  (if op.dst_read then
+     match dst_slot_reg t with Some r -> acc := r :: !acc | None -> ());
+  dedup_regs !acc
+
+let writes t =
+  let op = t.opcode in
+  let acc = ref op.implicit_writes in
+  if op.writes_flags then acc := Reg.Flags :: !acc;
+  (if op.dst_written then
+     match dst_slot_reg t with Some r -> acc := r :: !acc | None -> ());
+  dedup_regs !acc
+
+let operand_width t slot =
+  let op = t.opcode in
+  match op.name with
+  | "MOVZX32rr" | "MOVZX32rm" | "MOVSX32rr" | "MOVSX32rm" ->
+      if slot = 0 then Reg.W32 else Reg.W8
+  | "CVTSI2SDrr" | "MOVQXRrr" -> if slot = 0 then Reg.W128 else Reg.W64
+  | "CVTTSD2SIrr" | "MOVQRXrr" -> if slot = 0 then Reg.W64 else Reg.W128
+  | _ -> op.width
+
+let to_string t =
+  let op = t.opcode in
+  let rendered =
+    Array.to_list
+      (Array.mapi
+         (fun slot operand -> Operand.to_string (operand_width t slot) operand)
+         t.operands)
+  in
+  (* AT&T prints sources first, destination last: reverse semantic order. *)
+  match List.rev rendered with
+  | [] -> op.att
+  | parts -> op.att ^ " " ^ String.concat ", " parts

@@ -1,0 +1,36 @@
+(** Instructions: an opcode applied to operands, with dependency metadata.
+
+    Operands are stored in semantic order (destination first), the reverse
+    of AT&T assembly order. *)
+
+type t = private { opcode : Opcode.t; operands : Operand.t array }
+
+(** [make opcode operands] validates the operand shapes against the
+    opcode's form (register/immediate/memory slots and register classes)
+    and builds an instruction.  Raises [Invalid_argument] on mismatch. *)
+val make : Opcode.t -> Operand.t list -> t
+
+(** [make_named name operands] is [make] with a {!Opcode.by_name} lookup.
+    Raises [Invalid_argument] for unknown opcode names. *)
+val make_named : string -> Operand.t list -> t
+
+(** Architectural registers read by the instruction, including address
+    registers of memory operands, implicit sources, and flags. *)
+val reads : t -> Reg.t list
+
+(** Architectural registers written, including implicit ones and flags. *)
+val writes : t -> Reg.t list
+
+(** The memory operand, if the instruction has one. *)
+val mem_operand : t -> Operand.mem option
+
+(** [is_zero_idiom i] — the instruction is a recognized zero idiom
+    (e.g. [xorl %eax, %eax]): dependency-breaking on real hardware. *)
+val is_zero_idiom : t -> bool
+
+(** The width used to render the register in operand slot [slot] —
+    handles mixed-width opcodes (MOVZX, CVTSI2SD, MOVQ transfers). *)
+val operand_width : t -> int -> Reg.width
+
+(** AT&T-syntax rendering, e.g. ["addl %eax, 16(%rsp)"]. *)
+val to_string : t -> string

@@ -1,0 +1,329 @@
+type form = RR | RI | RM | MR | MI | R | M | I | RRI | RRR | NoOps
+
+type kind =
+  | Alu
+  | Mul
+  | Div
+  | Shift
+  | Mov
+  | Movzx
+  | Stack
+  | Cmov
+  | Setcc
+  | Nop
+  | VecMove
+  | VecAlu
+  | VecMul
+  | VecDiv
+  | VecShuffle
+  | VecCvt
+  | VecFma
+
+type t = {
+  index : int;
+  name : string;
+  att : string;
+  form : form;
+  width : Reg.width;
+  kind : kind;
+  dst_read : bool;
+  dst_written : bool;
+  reads_flags : bool;
+  writes_flags : bool;
+  implicit_reads : Reg.t list;
+  implicit_writes : Reg.t list;
+  zero_idiom : bool;
+  vec_op : bool;
+  load : bool;
+  store : bool;
+}
+
+let operand_count = function
+  | RR | RI | RM | MR | MI -> 2
+  | R | M | I -> 1
+  | RRI | RRR -> 3
+  | NoOps -> 0
+
+let form_to_string = function
+  | RR -> "rr" | RI -> "ri" | RM -> "rm" | MR -> "mr" | MI -> "mi"
+  | R -> "r" | M -> "m" | I -> "i" | RRI -> "rri" | RRR -> "rrr"
+  | NoOps -> ""
+
+let kind_to_string = function
+  | Alu -> "alu" | Mul -> "mul" | Div -> "div" | Shift -> "shift"
+  | Mov -> "mov" | Movzx -> "movzx" | Stack -> "stack" | Cmov -> "cmov"
+  | Setcc -> "setcc" | Nop -> "nop" | VecMove -> "vecmove"
+  | VecAlu -> "vecalu" | VecMul -> "vecmul" | VecDiv -> "vecdiv"
+  | VecShuffle -> "vecshuffle" | VecCvt -> "veccvt" | VecFma -> "vecfma"
+
+(* ------------------------------------------------------------------ *)
+(* Database construction.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A row of the generation table: one mnemonic expanded over widths and
+   forms.  [dst_read] / flags / implicits are per-mnemonic properties. *)
+type spec = {
+  s_base : string;          (* LLVM-style base name, e.g. "ADD" *)
+  s_att : string;           (* AT&T base mnemonic, e.g. "add" *)
+  s_suffix : bool;          (* append AT&T width suffix (l/q/b)? *)
+  s_widths : Reg.width list;
+  s_forms : form list;
+  s_kind : kind;
+  s_dst_read : bool;
+  s_dst_written : bool;
+  s_reads_flags : bool;
+  s_writes_flags : bool;
+  s_implicit_reads : Reg.t list;
+  s_implicit_writes : Reg.t list;
+  s_zero_idiom : bool;      (* RR form is a zero idiom on equal operands *)
+  s_vec : bool;
+}
+
+let gpr_spec ?(dst_read = true) ?(dst_written = true) ?(reads_flags = false)
+    ?(writes_flags = true) ?(implicit_reads = []) ?(implicit_writes = [])
+    ?(zero_idiom = false) ?(widths = [ Reg.W32; Reg.W64 ]) ?(suffix = true)
+    ~kind ~forms base att =
+  {
+    s_base = base;
+    s_att = att;
+    s_suffix = suffix;
+    s_widths = widths;
+    s_forms = forms;
+    s_kind = kind;
+    s_dst_read = dst_read;
+    s_dst_written = dst_written;
+    s_reads_flags = reads_flags;
+    s_writes_flags = writes_flags;
+    s_implicit_reads = implicit_reads;
+    s_implicit_writes = implicit_writes;
+    s_zero_idiom = zero_idiom;
+    s_vec = false;
+  }
+
+let vec_spec ?(dst_read = true) ?(zero_idiom = false) ~kind ~forms base att =
+  {
+    s_base = base;
+    s_att = att;
+    s_suffix = false;
+    s_widths = [ Reg.W128 ];
+    s_forms = forms;
+    s_kind = kind;
+    s_dst_read = dst_read;
+    s_dst_written = true;
+    s_reads_flags = false;
+    s_writes_flags = false;
+    s_implicit_reads = [];
+    s_implicit_writes = [];
+    s_zero_idiom = zero_idiom;
+    s_vec = true;
+  }
+
+let rsp = Reg.Gpr Reg.RSP
+let rax = Reg.Gpr Reg.RAX
+let rdx = Reg.Gpr Reg.RDX
+
+let arith_forms = [ RR; RI; RM; MR; MI ]
+
+let specs : spec list =
+  [
+    (* -------------------- GPR data movement -------------------- *)
+    gpr_spec "MOV" "mov" ~kind:Mov ~forms:arith_forms ~dst_read:false
+      ~writes_flags:false ~widths:[ Reg.W16; Reg.W32; Reg.W64 ];
+    gpr_spec "MOVZX" "movzb" ~kind:Movzx ~forms:[ RR; RM ] ~dst_read:false
+      ~writes_flags:false ~widths:[ Reg.W32 ];
+    gpr_spec "MOVSX" "movsb" ~kind:Movzx ~forms:[ RR; RM ] ~dst_read:false
+      ~writes_flags:false ~widths:[ Reg.W32 ];
+    gpr_spec "LEA" "lea" ~kind:Alu ~forms:[ RM ] ~dst_read:false
+      ~writes_flags:false ~widths:[ Reg.W64 ];
+    (* -------------------- GPR arithmetic ----------------------- *)
+    gpr_spec "ADD" "add" ~kind:Alu ~forms:arith_forms
+      ~widths:[ Reg.W16; Reg.W32; Reg.W64 ];
+    gpr_spec "SUB" "sub" ~kind:Alu ~forms:arith_forms ~zero_idiom:true
+      ~widths:[ Reg.W16; Reg.W32; Reg.W64 ];
+    gpr_spec "AND" "and" ~kind:Alu ~forms:arith_forms
+      ~widths:[ Reg.W16; Reg.W32; Reg.W64 ];
+    gpr_spec "OR" "or" ~kind:Alu ~forms:arith_forms
+      ~widths:[ Reg.W16; Reg.W32; Reg.W64 ];
+    gpr_spec "XOR" "xor" ~kind:Alu ~forms:arith_forms ~zero_idiom:true
+      ~widths:[ Reg.W16; Reg.W32; Reg.W64 ];
+    gpr_spec "CMP" "cmp" ~kind:Alu ~forms:arith_forms ~dst_written:false
+      ~widths:[ Reg.W16; Reg.W32; Reg.W64 ];
+    gpr_spec "TEST" "test" ~kind:Alu ~forms:[ RR; RI ] ~dst_written:false;
+    gpr_spec "ADC" "adc" ~kind:Alu ~forms:[ RR; RI ] ~reads_flags:true;
+    gpr_spec "SBB" "sbb" ~kind:Alu ~forms:[ RR; RI ] ~reads_flags:true;
+    gpr_spec "INC" "inc" ~kind:Alu ~forms:[ R; M ];
+    gpr_spec "DEC" "dec" ~kind:Alu ~forms:[ R; M ];
+    gpr_spec "NEG" "neg" ~kind:Alu ~forms:[ R; M ];
+    gpr_spec "NOT" "not" ~kind:Alu ~forms:[ R; M ] ~writes_flags:false;
+    (* -------------------- shifts ------------------------------- *)
+    gpr_spec "SHL" "shl" ~kind:Shift ~forms:[ RI; MI ];
+    gpr_spec "SHR" "shr" ~kind:Shift ~forms:[ RI; MI ];
+    gpr_spec "SAR" "sar" ~kind:Shift ~forms:[ RI; MI ];
+    gpr_spec "ROL" "rol" ~kind:Shift ~forms:[ RI; MI ];
+    (* -------------------- multiply / divide -------------------- *)
+    gpr_spec "IMUL" "imul" ~kind:Mul ~forms:[ RR; RRI ];
+    gpr_spec "MUL" "mul" ~kind:Mul ~forms:[ R ] ~implicit_reads:[ rax ]
+      ~implicit_writes:[ rax; rdx ];
+    gpr_spec "DIV" "div" ~kind:Div ~forms:[ R ] ~implicit_reads:[ rax; rdx ]
+      ~implicit_writes:[ rax; rdx ];
+    gpr_spec "IDIV" "idiv" ~kind:Div ~forms:[ R ] ~implicit_reads:[ rax; rdx ]
+      ~implicit_writes:[ rax; rdx ];
+    (* -------------------- stack -------------------------------- *)
+    gpr_spec "PUSH" "push" ~kind:Stack ~forms:[ R; I ] ~dst_read:true
+      ~dst_written:false ~writes_flags:false ~widths:[ Reg.W64 ]
+      ~implicit_reads:[ rsp ] ~implicit_writes:[ rsp ];
+    gpr_spec "POP" "pop" ~kind:Stack ~forms:[ R ] ~dst_read:false
+      ~writes_flags:false ~widths:[ Reg.W64 ] ~implicit_reads:[ rsp ]
+      ~implicit_writes:[ rsp ];
+    (* -------------------- conditionals ------------------------- *)
+    gpr_spec "CMOVE" "cmove" ~kind:Cmov ~forms:[ RR ] ~reads_flags:true
+      ~writes_flags:false;
+    gpr_spec "CMOVNE" "cmovne" ~kind:Cmov ~forms:[ RR ] ~reads_flags:true
+      ~writes_flags:false;
+    gpr_spec "SETE" "sete" ~kind:Setcc ~forms:[ R ] ~dst_read:false
+      ~reads_flags:true ~writes_flags:false ~widths:[ Reg.W8 ];
+    gpr_spec "NOP" "nop" ~kind:Nop ~forms:[ NoOps ] ~writes_flags:false
+      ~widths:[ Reg.W32 ] ~suffix:false;
+    (* -------------------- vector moves ------------------------- *)
+    vec_spec "MOVAPS" "movaps" ~kind:VecMove ~forms:[ RR; RM; MR ]
+      ~dst_read:false;
+    vec_spec "MOVUPS" "movups" ~kind:VecMove ~forms:[ RM; MR ] ~dst_read:false;
+    vec_spec "MOVSDx" "movsd" ~kind:VecMove ~forms:[ RM; MR ] ~dst_read:false;
+    vec_spec "MOVQXR" "movq2x" ~kind:VecCvt ~forms:[ RR ] ~dst_read:false;
+    vec_spec "MOVQRX" "movx2q" ~kind:VecCvt ~forms:[ RR ] ~dst_read:false;
+    (* -------------------- vector integer ----------------------- *)
+    vec_spec "PADDD" "paddd" ~kind:VecAlu ~forms:[ RR; RM ];
+    vec_spec "PSUBD" "psubd" ~kind:VecAlu ~forms:[ RR; RM ] ~zero_idiom:true;
+    vec_spec "PAND" "pand" ~kind:VecAlu ~forms:[ RR; RM ];
+    vec_spec "POR" "por" ~kind:VecAlu ~forms:[ RR; RM ];
+    vec_spec "PXOR" "pxor" ~kind:VecAlu ~forms:[ RR; RM ] ~zero_idiom:true;
+    vec_spec "PMULLD" "pmulld" ~kind:VecMul ~forms:[ RR; RM ];
+    vec_spec "PMADDWD" "pmaddwd" ~kind:VecMul ~forms:[ RR; RM ];
+    vec_spec "PSLLD" "pslld" ~kind:VecAlu ~forms:[ RI ];
+    vec_spec "PSRLD" "psrld" ~kind:VecAlu ~forms:[ RI ];
+    (* -------------------- vector FP ---------------------------- *)
+    vec_spec "ADDPS" "addps" ~kind:VecAlu ~forms:[ RR; RM ];
+    vec_spec "SUBPS" "subps" ~kind:VecAlu ~forms:[ RR; RM ];
+    vec_spec "MULPS" "mulps" ~kind:VecMul ~forms:[ RR; RM ];
+    vec_spec "ADDPD" "addpd" ~kind:VecAlu ~forms:[ RR; RM ];
+    vec_spec "MULPD" "mulpd" ~kind:VecMul ~forms:[ RR; RM ];
+    vec_spec "MINPS" "minps" ~kind:VecAlu ~forms:[ RR ];
+    vec_spec "MAXPS" "maxps" ~kind:VecAlu ~forms:[ RR ];
+    vec_spec "DIVPS" "divps" ~kind:VecDiv ~forms:[ RR ];
+    vec_spec "DIVPD" "divpd" ~kind:VecDiv ~forms:[ RR ];
+    vec_spec "SQRTPS" "sqrtps" ~kind:VecDiv ~forms:[ RR ] ~dst_read:false;
+    vec_spec "XORPS" "xorps" ~kind:VecAlu ~forms:[ RR ] ~zero_idiom:true;
+    vec_spec "ANDPS" "andps" ~kind:VecAlu ~forms:[ RR ];
+    vec_spec "ORPS" "orps" ~kind:VecAlu ~forms:[ RR ];
+    vec_spec "MINPD" "minpd" ~kind:VecAlu ~forms:[ RR ];
+    vec_spec "MAXPD" "maxpd" ~kind:VecAlu ~forms:[ RR ];
+    (* -------------------- scalar FP ---------------------------- *)
+    vec_spec "ADDSS" "addss" ~kind:VecAlu ~forms:[ RR; RM ];
+    vec_spec "MULSS" "mulss" ~kind:VecMul ~forms:[ RR; RM ];
+    vec_spec "DIVSS" "divss" ~kind:VecDiv ~forms:[ RR ];
+    vec_spec "ADDSD" "addsd" ~kind:VecAlu ~forms:[ RR; RM ];
+    vec_spec "MULSD" "mulsd" ~kind:VecMul ~forms:[ RR; RM ];
+    vec_spec "DIVSD" "divsd" ~kind:VecDiv ~forms:[ RR ];
+    (* -------------------- shuffles, converts, FMA -------------- *)
+    vec_spec "SHUFPS" "shufps" ~kind:VecShuffle ~forms:[ RRI ];
+    vec_spec "UNPCKLPS" "unpcklps" ~kind:VecShuffle ~forms:[ RR ];
+    vec_spec "CVTSI2SD" "cvtsi2sd" ~kind:VecCvt ~forms:[ RR ] ~dst_read:false;
+    vec_spec "CVTSS2SD" "cvtss2sd" ~kind:VecCvt ~forms:[ RR ] ~dst_read:false;
+    vec_spec "CVTTSD2SI" "cvttsd2si" ~kind:VecCvt ~forms:[ RR ]
+      ~dst_read:false;
+    vec_spec "VFMADD231PS" "vfmadd231ps" ~kind:VecFma ~forms:[ RR ];
+    vec_spec "VFMADD231SD" "vfmadd231sd" ~kind:VecFma ~forms:[ RR ];
+    (* -------------------- AVX three-operand forms --------------- *)
+    vec_spec "VADDPS" "vaddps" ~kind:VecAlu ~forms:[ RRR ] ~dst_read:false;
+    vec_spec "VSUBPS" "vsubps" ~kind:VecAlu ~forms:[ RRR ] ~dst_read:false;
+    vec_spec "VMULPS" "vmulps" ~kind:VecMul ~forms:[ RRR ] ~dst_read:false;
+    vec_spec "VDIVPS" "vdivps" ~kind:VecDiv ~forms:[ RRR ] ~dst_read:false;
+    vec_spec "VADDPD" "vaddpd" ~kind:VecAlu ~forms:[ RRR ] ~dst_read:false;
+    vec_spec "VMULPD" "vmulpd" ~kind:VecMul ~forms:[ RRR ] ~dst_read:false;
+    vec_spec "VMINPS" "vminps" ~kind:VecAlu ~forms:[ RRR ] ~dst_read:false;
+    vec_spec "VMAXPS" "vmaxps" ~kind:VecAlu ~forms:[ RRR ] ~dst_read:false;
+    vec_spec "VPADDD" "vpaddd" ~kind:VecAlu ~forms:[ RRR ] ~dst_read:false;
+    vec_spec "VPSUBD" "vpsubd" ~kind:VecAlu ~forms:[ RRR ] ~dst_read:false
+      ~zero_idiom:true;
+    vec_spec "VPAND" "vpand" ~kind:VecAlu ~forms:[ RRR ] ~dst_read:false;
+    vec_spec "VPOR" "vpor" ~kind:VecAlu ~forms:[ RRR ] ~dst_read:false;
+    vec_spec "VPXOR" "vpxor" ~kind:VecAlu ~forms:[ RRR ] ~dst_read:false
+      ~zero_idiom:true;
+    vec_spec "VXORPS" "vxorps" ~kind:VecAlu ~forms:[ RRR ] ~dst_read:false
+      ~zero_idiom:true;
+  ]
+
+let width_infix = function
+  | Reg.W8 -> "8"
+  | Reg.W16 -> "16"
+  | Reg.W32 -> "32"
+  | Reg.W64 -> "64"
+  | Reg.W128 -> ""
+
+let att_suffix = function
+  | Reg.W8 -> "b"
+  | Reg.W16 -> "w"
+  | Reg.W32 -> "l"
+  | Reg.W64 -> "q"
+  | Reg.W128 -> ""
+
+(* Loads/stores implied by the form.  LEA computes an address without
+   touching memory; CMP/TEST memory operands are read-only; read-modify-
+   write forms (e.g. ADD64mi) both load and store. *)
+let form_memory_behaviour spec form =
+  let is_lea = spec.s_base = "LEA" in
+  match form with
+  | RM -> ((not is_lea), false)
+  | MR | MI | M -> (spec.s_dst_read, spec.s_dst_written)
+  | R | RR | RI | RRI | RRR | I | NoOps -> (false, false)
+
+let database =
+  let make index spec width form =
+    let load, store = form_memory_behaviour spec form in
+    let load = load || (spec.s_kind = Stack && spec.s_base = "POP") in
+    let store = store || (spec.s_kind = Stack && spec.s_base = "PUSH") in
+    {
+      index;
+      name =
+        Printf.sprintf "%s%s%s" spec.s_base (width_infix width)
+          (form_to_string form);
+      att = spec.s_att ^ (if spec.s_suffix then att_suffix width else "");
+      form;
+      width;
+      kind = spec.s_kind;
+      dst_read = spec.s_dst_read;
+      dst_written = spec.s_dst_written;
+      reads_flags = spec.s_reads_flags;
+      writes_flags = spec.s_writes_flags;
+      implicit_reads = spec.s_implicit_reads;
+      implicit_writes = spec.s_implicit_writes;
+      zero_idiom = (spec.s_zero_idiom && (form = RR || form = RRR));
+      vec_op = spec.s_vec;
+      load;
+      store;
+    }
+  in
+  let all =
+    List.concat_map
+      (fun spec ->
+        List.concat_map
+          (fun width -> List.map (fun form -> (spec, width, form)) spec.s_forms)
+          spec.s_widths)
+      specs
+  in
+  Array.of_list (List.mapi (fun i (spec, width, form) -> make i spec width form) all)
+
+let count = Array.length database
+
+let name_table = Hashtbl.create (2 * count)
+let att_table = Hashtbl.create (2 * count)
+
+let () =
+  Array.iter
+    (fun op ->
+      Hashtbl.replace name_table op.name op;
+      Hashtbl.replace att_table (op.att, op.form) op)
+    database
+
+let by_name name = Hashtbl.find_opt name_table name
+let by_att ~att ~form = Hashtbl.find_opt att_table (att, form)

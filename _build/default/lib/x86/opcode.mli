@@ -1,0 +1,79 @@
+(** The opcode database.
+
+    Each opcode is a (mnemonic, operand form, width) triple with semantic
+    metadata, mirroring LLVM's flattened opcode namespace (e.g. [ADD32rr],
+    [PUSH64r], [SHR64mi]).  The database is the index space for all learned
+    per-instruction parameter tables, exactly as the 837 BHive opcodes are
+    for the paper. *)
+
+(** Operand form.  Operands are stored in semantic order, destination
+    first; AT&T printing reverses them.
+    - [RR]: dst reg, src reg
+    - [RI]: dst reg, immediate
+    - [RM]: dst reg, memory source (a load, except LEA)
+    - [MR]: memory destination, src reg
+    - [MI]: memory destination, immediate
+    - [R] / [M] / [I]: single operand
+    - [RRI]: dst reg, src reg, immediate
+    - [RRR]: AVX three-operand: dst reg, src1 reg, src2 reg (dst not read)
+    - [NoOps]: no operands (NOP) *)
+type form = RR | RI | RM | MR | MI | R | M | I | RRI | RRR | NoOps
+
+(** Semantic class, used to derive reference-CPU performance characteristics
+    and BHive-style block categories. *)
+type kind =
+  | Alu          (** one-cycle integer ALU: add/sub/logic/cmp/test/lea *)
+  | Mul          (** integer multiply *)
+  | Div          (** integer divide *)
+  | Shift        (** shifts and rotates *)
+  | Mov          (** GPR moves, loads, stores *)
+  | Movzx        (** zero/sign extension *)
+  | Stack        (** push/pop (stack-engine candidates) *)
+  | Cmov
+  | Setcc
+  | Nop
+  | VecMove      (** vector moves, loads, stores *)
+  | VecAlu       (** integer/logic vector ALU and FP add *)
+  | VecMul       (** vector multiplies (int and FP) *)
+  | VecDiv       (** vector divides and square roots *)
+  | VecShuffle
+  | VecCvt       (** conversions and GPR<->XMM transfers *)
+  | VecFma
+
+type t = {
+  index : int;           (** dense index in [0, count) *)
+  name : string;         (** LLVM-style name, e.g. "ADD32rr" *)
+  att : string;          (** AT&T mnemonic, e.g. "addl" *)
+  form : form;
+  width : Reg.width;     (** operation width *)
+  kind : kind;
+  dst_read : bool;       (** destination operand is also a source (ADD yes, MOV no) *)
+  dst_written : bool;    (** destination operand is written (CMP/TEST/PUSH no) *)
+  reads_flags : bool;
+  writes_flags : bool;
+  implicit_reads : Reg.t list;
+  implicit_writes : Reg.t list;
+  zero_idiom : bool;     (** zero idiom when both register operands coincide *)
+  vec_op : bool;         (** operates on vector registers *)
+  load : bool;           (** reads memory *)
+  store : bool;          (** writes memory *)
+}
+
+(** All opcodes; index [i] holds the opcode with [index = i]. *)
+val database : t array
+
+(** Number of opcodes ([Array.length database]). *)
+val count : int
+
+(** [by_name "ADD32rr"] looks an opcode up by LLVM-style name. *)
+val by_name : string -> t option
+
+(** [by_att ~att ~form] resolves an AT&T mnemonic and operand shape, for
+    the parser. *)
+val by_att : att:string -> form:form -> t option
+
+(** [operand_count f] is the arity of a form. *)
+val operand_count : form -> int
+
+val form_to_string : form -> string
+val kind_to_string : kind -> string

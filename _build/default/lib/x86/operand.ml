@@ -1,0 +1,50 @@
+type mem = {
+  base : Reg.gpr option;
+  index : Reg.gpr option;
+  scale : int;
+  disp : int;
+}
+
+type t = Reg of Reg.t | Imm of int | Mem of mem
+
+let mem ?base ?index ?(scale = 1) ?(disp = 0) () =
+  (match scale with
+  | 1 | 2 | 4 | 8 -> ()
+  | _ -> invalid_arg "Operand.mem: scale must be 1, 2, 4 or 8");
+  if index = None && scale <> 1 then
+    invalid_arg "Operand.mem: scale without index";
+  if base = None && index = None then
+    invalid_arg "Operand.mem: absolute addressing is not modeled";
+  Mem { base; index; scale; disp }
+
+let mem_uses m =
+  let add acc = function Some g -> Reg.Gpr g :: acc | None -> acc in
+  add (add [] m.base) m.index
+
+let equal a b =
+  match (a, b) with
+  | Reg r1, Reg r2 -> Reg.equal r1 r2
+  | Imm i1, Imm i2 -> i1 = i2
+  | Mem m1, Mem m2 ->
+      m1.base = m2.base && m1.index = m2.index && m1.scale = m2.scale
+      && m1.disp = m2.disp
+  | (Reg _ | Imm _ | Mem _), _ -> false
+
+let to_string width = function
+  | Imm i -> Printf.sprintf "$%d" i
+  | Reg (Reg.Gpr g) -> "%" ^ Reg.gpr_name g width
+  | Reg (Reg.Vec v) -> "%" ^ Reg.vec_name v
+  | Reg Reg.Flags -> "%flags"
+  | Mem m ->
+      let disp = if m.disp = 0 then "" else string_of_int m.disp in
+      let base =
+        match m.base with
+        | Some g -> "%" ^ Reg.gpr_name g Reg.W64
+        | None -> ""
+      in
+      let index =
+        match m.index with
+        | Some g -> Printf.sprintf ",%%%s,%d" (Reg.gpr_name g Reg.W64) m.scale
+        | None -> ""
+      in
+      Printf.sprintf "%s(%s%s)" disp base index

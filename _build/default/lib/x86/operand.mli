@@ -1,0 +1,28 @@
+(** Instruction operands. *)
+
+(** A memory reference in x86 addressing form: [disp(base, index, scale)].
+    [scale] is meaningful only when [index] is present and must be one of
+    1, 2, 4, 8. *)
+type mem = {
+  base : Reg.gpr option;
+  index : Reg.gpr option;
+  scale : int;
+  disp : int;
+}
+
+type t = Reg of Reg.t | Imm of int | Mem of mem
+
+(** [mem ?base ?index ?scale ?disp ()] builds a memory operand, checking
+    the scale.  Raises [Invalid_argument] on a malformed reference. *)
+val mem : ?base:Reg.gpr -> ?index:Reg.gpr -> ?scale:int -> ?disp:int -> unit -> t
+
+(** Registers read when computing the effective address of [m]. *)
+val mem_uses : mem -> Reg.t list
+
+(** Structural equality; used by the reference CPU's conservative memory
+    alias analysis (two references alias iff syntactically equal). *)
+val equal : t -> t -> bool
+
+(** AT&T-syntax rendering at a given operand width (for register names):
+    [%eax], [$5], [16(%rsp)], [8(%rax,%rbx,4)]. *)
+val to_string : Reg.width -> t -> string

@@ -1,0 +1,136 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let strip s = String.trim s
+
+(* Split on top-level commas (commas inside parentheses belong to memory
+   operands). *)
+let split_operands s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' ->
+          decr depth;
+          Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  if Buffer.length buf > 0 || !parts <> [] then
+    parts := Buffer.contents buf :: !parts;
+  List.rev_map strip !parts
+
+let parse_register s =
+  match Reg.gpr_of_name s with
+  | g, _width -> Reg.Gpr g
+  | exception Not_found -> (
+      match Reg.vec_of_name s with
+      | v -> Reg.Vec v
+      | exception Not_found -> fail "unknown register %%%s" s)
+
+let parse_mem s =
+  let open_paren =
+    match String.index_opt s '(' with
+    | Some i -> i
+    | None -> fail "malformed memory operand %S" s
+  in
+  if s.[String.length s - 1] <> ')' then fail "malformed memory operand %S" s;
+  let disp_str = strip (String.sub s 0 open_paren) in
+  let disp =
+    if disp_str = "" then 0
+    else
+      match int_of_string_opt disp_str with
+      | Some d -> d
+      | None -> fail "bad displacement %S" disp_str
+  in
+  let inner = String.sub s (open_paren + 1) (String.length s - open_paren - 2) in
+  let fields = String.split_on_char ',' inner |> List.map strip in
+  let reg_of_field f =
+    if String.length f < 2 || f.[0] <> '%' then fail "bad base register %S" f
+    else
+      match parse_register (String.sub f 1 (String.length f - 1)) with
+      | Reg.Gpr g -> g
+      | Reg.Vec _ | Reg.Flags -> fail "memory base must be a GPR: %S" f
+  in
+  match fields with
+  | [ base ] -> Operand.mem ~base:(reg_of_field base) ~disp ()
+  | [ base; index ] ->
+      Operand.mem ~base:(reg_of_field base) ~index:(reg_of_field index) ~disp ()
+  | [ base; index; scale ] ->
+      let scale =
+        match int_of_string_opt scale with
+        | Some k -> k
+        | None -> fail "bad scale %S" scale
+      in
+      let index = reg_of_field index in
+      if base = "" then Operand.mem ~index ~scale ~disp ()
+      else Operand.mem ~base:(reg_of_field base) ~index ~scale ~disp ()
+  | _ -> fail "malformed memory operand %S" s
+
+let parse_operand s =
+  if s = "" then fail "empty operand"
+  else if s.[0] = '$' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some i -> Operand.Imm i
+    | None -> fail "bad immediate %S" s
+  else if s.[0] = '%' then
+    Operand.Reg (parse_register (String.sub s 1 (String.length s - 1)))
+  else if String.contains s '(' then parse_mem s
+  else fail "unrecognized operand %S" s
+
+(* Determine the semantic form from AT&T operand order (sources first). *)
+let classify_form operands =
+  let open Operand in
+  match operands with
+  | [] -> (Opcode.NoOps, [])
+  | [ (Reg _ as r) ] -> (Opcode.R, [ r ])
+  | [ (Imm _ as i) ] -> (Opcode.I, [ i ])
+  | [ (Mem _ as m) ] -> (Opcode.M, [ m ])
+  | [ (Reg _ as src); (Reg _ as dst) ] -> (Opcode.RR, [ dst; src ])
+  | [ (Imm _ as imm); (Reg _ as dst) ] -> (Opcode.RI, [ dst; imm ])
+  | [ (Mem _ as m); (Reg _ as dst) ] -> (Opcode.RM, [ dst; m ])
+  | [ (Reg _ as src); (Mem _ as m) ] -> (Opcode.MR, [ m; src ])
+  | [ (Imm _ as imm); (Mem _ as m) ] -> (Opcode.MI, [ m; imm ])
+  | [ (Imm _ as imm); (Reg _ as src); (Reg _ as dst) ] ->
+      (Opcode.RRI, [ dst; src; imm ])
+  | [ (Reg _ as src2); (Reg _ as src1); (Reg _ as dst) ] ->
+      (Opcode.RRR, [ dst; src1; src2 ])
+  | _ -> fail "unsupported operand combination"
+
+let instruction line =
+  let line = strip line in
+  if line = "" then fail "empty instruction";
+  let mnemonic, rest =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+        (String.sub line 0 i, String.sub line i (String.length line - i))
+  in
+  let operands = if strip rest = "" then [] else split_operands (strip rest) in
+  let operands = List.map parse_operand operands in
+  let form, semantic = classify_form operands in
+  match Opcode.by_att ~att:mnemonic ~form with
+  | Some op -> Instruction.make op semantic
+  | None -> fail "unknown instruction %S (form %s)" mnemonic
+              (Opcode.form_to_string form)
+
+let block text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.concat_map (String.split_on_char ';')
+    |> List.map (fun line ->
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line)
+    |> List.map strip
+    |> List.filter (fun line -> line <> "")
+  in
+  List.map instruction lines

@@ -1,0 +1,16 @@
+(** Parser for the AT&T-syntax subset printed by {!Instruction.to_string}.
+
+    The grammar is one instruction per line (or [';']-separated):
+    {v mnemonic [operand {, operand}] v} with operands
+    [$imm], [%reg], or [disp(%base,%index,scale)].  Comments start with
+    ['#'] and run to end of line. *)
+
+exception Parse_error of string
+
+(** [instruction s] parses a single instruction.
+    Raises {!Parse_error} on malformed input or unknown opcodes. *)
+val instruction : string -> Instruction.t
+
+(** [block s] parses a whole basic block (newline- or [';']-separated).
+    Empty lines and comments are skipped. *)
+val block : string -> Instruction.t list

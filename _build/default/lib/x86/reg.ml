@@ -1,0 +1,99 @@
+type gpr =
+  | RAX | RBX | RCX | RDX | RSI | RDI | RBP | RSP
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+type vec =
+  | XMM0 | XMM1 | XMM2 | XMM3 | XMM4 | XMM5 | XMM6 | XMM7
+  | XMM8 | XMM9 | XMM10 | XMM11 | XMM12 | XMM13 | XMM14 | XMM15
+
+type t = Gpr of gpr | Vec of vec | Flags
+
+let all_gprs =
+  [| RAX; RBX; RCX; RDX; RSI; RDI; RBP; RSP;
+     R8; R9; R10; R11; R12; R13; R14; R15 |]
+
+let all_vecs =
+  [| XMM0; XMM1; XMM2; XMM3; XMM4; XMM5; XMM6; XMM7;
+     XMM8; XMM9; XMM10; XMM11; XMM12; XMM13; XMM14; XMM15 |]
+
+let gpr_index = function
+  | RAX -> 0 | RBX -> 1 | RCX -> 2 | RDX -> 3
+  | RSI -> 4 | RDI -> 5 | RBP -> 6 | RSP -> 7
+  | R8 -> 8 | R9 -> 9 | R10 -> 10 | R11 -> 11
+  | R12 -> 12 | R13 -> 13 | R14 -> 14 | R15 -> 15
+
+let vec_index = function
+  | XMM0 -> 0 | XMM1 -> 1 | XMM2 -> 2 | XMM3 -> 3
+  | XMM4 -> 4 | XMM5 -> 5 | XMM6 -> 6 | XMM7 -> 7
+  | XMM8 -> 8 | XMM9 -> 9 | XMM10 -> 10 | XMM11 -> 11
+  | XMM12 -> 12 | XMM13 -> 13 | XMM14 -> 14 | XMM15 -> 15
+
+let count = 16 + 16 + 1
+
+let index = function
+  | Gpr g -> gpr_index g
+  | Vec v -> 16 + vec_index v
+  | Flags -> 32
+
+let equal a b = index a = index b
+let compare a b = Int.compare (index a) (index b)
+
+type width = W8 | W16 | W32 | W64 | W128
+
+let width_bits = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64 | W128 -> 128
+
+(* Names in column order: 64-bit, 32-bit, 16-bit, 8-bit. *)
+let gpr_names =
+  [| ("rax", "eax", "ax", "al");
+     ("rbx", "ebx", "bx", "bl");
+     ("rcx", "ecx", "cx", "cl");
+     ("rdx", "edx", "dx", "dl");
+     ("rsi", "esi", "si", "sil");
+     ("rdi", "edi", "di", "dil");
+     ("rbp", "ebp", "bp", "bpl");
+     ("rsp", "esp", "sp", "spl");
+     ("r8", "r8d", "r8w", "r8b");
+     ("r9", "r9d", "r9w", "r9b");
+     ("r10", "r10d", "r10w", "r10b");
+     ("r11", "r11d", "r11w", "r11b");
+     ("r12", "r12d", "r12w", "r12b");
+     ("r13", "r13d", "r13w", "r13b");
+     ("r14", "r14d", "r14w", "r14b");
+     ("r15", "r15d", "r15w", "r15b") |]
+
+let gpr_name g w =
+  let n64, n32, n16, n8 = gpr_names.(gpr_index g) in
+  match w with
+  | W64 | W128 -> n64
+  | W32 -> n32
+  | W16 -> n16
+  | W8 -> n8
+
+let vec_name v = Printf.sprintf "xmm%d" (vec_index v)
+
+let name = function
+  | Gpr g -> gpr_name g W64
+  | Vec v -> vec_name v
+  | Flags -> "flags"
+
+let gpr_of_name s =
+  let rec scan i =
+    if i >= Array.length gpr_names then raise Not_found
+    else
+      let n64, n32, n16, n8 = gpr_names.(i) in
+      if s = n64 then (all_gprs.(i), W64)
+      else if s = n32 then (all_gprs.(i), W32)
+      else if s = n16 then (all_gprs.(i), W16)
+      else if s = n8 then (all_gprs.(i), W8)
+      else scan (i + 1)
+  in
+  scan 0
+
+let vec_of_name s =
+  let prefix = "xmm" in
+  let plen = String.length prefix in
+  if String.length s > plen && String.sub s 0 plen = prefix then
+    match int_of_string_opt (String.sub s plen (String.length s - plen)) with
+    | Some i when i >= 0 && i < 16 -> all_vecs.(i)
+    | _ -> raise Not_found
+  else raise Not_found

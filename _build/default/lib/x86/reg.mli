@@ -1,0 +1,56 @@
+(** Architectural registers of the x86-64 subset modeled in this repo.
+
+    The simulators track dependencies at the granularity of full
+    architectural registers: a write to [EAX] is treated as a write to
+    [RAX].  This matches llvm-mca's register-file model for the
+    integer/vector subset we simulate (partial-register stalls are out of
+    scope, as they are for llvm-mca's default Intel model). *)
+
+(** 64-bit general-purpose registers. *)
+type gpr =
+  | RAX | RBX | RCX | RDX | RSI | RDI | RBP | RSP
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+(** 128-bit vector registers (XMM0-XMM15). *)
+type vec =
+  | XMM0 | XMM1 | XMM2 | XMM3 | XMM4 | XMM5 | XMM6 | XMM7
+  | XMM8 | XMM9 | XMM10 | XMM11 | XMM12 | XMM13 | XMM14 | XMM15
+
+(** A register as tracked by dependency analysis.  [Flags] stands for the
+    whole RFLAGS status-flag group, which is how llvm-mca's scheduling
+    model treats EFLAGS dependencies. *)
+type t = Gpr of gpr | Vec of vec | Flags
+
+val all_gprs : gpr array
+val all_vecs : vec array
+
+(** Total number of distinct {!t} values; useful for dense tables. *)
+val count : int
+
+(** [index r] is a dense index in [0, count). *)
+val index : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Operand width, in bits, as encoded by the opcode form. *)
+type width = W8 | W16 | W32 | W64 | W128
+
+val width_bits : width -> int
+
+(** [gpr_name g w] is the AT&T register name at width [w],
+    e.g. [gpr_name RAX W32 = "eax"]. *)
+val gpr_name : gpr -> width -> string
+
+(** [vec_name v] is e.g. ["xmm3"]. *)
+val vec_name : vec -> string
+
+(** [name r] is a canonical 64-bit/full-width name for display. *)
+val name : t -> string
+
+(** [gpr_of_name s] parses any width alias ("rax", "eax", "ax", "al", ...).
+    Raises [Not_found] for unknown names. *)
+val gpr_of_name : string -> gpr * width
+
+(** [vec_of_name s] parses ["xmm0"].. ["xmm15"].  Raises [Not_found]. *)
+val vec_of_name : string -> vec

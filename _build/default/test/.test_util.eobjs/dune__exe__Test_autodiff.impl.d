@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Array Dt_autodiff Dt_tensor Dt_util Float List QCheck QCheck_alcotest

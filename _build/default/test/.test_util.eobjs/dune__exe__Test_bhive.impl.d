@@ -1,0 +1,1 @@
+test/test_bhive.ml: Alcotest Array Dataset Dt_bhive Dt_refcpu Dt_util Dt_x86 Export Filename Float Fun Generator Hashtbl List Printf QCheck QCheck_alcotest Sys

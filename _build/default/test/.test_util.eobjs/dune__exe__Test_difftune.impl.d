@@ -1,0 +1,1 @@
+test/test_difftune.ml: Alcotest Array Dt_autodiff Dt_bhive Dt_difftune Dt_mca Dt_refcpu Dt_tensor Dt_util Dt_x86 Float Option Printf

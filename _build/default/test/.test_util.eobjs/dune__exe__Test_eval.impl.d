@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Dt_eval Dt_util Float Gen List QCheck QCheck_alcotest

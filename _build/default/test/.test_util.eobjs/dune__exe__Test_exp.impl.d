@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array Dt_bhive Dt_exp Dt_mca Dt_refcpu Dt_x86 Hashtbl List Printf Unix

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dt_bhive Dt_difftune Dt_mca Dt_refcpu Dt_util Dt_x86 Filename Float Fun List Option Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_iaca.ml: Alcotest Array Dt_bhive Dt_iaca Dt_mca Dt_refcpu Dt_util Dt_x86 Float List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dt_bhive Dt_difftune Dt_eval Dt_mca Dt_refcpu Dt_util Dt_x86 Float List Option Printf

@@ -1,0 +1,1 @@
+test/test_mca.ml: Alcotest Array Block Dt_bhive Dt_difftune Dt_mca Dt_refcpu Dt_util Dt_x86 Float Instruction List Operand Option Params Pipeline Printf QCheck QCheck_alcotest Reg

@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Array Dt_mca Dt_measure Dt_refcpu Dt_x86 Float List Option Printf

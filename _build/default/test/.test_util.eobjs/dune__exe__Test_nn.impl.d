@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Dt_autodiff Dt_nn Dt_tensor Dt_util List Nn Printf

@@ -1,0 +1,1 @@
+test/test_opentuner.ml: Alcotest Array Dt_opentuner Dt_util Float List Printf QCheck QCheck_alcotest

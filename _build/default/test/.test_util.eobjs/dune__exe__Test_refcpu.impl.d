@@ -1,0 +1,1 @@
+test/test_refcpu.ml: Alcotest Array Block Dt_bhive Dt_refcpu Dt_util Dt_x86 Float Instruction List Machine Operand Option Printf QCheck QCheck_alcotest Reg Uarch

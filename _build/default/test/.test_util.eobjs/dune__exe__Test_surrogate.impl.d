@@ -1,0 +1,1 @@
+test/test_surrogate.ml: Alcotest Array Dt_autodiff Dt_bhive Dt_nn Dt_surrogate Dt_tensor Dt_util Dt_x86 Float List Model Tokenizer

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dt_tensor Dt_util Float QCheck QCheck_alcotest

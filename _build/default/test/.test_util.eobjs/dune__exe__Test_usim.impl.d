@@ -1,0 +1,1 @@
+test/test_usim.ml: Alcotest Array Dt_bhive Dt_difftune Dt_mca Dt_refcpu Dt_usim Dt_util Dt_x86 Float List Option Printf QCheck QCheck_alcotest Usim

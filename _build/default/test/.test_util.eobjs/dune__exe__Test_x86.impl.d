@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Array Block Dt_bhive Dt_util Dt_x86 Fun Instruction List Opcode Operand Option Parser QCheck QCheck_alcotest Reg

@@ -1,0 +1,269 @@
+(* Tests for reverse-mode autodiff: every operation is checked against
+   central finite differences. *)
+
+module T = Dt_tensor.Tensor
+module Ad = Dt_autodiff.Ad
+module Rng = Dt_util.Rng
+
+(* Generic finite-difference check: [f] builds a scalar loss from leaf
+   parameter tensors. *)
+let fd_check ?(eps = 1e-5) ?(tol = 1e-3) name params f =
+  let grads =
+    List.map (fun p -> T.zeros ~rows:p.T.rows ~cols:p.T.cols) params
+  in
+  let ctx = Ad.new_ctx () in
+  let leaves =
+    List.map2 (fun value grad -> Ad.leaf ~value ~grad) params grads
+  in
+  let loss = f ctx leaves in
+  Ad.backward ctx loss;
+  List.iteri
+    (fun pi p ->
+      let grad = List.nth grads pi in
+      for k = 0 to T.size p - 1 do
+        let orig = p.T.data.(k) in
+        let eval v =
+          p.T.data.(k) <- v;
+          let ctx = Ad.new_ctx () in
+          let leaves =
+            List.map2
+              (fun value grad -> Ad.leaf ~value ~grad)
+              params
+              (List.map (fun q -> T.zeros ~rows:q.T.rows ~cols:q.T.cols) params)
+          in
+          let l = Ad.scalar_value (f ctx leaves) in
+          p.T.data.(k) <- orig;
+          l
+        in
+        let fd = (eval (orig +. eps) -. eval (orig -. eps)) /. (2.0 *. eps) in
+        let an = grad.T.data.(k) in
+        let denom = Float.max 1.0 (Float.abs fd +. Float.abs an) in
+        if Float.abs (fd -. an) /. denom > tol then
+          Alcotest.failf "%s: param %d[%d] fd=%.6g ad=%.6g" name pi k fd an
+      done)
+    params
+
+let vec rng n = T.randn rng ~rows:1 ~cols:n ~sigma:1.0
+
+let get1 = function [ a ] -> a | _ -> assert false
+let get2 = function [ a; b ] -> (a, b) | _ -> assert false
+let get3 = function [ a; b; c ] -> (a, b, c) | _ -> assert false
+
+(* Reduce any node to a scalar via mape against a fixed target, after a
+   sum to scalar. *)
+let to_loss ctx node = Ad.mape ctx (Ad.sum_all ctx node) ~target:2.0
+
+let test_matvec () =
+  let rng = Rng.create 1 in
+  let m = T.randn rng ~rows:4 ~cols:3 ~sigma:1.0 in
+  let x = vec rng 3 in
+  fd_check "matvec" [ m; x ] (fun ctx leaves ->
+      let m, x = get2 leaves in
+      to_loss ctx (Ad.matvec ctx ~m ~x))
+
+let test_row () =
+  let rng = Rng.create 2 in
+  let m = T.randn rng ~rows:5 ~cols:3 ~sigma:1.0 in
+  fd_check "row" [ m ] (fun ctx leaves ->
+      let m = get1 leaves in
+      let r1 = Ad.row ctx ~m 2 in
+      let r2 = Ad.row ctx ~m 2 in
+      (* Same row twice: gradients must accumulate. *)
+      to_loss ctx (Ad.add ctx r1 r2))
+
+let test_add_mul () =
+  let rng = Rng.create 3 in
+  let a = vec rng 4 and b = vec rng 4 in
+  fd_check "add+mul" [ a; b ] (fun ctx leaves ->
+      let a, b = get2 leaves in
+      to_loss ctx (Ad.mul ctx (Ad.add ctx a b) b))
+
+let test_concat_slice () =
+  let rng = Rng.create 4 in
+  let a = vec rng 2 and b = vec rng 3 in
+  fd_check "concat+slice" [ a; b ] (fun ctx leaves ->
+      let a, b = get2 leaves in
+      let c = Ad.concat ctx [ a; b ] in
+      to_loss ctx (Ad.slice ctx c ~pos:1 ~len:3))
+
+let test_activations () =
+  let rng = Rng.create 5 in
+  let a = vec rng 5 in
+  List.iter
+    (fun (name, op) ->
+      fd_check name [ T.copy a ] (fun ctx leaves ->
+          to_loss ctx (op ctx (get1 leaves))))
+    [
+      ("sigmoid", Ad.sigmoid);
+      ("tanh", Ad.tanh_);
+      ("exp", Ad.exp_);
+      ("scale", fun ctx v -> Ad.scale ctx v 0.7);
+      ("affine", fun ctx v -> Ad.affine ctx v ~mul:2.0 ~add:(-0.5));
+    ]
+
+let test_relu_abs_away_from_kink () =
+  (* relu/abs gradients checked at points away from 0 where FD is valid. *)
+  let a = T.vector [| 0.5; -0.7; 1.2; -2.0 |] in
+  fd_check "relu" [ T.copy a ] (fun ctx leaves ->
+      to_loss ctx (Ad.relu ctx (get1 leaves)));
+  fd_check "abs" [ T.copy a ] (fun ctx leaves ->
+      to_loss ctx (Ad.abs_ ctx (get1 leaves)))
+
+let test_max2_div () =
+  let a = T.vector [| 1.0; 5.0; 2.0 |] and b = T.vector [| 3.0; 1.0; 2.5 |] in
+  fd_check "max2" [ T.copy a; T.copy b ] (fun ctx leaves ->
+      let a, b = get2 leaves in
+      to_loss ctx (Ad.max2 ctx a b));
+  fd_check "div" [ T.copy a; T.copy b ] (fun ctx leaves ->
+      let a, b = get2 leaves in
+      to_loss ctx (Ad.div ctx a b))
+
+let test_reductions () =
+  let a = T.vector [| 1.0; 5.0; 2.0 |] in
+  fd_check "sum_all" [ T.copy a ] (fun ctx leaves ->
+      to_loss ctx (Ad.sum_all ctx (get1 leaves)));
+  fd_check "reduce_max" [ T.copy a ] (fun ctx leaves ->
+      to_loss ctx (Ad.reduce_max ctx (get1 leaves)))
+
+let test_mape_value () =
+  let p = T.vector [| 3.0 |] in
+  let g = T.zeros ~rows:1 ~cols:1 in
+  let ctx = Ad.new_ctx () in
+  let leaf = Ad.leaf ~value:p ~grad:g in
+  let l = Ad.mape ctx leaf ~target:2.0 in
+  Alcotest.(check (float 1e-9)) "mape value" 0.5 (Ad.scalar_value l);
+  Ad.backward ctx l;
+  Alcotest.(check (float 1e-9)) "mape grad" 0.5 g.T.data.(0)
+
+let test_mape_rejects () =
+  let ctx = Ad.new_ctx () in
+  let n = Ad.constant ctx (T.vector [| 1.0 |]) in
+  Alcotest.(check bool) "target <= 0" true
+    (try
+       ignore (Ad.mape ctx n ~target:0.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_composite_deep () =
+  (* A small composite resembling the surrogate head. *)
+  let rng = Rng.create 6 in
+  let w1 = T.randn rng ~rows:4 ~cols:3 ~sigma:0.7 in
+  let w2 = T.randn rng ~rows:1 ~cols:4 ~sigma:0.7 in
+  let x = vec rng 3 in
+  fd_check "composite" [ w1; w2; x ] (fun ctx leaves ->
+      let w1, w2, x = get3 leaves in
+      let h = Ad.tanh_ ctx (Ad.matvec ctx ~m:w1 ~x) in
+      let o = Ad.matvec ctx ~m:w2 ~x:h in
+      Ad.mape ctx o ~target:1.3)
+
+let test_grad_accumulation_across_passes () =
+  (* Two backward passes without clearing: gradients sum. *)
+  let v = T.vector [| 2.0 |] in
+  let g = T.zeros ~rows:1 ~cols:1 in
+  let leaf = Ad.leaf ~value:v ~grad:g in
+  let run () =
+    let ctx = Ad.new_ctx () in
+    let l = Ad.mape ctx (Ad.scale ctx leaf 1.0) ~target:1.0 in
+    Ad.backward ctx l
+  in
+  run ();
+  let g1 = g.T.data.(0) in
+  run ();
+  Alcotest.(check (float 1e-9)) "doubled" (2.0 *. g1) g.T.data.(0)
+
+let test_tape_size () =
+  let ctx = Ad.new_ctx () in
+  let a = Ad.constant ctx (T.vector [| 1.0 |]) in
+  let _ = Ad.add ctx a a in
+  Alcotest.(check int) "two nodes" 2 (Ad.tape_size ctx)
+
+let test_exp_clamped () =
+  let ctx = Ad.new_ctx () in
+  let n = Ad.exp_ ctx (Ad.constant ctx (T.vector [| 100.0 |])) in
+  Alcotest.(check bool) "no overflow" true
+    (Float.is_finite (Ad.scalar_value (Ad.sum_all ctx n)))
+
+let test_reduce_max_ties () =
+  (* Ties: the subgradient goes to exactly one element. *)
+  let v = T.vector [| 2.0; 2.0; 1.0 |] in
+  let g = T.zeros ~rows:1 ~cols:3 in
+  let leaf = Ad.leaf ~value:v ~grad:g in
+  let ctx = Ad.new_ctx () in
+  let l = Ad.mape ctx (Ad.reduce_max ctx leaf) ~target:1.0 in
+  Ad.backward ctx l;
+  Alcotest.(check (float 1e-9)) "total mass 1" 1.0 (T.sum (T.map Float.abs g))
+
+let test_slice_bounds () =
+  let ctx = Ad.new_ctx () in
+  let v = Ad.constant ctx (T.vector [| 1.0; 2.0 |]) in
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (Ad.slice ctx v ~pos:1 ~len:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_concat_empty () =
+  let ctx = Ad.new_ctx () in
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Ad.concat ctx []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_shape_mismatches () =
+  let ctx = Ad.new_ctx () in
+  let a = Ad.constant ctx (T.vector [| 1.0 |]) in
+  let b = Ad.constant ctx (T.vector [| 1.0; 2.0 |]) in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check bool) (name ^ " rejects") true
+        (try
+           ignore (f ());
+           false
+         with Invalid_argument _ -> true))
+    [
+      ("add", fun () -> Ad.add ctx a b);
+      ("mul", fun () -> Ad.mul ctx a b);
+      ("max2", fun () -> Ad.max2 ctx a b);
+      ("div", fun () -> Ad.div ctx a b);
+      ("backward non-scalar", fun () -> Ad.backward ctx b; b);
+    ]
+
+let prop_exp_positive =
+  QCheck.Test.make ~name:"exp output positive" ~count:100
+    QCheck.(float_range (-20.0) 20.0)
+    (fun x ->
+      let ctx = Ad.new_ctx () in
+      let n = Ad.exp_ ctx (Ad.constant ctx (T.vector [| x |])) in
+      Ad.scalar_value (Ad.sum_all ctx n) > 0.0)
+
+let () =
+  Alcotest.run "autodiff"
+    [
+      ( "gradients",
+        [
+          Alcotest.test_case "matvec" `Quick test_matvec;
+          Alcotest.test_case "row (embedding)" `Quick test_row;
+          Alcotest.test_case "add/mul" `Quick test_add_mul;
+          Alcotest.test_case "concat/slice" `Quick test_concat_slice;
+          Alcotest.test_case "activations" `Quick test_activations;
+          Alcotest.test_case "relu/abs" `Quick test_relu_abs_away_from_kink;
+          Alcotest.test_case "max2/div" `Quick test_max2_div;
+          Alcotest.test_case "reductions" `Quick test_reductions;
+          Alcotest.test_case "composite" `Quick test_composite_deep;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "mape value+grad" `Quick test_mape_value;
+          Alcotest.test_case "mape rejects" `Quick test_mape_rejects;
+          Alcotest.test_case "grad accumulation" `Quick
+            test_grad_accumulation_across_passes;
+          Alcotest.test_case "tape size" `Quick test_tape_size;
+          Alcotest.test_case "exp clamped" `Quick test_exp_clamped;
+          Alcotest.test_case "reduce_max ties" `Quick test_reduce_max_ties;
+          Alcotest.test_case "slice bounds" `Quick test_slice_bounds;
+          Alcotest.test_case "concat empty" `Quick test_concat_empty;
+          Alcotest.test_case "shape mismatches" `Quick test_shape_mismatches;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_exp_positive ]);
+    ]

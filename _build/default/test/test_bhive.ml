@@ -1,0 +1,225 @@
+(* Tests for the dataset substrate: generators, measurement, splits. *)
+
+open Dt_bhive
+module Uarch = Dt_refcpu.Uarch
+
+let small_corpus = Dataset.corpus ~seed:7 ~size:400
+
+let test_corpus_size_and_unique () =
+  Alcotest.(check int) "requested size" 400 (Array.length small_corpus.entries);
+  let keys =
+    Array.to_list small_corpus.entries
+    |> List.map (fun (e : Dataset.entry) -> Dt_x86.Block.to_string e.block)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "all unique" 400 (List.length keys)
+
+let test_corpus_deterministic () =
+  let c2 = Dataset.corpus ~seed:7 ~size:400 in
+  Array.iteri
+    (fun i (e : Dataset.entry) ->
+      Alcotest.(check bool) "same block" true
+        (Dt_x86.Block.equal e.block c2.entries.(i).block))
+    small_corpus.entries
+
+let test_corpus_has_all_apps () =
+  let apps = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Dataset.entry) ->
+      List.iter (fun a -> Hashtbl.replace apps a ()) e.apps)
+    small_corpus.entries;
+  (* The dominant applications must be present in a 400-block sample. *)
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) ("has " ^ a) true (Hashtbl.mem apps a))
+    [ "Clang/LLVM"; "TensorFlow"; "OpenBLAS" ]
+
+let test_entries_have_categories () =
+  let valid =
+    [ "Scalar"; "Vec"; "Scalar/Vec"; "Ld"; "St"; "Ld/St" ]
+  in
+  Array.iter
+    (fun (e : Dataset.entry) ->
+      Alcotest.(check bool) "valid category" true (List.mem e.category valid))
+    small_corpus.entries
+
+let test_category_classification () =
+  let cat s = Generator.category (Dt_x86.Block.parse s) in
+  Alcotest.(check string) "scalar" "Scalar" (cat "addq %rax, %rbx");
+  Alcotest.(check string) "vec" "Vec" (cat "paddd %xmm1, %xmm2");
+  Alcotest.(check string) "scalar/vec" "Scalar/Vec"
+    (cat "addq %rax, %rbx\npaddd %xmm1, %xmm2");
+  Alcotest.(check string) "ld" "Ld" (cat "movq 8(%rbp), %rax");
+  Alcotest.(check string) "st" "St" (cat "movq %rax, 8(%rbp)");
+  Alcotest.(check string) "ld/st" "Ld/St"
+    (cat "movq 8(%rbp), %rax\nmovq %rax, 16(%rbp)")
+
+let test_block_length_distribution () =
+  let big = Dataset.corpus ~seed:21 ~size:2000 in
+  let lens =
+    Array.map
+      (fun (e : Dataset.entry) -> float_of_int (Dt_x86.Block.length e.block))
+      big.entries
+  in
+  let median = Dt_util.Stats.median lens in
+  let mean = Dt_util.Stats.mean lens in
+  (* BHive: median 3, mean 4.93. *)
+  Alcotest.(check bool) (Printf.sprintf "median %.1f in [2,4]" median) true
+    (median >= 2.0 && median <= 4.0);
+  Alcotest.(check bool) (Printf.sprintf "mean %.2f in [3,7]" mean) true
+    (mean >= 3.0 && mean <= 7.0)
+
+let labeled = Dataset.label small_corpus ~seed:3 ~uarch:Uarch.Haswell ~noise:0.01
+
+let test_split_proportions () =
+  let n_total =
+    Array.length labeled.train + Array.length labeled.valid
+    + Array.length labeled.test
+  in
+  Alcotest.(check bool) "little filtered" true (n_total >= 390);
+  let frac = float_of_int (Array.length labeled.train) /. float_of_int n_total in
+  Alcotest.(check bool) (Printf.sprintf "train frac %.2f near 0.8" frac) true
+    (frac > 0.7 && frac < 0.9)
+
+let test_split_disjoint () =
+  let key (l : Dataset.labeled) = Dt_x86.Block.to_string l.entry.block in
+  let train = Array.to_list labeled.train |> List.map key in
+  let test_keys = Array.to_list labeled.test |> List.map key in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "disjoint" false (List.mem k train))
+    test_keys
+
+let test_split_stable_across_uarch () =
+  let zen = Dataset.label small_corpus ~seed:3 ~uarch:Uarch.Zen2 ~noise:0.01 in
+  let key (l : Dataset.labeled) = Dt_x86.Block.to_string l.entry.block in
+  Alcotest.(check (list string)) "same test split"
+    (Array.to_list labeled.test |> List.map key)
+    (Array.to_list zen.test |> List.map key)
+
+let test_timings_positive () =
+  Array.iter
+    (fun (l : Dataset.labeled) ->
+      Alcotest.(check bool) "positive" true (l.timing > 0.0))
+    (Dataset.all labeled)
+
+let test_noise_changes_labels () =
+  let noisy = Dataset.label small_corpus ~seed:3 ~uarch:Uarch.Haswell ~noise:0.05 in
+  let clean = Dataset.label small_corpus ~seed:3 ~uarch:Uarch.Haswell ~noise:0.0 in
+  let differs = ref false in
+  Array.iteri
+    (fun i (l : Dataset.labeled) ->
+      if Float.abs (l.timing -. clean.train.(i).timing) > 1e-9 then
+        differs := true)
+    noisy.train;
+  Alcotest.(check bool) "noise applied" true !differs
+
+let test_summary () =
+  let s = Dataset.summarize labeled in
+  Alcotest.(check bool) "min >= 1" true (s.min_len >= 1);
+  Alcotest.(check bool) "median <= mean-ish" true (s.median_len <= s.mean_len +. 1.0);
+  Alcotest.(check bool) "median timing positive" true (s.median_timing > 0.0);
+  Alcotest.(check bool) "opcode coverage" true
+    (s.unique_opcodes_train <= s.unique_opcodes_total
+    && s.unique_opcodes_total <= Dt_x86.Opcode.count)
+
+let test_export_roundtrip () =
+  let sample = Array.sub (Dataset.all labeled) 0 25 in
+  let csv = Export.to_csv sample in
+  let back = Export.parse_csv csv in
+  Alcotest.(check int) "count" (Array.length sample) (Array.length back);
+  Array.iteri
+    (fun i (l : Dataset.labeled) ->
+      Alcotest.(check bool) "block" true
+        (Dt_x86.Block.equal l.entry.block back.(i).entry.block);
+      Alcotest.(check bool) "timing" true
+        (Float.abs (l.timing -. back.(i).timing) < 1e-5);
+      Alcotest.(check string) "category" l.entry.category
+        back.(i).entry.category)
+    sample
+
+let test_export_file_roundtrip () =
+  let path = Filename.temp_file "difftune" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Export.save labeled path;
+      let back = Export.load path in
+      Alcotest.(check int) "count" (Array.length (Dataset.all labeled))
+        (Array.length back))
+
+let test_export_rejects_garbage () =
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) ("rejects " ^ text) true
+        (try
+           ignore (Export.parse_csv text);
+           false
+         with Failure _ -> true))
+    [ "no quotes,1.0,Ld,Redis\n"; "\"nop\",abc,Ld,Redis\n";
+      "\"frobnicate %rax\",1.0,Ld,Redis\n"; "\"nop\",1.0\n" ]
+
+let test_generator_unknown_app () =
+  let rng = Dt_util.Rng.create 1 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Generator.block rng ~app:"NotAnApp");
+       false
+     with Invalid_argument _ -> true)
+
+let prop_generator_valid_blocks =
+  QCheck.Test.make ~name:"generated blocks print and re-parse" ~count:200
+    QCheck.(pair small_int (int_bound 8))
+    (fun (seed, app_i) ->
+      let rng = Dt_util.Rng.create seed in
+      let app = Generator.applications.(app_i) in
+      let b = Generator.block rng ~app in
+      let b' = Dt_x86.Block.parse (Dt_x86.Block.to_string b) in
+      Dt_x86.Block.equal b b')
+
+let prop_xor_mostly_zero_idiom =
+  QCheck.Test.make ~name:"most generated XOR rr are zero idioms" ~count:1
+    QCheck.unit (fun () ->
+      let rng = Dt_util.Rng.create 1234 in
+      let total = ref 0 and idioms = ref 0 in
+      for _ = 1 to 800 do
+        let b = Generator.block rng ~app:"Clang/LLVM" in
+        Array.iter
+          (fun (i : Dt_x86.Instruction.t) ->
+            if i.opcode.name = "XOR32rr" || i.opcode.name = "XOR64rr" then begin
+              incr total;
+              if Dt_x86.Instruction.is_zero_idiom i then incr idioms
+            end)
+          b.instrs
+      done;
+      !total > 20 && float_of_int !idioms /. float_of_int !total > 0.75)
+
+let () =
+  Alcotest.run "bhive"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "size and unique" `Quick test_corpus_size_and_unique;
+          Alcotest.test_case "deterministic" `Quick test_corpus_deterministic;
+          Alcotest.test_case "has all apps" `Quick test_corpus_has_all_apps;
+          Alcotest.test_case "categories valid" `Quick test_entries_have_categories;
+          Alcotest.test_case "classification" `Quick test_category_classification;
+          Alcotest.test_case "length distribution" `Slow test_block_length_distribution;
+        ] );
+      ( "dataset",
+        [
+          Alcotest.test_case "split proportions" `Quick test_split_proportions;
+          Alcotest.test_case "split disjoint" `Quick test_split_disjoint;
+          Alcotest.test_case "split stable" `Quick test_split_stable_across_uarch;
+          Alcotest.test_case "timings positive" `Quick test_timings_positive;
+          Alcotest.test_case "noise applied" `Quick test_noise_changes_labels;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "unknown app" `Quick test_generator_unknown_app;
+          Alcotest.test_case "export roundtrip" `Quick test_export_roundtrip;
+          Alcotest.test_case "export file" `Quick test_export_file_roundtrip;
+          Alcotest.test_case "export rejects" `Quick test_export_rejects_garbage;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generator_valid_blocks; prop_xor_mostly_zero_idiom ] );
+    ]

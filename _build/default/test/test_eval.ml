@@ -1,0 +1,132 @@
+(* Tests for evaluation metrics. *)
+
+module M = Dt_eval.Metrics
+module Rng = Dt_util.Rng
+
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let test_mape_known () =
+  checkf "exact" 0.0
+    (M.mape ~predicted:[| 1.0; 2.0 |] ~actual:[| 1.0; 2.0 |]);
+  checkf "50%" 0.5 (M.mape ~predicted:[| 1.5; 3.0 |] ~actual:[| 1.0; 2.0 |]);
+  (* Error above 100% is possible when predictions overshoot. *)
+  checkf "300%" 3.0 (M.mape ~predicted:[| 4.0 |] ~actual:[| 1.0 |])
+
+let test_mape_rejects () =
+  Alcotest.(check bool) "length mismatch" true
+    (try
+       ignore (M.mape ~predicted:[| 1.0 |] ~actual:[| 1.0; 2.0 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "nonpositive actual" true
+    (try
+       ignore (M.mape ~predicted:[| 1.0 |] ~actual:[| 0.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ape_per_sample () =
+  let e = M.ape ~predicted:[| 2.0; 1.0 |] ~actual:[| 1.0; 2.0 |] in
+  checkf "first" 1.0 e.(0);
+  checkf "second" 0.5 e.(1)
+
+let test_kendall_perfect () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf "identical" 1.0 (M.kendall_tau xs xs);
+  checkf "reversed" (-1.0)
+    (M.kendall_tau xs (Array.map (fun v -> -.v) xs))
+
+let test_kendall_known () =
+  (* Classic example: one discordant pair among six. *)
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = [| 1.0; 2.0; 4.0; 3.0 |] in
+  checkf "4/6" (4.0 /. 6.0) (M.kendall_tau xs ys)
+
+let test_kendall_with_ties () =
+  let xs = [| 1.0; 1.0; 2.0; 3.0 |] in
+  let ys = [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf "matches naive" (M.kendall_tau_naive xs ys) (M.kendall_tau xs ys)
+
+let test_kendall_requires_two () =
+  Alcotest.(check bool) "singleton rejected" true
+    (try
+       ignore (M.kendall_tau [| 1.0 |] [| 1.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bootstrap () =
+  let rng = Rng.create 1 in
+  let xs = Array.init 500 (fun _ -> Rng.gaussian rng ~mu:5.0 ~sigma:1.0) in
+  let mean, half = M.bootstrap_ci rng ~resamples:500 xs in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (mean -. 5.0) < 0.2);
+  (* 95% CI half-width approx 1.96 * sigma / sqrt n approx 0.088 *)
+  Alcotest.(check bool) "ci plausible" true (half > 0.03 && half < 0.2)
+
+let test_group_errors () =
+  let groups = [| [ "a" ]; [ "a"; "b" ]; [ "b" ] |] in
+  let errors = [| 0.1; 0.3; 0.5 |] in
+  let result = M.group_errors ~groups ~errors in
+  Alcotest.(check int) "two groups" 2 (List.length result);
+  let a = List.assoc "a" (List.map (fun (k, _, v) -> (k, v)) result) in
+  let b = List.assoc "b" (List.map (fun (k, _, v) -> (k, v)) result) in
+  checkf "a mean" 0.2 a;
+  checkf "b mean" 0.4 b;
+  let counts = List.map (fun (k, n, _) -> (k, n)) result in
+  Alcotest.(check int) "a count" 2 (List.assoc "a" counts)
+
+let prop_kendall_fast_matches_naive =
+  QCheck.Test.make ~name:"O(n log n) tau = O(n^2) tau" ~count:300
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 2 40) (int_range 0 8))
+        (array_of_size Gen.(int_range 2 40) (int_range 0 8)))
+    (fun (xs, ys) ->
+      let n = min (Array.length xs) (Array.length ys) in
+      QCheck.assume (n >= 2);
+      let xs = Array.map float_of_int (Array.sub xs 0 n) in
+      let ys = Array.map float_of_int (Array.sub ys 0 n) in
+      Float.abs (M.kendall_tau xs ys -. M.kendall_tau_naive xs ys) < 1e-9)
+
+let prop_kendall_in_range =
+  QCheck.Test.make ~name:"tau in [-1, 1]" ~count:200
+    QCheck.(array_of_size Gen.(int_range 2 50) (float_range 0.0 10.0))
+    (fun xs ->
+      QCheck.assume (Array.length xs >= 2);
+      let rng = Rng.create 7 in
+      let ys = Array.map (fun v -> v +. Rng.float rng 3.0) xs in
+      let t = M.kendall_tau xs ys in
+      t >= -1.0 -. 1e-9 && t <= 1.0 +. 1e-9)
+
+let prop_mape_nonnegative =
+  QCheck.Test.make ~name:"mape >= 0" ~count:200
+    QCheck.(
+      array_of_size
+        Gen.(int_range 1 30)
+        (pair (float_range 0.1 100.0) (float_range 0.1 100.0)))
+    (fun pairs ->
+      QCheck.assume (Array.length pairs > 0);
+      let predicted = Array.map fst pairs and actual = Array.map snd pairs in
+      M.mape ~predicted ~actual >= 0.0)
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "mape known" `Quick test_mape_known;
+          Alcotest.test_case "mape rejects" `Quick test_mape_rejects;
+          Alcotest.test_case "ape" `Quick test_ape_per_sample;
+          Alcotest.test_case "kendall perfect" `Quick test_kendall_perfect;
+          Alcotest.test_case "kendall known" `Quick test_kendall_known;
+          Alcotest.test_case "kendall ties" `Quick test_kendall_with_ties;
+          Alcotest.test_case "kendall arity" `Quick test_kendall_requires_two;
+          Alcotest.test_case "bootstrap" `Quick test_bootstrap;
+          Alcotest.test_case "group errors" `Quick test_group_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_kendall_fast_matches_naive;
+            prop_kendall_in_range;
+            prop_mape_nonnegative;
+          ] );
+    ]

@@ -1,0 +1,302 @@
+(* Tests for the extensions beyond the paper's core pipeline: the
+   llvm-mca-style report/timeline, parameter-table serialization, and
+   iterative surrogate refinement (paper Section VII). *)
+
+module Uarch = Dt_refcpu.Uarch
+module Spec = Dt_difftune.Spec
+module Engine = Dt_difftune.Engine
+module Table_io = Dt_difftune.Table_io
+
+let hsw = Dt_mca.Params.default Uarch.Haswell
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+(* ---- Report ---- *)
+
+let test_summary_fields () =
+  let b = Dt_x86.Block.parse "addq %rax, %rbx\npushq %rcx" in
+  let s = Dt_mca.Report.summary hsw ~iterations:100 b in
+  List.iter
+    (fun f -> Alcotest.(check bool) ("has " ^ f) true (contains ~affix:f s))
+    [ "Iterations:"; "Total Cycles:"; "Dispatch Width:"; "IPC:";
+      "Block RThroughput:" ];
+  Alcotest.(check bool) "instruction count" true (contains ~affix:"200" s)
+
+let test_summary_consistent_with_timing () =
+  let b = Dt_x86.Block.parse "imulq %rax, %rbx\nimulq %rbx, %rax" in
+  let s = Dt_mca.Report.summary hsw ~iterations:100 b in
+  let cycles = int_of_float (Dt_mca.Pipeline.timing hsw b *. 100.0) in
+  Alcotest.(check bool) "total cycles matches timing" true
+    (contains ~affix:(string_of_int cycles) s)
+
+let test_instruction_info () =
+  let b = Dt_x86.Block.parse "pushq %rbx\ndivl %ecx" in
+  let s = Dt_mca.Report.instruction_info hsw b in
+  Alcotest.(check bool) "shows push" true (contains ~affix:"pushq %rbx" s);
+  (* PUSH64r occupies the store-data port in the default table. *)
+  Alcotest.(check bool) "shows port usage" true (contains ~affix:"p4:1" s)
+
+let test_trace_events_ordered () =
+  let b = Dt_x86.Block.parse "addq %rax, %rbx\naddq %rbx, %rcx" in
+  let events, total = Dt_mca.Pipeline.trace hsw ~iterations:3 b in
+  Alcotest.(check bool) "positive total" true (total > 0);
+  Array.iteri
+    (fun i d ->
+      let issue = events.issue_at.(i) in
+      let ready = events.ready_at.(i) in
+      let retire = events.retire_at.(i) in
+      Alcotest.(check bool) "dispatched" true (d >= 0);
+      Alcotest.(check bool) "dispatch <= issue" true (d <= issue);
+      Alcotest.(check bool) "issue <= ready" true (issue <= ready);
+      Alcotest.(check bool) "ready <= retire" true (ready <= retire))
+    events.dispatch_at;
+  (* In-order retirement. *)
+  let r = events.retire_at in
+  for i = 1 to Array.length r - 1 do
+    Alcotest.(check bool) "retire order" true (r.(i) >= r.(i - 1))
+  done
+
+let test_trace_dependency_visible () =
+  (* The consumer of a 3-cycle multiply issues at least 3 cycles after
+     the producer. *)
+  let b = Dt_x86.Block.parse "imulq %rax, %rbx\naddq %rbx, %rcx" in
+  let events, _ = Dt_mca.Pipeline.trace hsw ~iterations:1 b in
+  Alcotest.(check bool) "consumer waits for latency" true
+    (events.issue_at.(1) >= events.issue_at.(0) + 3)
+
+let test_timeline_renders () =
+  let b = Dt_x86.Block.parse "imulq %rax, %rbx\naddq %rbx, %rcx" in
+  let s = Dt_mca.Report.timeline hsw ~iterations:2 b in
+  Alcotest.(check bool) "has dispatch marks" true (contains ~affix:"D" s);
+  Alcotest.(check bool) "has retire marks" true (contains ~affix:"R" s);
+  Alcotest.(check bool) "has wait marks" true (contains ~affix:"=" s);
+  Alcotest.(check bool) "labels instances" true (contains ~affix:"[1,1]" s)
+
+(* ---- Table_io ---- *)
+
+let spec = Spec.mca_full Uarch.Haswell
+
+let test_table_roundtrip () =
+  let rng = Dt_util.Rng.create 5 in
+  let t = spec.sample rng in
+  let text = Table_io.to_string spec t in
+  let fallback = Spec.mca_table_of_params hsw in
+  let t' = Table_io.of_string spec ~fallback text in
+  Alcotest.(check bool) "global preserved" true (t.global = t'.global);
+  Alcotest.(check bool) "per preserved" true (t.per = t'.per)
+
+let test_table_file_roundtrip () =
+  let rng = Dt_util.Rng.create 6 in
+  let t = spec.sample rng in
+  let path = Filename.temp_file "difftune" ".table" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Table_io.save spec t path;
+      let fallback = Spec.mca_table_of_params hsw in
+      let t' = Table_io.load spec ~fallback path in
+      Alcotest.(check bool) "file roundtrip" true (t.per = t'.per))
+
+let test_table_missing_opcodes_fall_back () =
+  let fallback = Spec.mca_table_of_params hsw in
+  let partial = "spec llvm-mca/full\nglobal 7 99\nopcode ADD32rr 2 3 0 0 0 0 0 0 0 0 0 0 0 0 0\n" in
+  let t = Table_io.of_string spec ~fallback partial in
+  let add = (Option.get (Dt_x86.Opcode.by_name "ADD32rr")).Dt_x86.Opcode.index in
+  let sub = (Option.get (Dt_x86.Opcode.by_name "SUB32rr")).Dt_x86.Opcode.index in
+  Alcotest.(check (float 1e-9)) "row loaded" 3.0 t.per.(add).(1);
+  Alcotest.(check bool) "missing row keeps fallback" true
+    (t.per.(sub) = fallback.per.(sub));
+  Alcotest.(check (float 1e-9)) "global loaded" 7.0 t.global.(0)
+
+let test_table_rejects_garbage () =
+  let fallback = Spec.mca_table_of_params hsw in
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) ("rejects " ^ text) true
+        (try
+           ignore (Table_io.of_string spec ~fallback text);
+           false
+         with Failure _ -> true))
+    [
+      "spec wrong-name\n";
+      "opcode NOSUCH 1 2 3\n";
+      "opcode ADD32rr 1 2\n";
+      "global 1\n";
+      "what is this\n";
+      "opcode ADD32rr 1 2 3 4 5 6 7 8 9 10 11 12 13 14 potato\n";
+    ]
+
+(* ---- boolean zero-idiom parameters (Section VII) ---- *)
+
+let test_idiom_flag_changes_timing () =
+  (* The mov consumer does not self-chain, so the xor's loop-carried
+     1-cycle chain is the only bottleneck until the flag removes it. *)
+  let b = Dt_x86.Block.parse "xorl %eax, %eax\nmovl %eax, %ecx" in
+  let off = Dt_mca.Pipeline.timing hsw b in
+  let p = Dt_mca.Params.copy hsw in
+  let xor = (Option.get (Dt_x86.Opcode.by_name "XOR32rr")).Dt_x86.Opcode.index in
+  p.zero_idiom_enabled.(xor) <- true;
+  let on = Dt_mca.Pipeline.timing p b in
+  Alcotest.(check bool)
+    (Printf.sprintf "idiom on (%.2f) faster than off (%.2f)" on off)
+    true (on < off)
+
+let test_idiom_flag_only_affects_idiom_instances () =
+  (* A non-idiom xor (different registers) is unaffected by the flag. *)
+  let b = Dt_x86.Block.parse "xorl %ecx, %eax\naddl %eax, %ebx" in
+  let off = Dt_mca.Pipeline.timing hsw b in
+  let p = Dt_mca.Params.copy hsw in
+  let xor = (Option.get (Dt_x86.Opcode.by_name "XOR32rr")).Dt_x86.Opcode.index in
+  p.zero_idiom_enabled.(xor) <- true;
+  Alcotest.(check (float 1e-9)) "unchanged" off (Dt_mca.Pipeline.timing p b)
+
+let test_idiom_positions () =
+  let b = Dt_x86.Block.parse "xorl %eax, %eax\nxorl %ecx, %eax" in
+  let none = Dt_mca.Pipeline.zero_idiom_positions b in
+  Alcotest.(check bool) "all false without flags" true
+    (Array.for_all not none);
+  let flags = Array.make Dt_x86.Opcode.count false in
+  let xor = (Option.get (Dt_x86.Opcode.by_name "XOR32rr")).Dt_x86.Opcode.index in
+  flags.(xor) <- true;
+  let some = Dt_mca.Pipeline.zero_idiom_positions ~idiom_enabled:flags b in
+  Alcotest.(check bool) "first is idiom" true some.(0);
+  Alcotest.(check bool) "second is not (distinct regs)" false some.(1)
+
+let test_idiom_spec_roundtrip () =
+  let ispec = Spec.mca_full_idioms Uarch.Haswell in
+  Alcotest.(check int) "16 columns" 16 ispec.per_width;
+  let rng = Dt_util.Rng.create 8 in
+  let t = ispec.sample rng in
+  Array.iter
+    (fun (row : float array) ->
+      let f = row.(Spec.idiom_col) in
+      Alcotest.(check bool) "flag is 0/1" true (f = 0.0 || f = 1.0))
+    t.per;
+  let b = Dt_x86.Block.parse "xorq %rax, %rax" in
+  Alcotest.(check bool) "timing positive" true (ispec.timing t b > 0.0)
+
+let test_idiom_spec_flag_semantics () =
+  (* timing with flag=1 on xor equals the Params-level behaviour. *)
+  let ispec = Spec.mca_full_idioms Uarch.Haswell in
+  let base = Spec.mca_table_of_params hsw in
+  let extend flag =
+    {
+      base with
+      Spec.per =
+        Array.mapi
+          (fun i (row : float array) ->
+            let out = Array.make 16 0.0 in
+            Array.blit row 0 out 0 15;
+            out.(Spec.idiom_col) <-
+              (if flag && Dt_x86.Opcode.database.(i).zero_idiom then 1.0
+               else 0.0);
+            out)
+          base.per;
+    }
+  in
+  let b = Dt_x86.Block.parse "xorl %r13d, %r13d" in
+  let off = ispec.timing (extend false) b in
+  let on = ispec.timing (extend true) b in
+  Alcotest.(check (float 1e-9)) "flag off = plain default"
+    (Dt_mca.Pipeline.timing hsw b) off;
+  Alcotest.(check bool) "flag on is faster" true (on < off);
+  (* With elimination the block is dispatch-bound like the real machine. *)
+  Alcotest.(check bool) "eliminated is dispatch-bound" true (on < 0.5)
+
+(* ---- iterative refinement (Section VII) ---- *)
+
+let test_learn_iterative_smoke () =
+  let c = Dt_bhive.Dataset.corpus ~seed:21 ~size:80 in
+  let ds = Dt_bhive.Dataset.label c ~seed:2 ~uarch:Uarch.Haswell ~noise:0.0 in
+  let train =
+    Array.map
+      (fun (l : Dt_bhive.Dataset.labeled) -> (l.entry.block, l.timing))
+      (Dt_bhive.Dataset.all ds)
+  in
+  let wl = Spec.mca_write_latency Uarch.Haswell in
+  let cfg =
+    { Engine.fast_config with seed = 5; sim_multiplier = 6; table_passes = 9.0 }
+  in
+  let res = Engine.learn_iterative cfg ~rounds:3 wl ~train in
+  (* Constraints hold and the table runs. *)
+  Array.iter
+    (fun row ->
+      Alcotest.(check bool) "bounded" true (row.(0) >= 0.0);
+      Alcotest.(check (float 1e-9)) "integral" (Float.round row.(0)) row.(0))
+    res.table.per;
+  Alcotest.(check bool) "timing works" true
+    (wl.timing res.table (fst train.(0)) > 0.0);
+  (* And it beats the random-table average, like the one-shot variant. *)
+  let err table =
+    Dt_util.Stats.mean
+      (Array.map (fun (b, y) -> Float.abs (wl.timing table b -. y) /. y) train)
+  in
+  let rng = Dt_util.Rng.create 31 in
+  let random =
+    Dt_util.Stats.mean (Array.init 5 (fun _ -> err (wl.sample rng)))
+  in
+  Alcotest.(check bool) "beats random mean" true (err res.table < random)
+
+let test_learn_iterative_rejects_bad_rounds () =
+  Alcotest.(check bool) "rounds >= 1" true
+    (try
+       ignore
+         (Engine.learn_iterative Engine.fast_config ~rounds:0
+            (Spec.mca_write_latency Uarch.Haswell)
+            ~train:[| (Dt_x86.Block.parse "nop", 1.0) |]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_table_io_roundtrip =
+  QCheck.Test.make ~name:"table serialization roundtrips random tables"
+    ~count:25 QCheck.small_int (fun seed ->
+      let rng = Dt_util.Rng.create seed in
+      let t = spec.sample rng in
+      let fallback = Spec.mca_table_of_params hsw in
+      let t' = Table_io.of_string spec ~fallback (Table_io.to_string spec t) in
+      t.per = t'.per && t.global = t'.global)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "summary fields" `Quick test_summary_fields;
+          Alcotest.test_case "summary vs timing" `Quick
+            test_summary_consistent_with_timing;
+          Alcotest.test_case "instruction info" `Quick test_instruction_info;
+          Alcotest.test_case "trace ordered" `Quick test_trace_events_ordered;
+          Alcotest.test_case "trace dependency" `Quick test_trace_dependency_visible;
+          Alcotest.test_case "timeline renders" `Quick test_timeline_renders;
+        ] );
+      ( "table_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_table_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_table_file_roundtrip;
+          Alcotest.test_case "partial + fallback" `Quick
+            test_table_missing_opcodes_fall_back;
+          Alcotest.test_case "rejects garbage" `Quick test_table_rejects_garbage;
+        ] );
+      ( "zero-idioms",
+        [
+          Alcotest.test_case "flag changes timing" `Quick
+            test_idiom_flag_changes_timing;
+          Alcotest.test_case "flag only hits idioms" `Quick
+            test_idiom_flag_only_affects_idiom_instances;
+          Alcotest.test_case "positions" `Quick test_idiom_positions;
+          Alcotest.test_case "spec roundtrip" `Quick test_idiom_spec_roundtrip;
+          Alcotest.test_case "flag semantics" `Quick
+            test_idiom_spec_flag_semantics;
+        ] );
+      ( "iterative",
+        [
+          Alcotest.test_case "smoke" `Slow test_learn_iterative_smoke;
+          Alcotest.test_case "bad rounds" `Quick
+            test_learn_iterative_rejects_bad_rounds;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_table_io_roundtrip ] );
+    ]

@@ -1,0 +1,117 @@
+(* Tests for the IACA-style analytical baseline. *)
+
+module Uarch = Dt_refcpu.Uarch
+module Iaca = Dt_iaca.Iaca
+
+let predict ?(uarch = Uarch.Haswell) s =
+  Iaca.predict uarch (Dt_x86.Block.parse s)
+
+let bounds ?(uarch = Uarch.Haswell) s = Iaca.bounds uarch (Dt_x86.Block.parse s)
+
+let test_zen2_unsupported () =
+  Alcotest.(check bool) "N/A on AMD" true
+    (predict ~uarch:Uarch.Zen2 "addq %rax, %rbx" = None)
+
+let test_intel_supported () =
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) "prediction available" true
+        (predict ~uarch:u "addq %rax, %rbx" <> None))
+    [ Uarch.Ivy_bridge; Uarch.Haswell; Uarch.Skylake ]
+
+let test_latency_bound_chain () =
+  let b = bounds "addq %rax, %rbx\naddq %rbx, %rcx\naddq %rcx, %rax" in
+  Alcotest.(check bool) "chain of three 1-cycle adds" true
+    (b.latency >= 2.9 && b.latency <= 3.1)
+
+let test_latency_bound_independent () =
+  (* LEA does not read its destination: no loop-carried chain. *)
+  let b = bounds "leaq 8(%r8), %r9\nleaq 16(%r10), %r11" in
+  Alcotest.(check bool) "no loop-carried chain" true (b.latency < 0.1)
+
+let test_frontend_bound () =
+  let b = bounds "addq %r8, %r9\naddq %r10, %r11\naddq %r12, %r13\naddq %r14, %r15" in
+  Alcotest.(check bool) "4 uops / width 4" true
+    (b.frontend >= 0.9 && b.frontend <= 1.1)
+
+let test_backend_store_port () =
+  (* Two stores on the single store-data port. *)
+  let b = bounds "movq %rax, 8(%rsp)\nmovq %rbx, 16(%rsp)" in
+  Alcotest.(check bool) "store port pressure >= 2" true (b.backend >= 1.9)
+
+let test_prediction_is_max_of_bounds () =
+  let s = "imulq %rax, %rbx\nimulq %rbx, %rax" in
+  let b = bounds s in
+  match predict s with
+  | None -> Alcotest.fail "expected a prediction"
+  | Some p ->
+      Alcotest.(check (float 1e-9)) "max of bounds" p
+        (Float.max b.frontend (Float.max b.backend b.latency))
+
+let test_zero_idiom_knowledge () =
+  (* IACA knows the xor idiom: no latency chain. *)
+  let b = bounds "xorq %rax, %rax\naddq %rax, %rax" in
+  Alcotest.(check bool) "idiom breaks chain" true (b.latency < 1.5)
+
+let test_stack_engine_knowledge () =
+  (* push;push does not chain through RSP. *)
+  let b = bounds "pushq %rax\npushq %rbx" in
+  Alcotest.(check bool) "no rsp chain" true (b.latency < 0.5)
+
+let test_reasonable_accuracy () =
+  (* On a small corpus IACA should beat the default llvm-mca clone
+     (Table IV: 17.1% vs 25.0%). *)
+  let c = Dt_bhive.Dataset.corpus ~seed:123 ~size:300 in
+  let ds = Dt_bhive.Dataset.label c ~seed:1 ~uarch:Uarch.Haswell ~noise:0.0 in
+  let all = Dt_bhive.Dataset.all ds in
+  let dflt = Dt_mca.Params.default Uarch.Haswell in
+  let errs f =
+    Dt_util.Stats.mean
+      (Array.map
+         (fun (l : Dt_bhive.Dataset.labeled) ->
+           Float.abs (f l.entry.block -. l.timing) /. l.timing)
+         all)
+  in
+  let iaca_err =
+    errs (fun b -> Option.get (Iaca.predict Uarch.Haswell b))
+  in
+  let mca_err = errs (fun b -> Dt_mca.Pipeline.timing dflt b) in
+  Alcotest.(check bool)
+    (Printf.sprintf "iaca %.3f < mca default %.3f" iaca_err mca_err)
+    true (iaca_err < mca_err)
+
+let gen_block =
+  let gen st =
+    let seed = QCheck.Gen.int_bound 1_000_000 st in
+    let rng = Dt_util.Rng.create seed in
+    let app = Dt_bhive.Generator.applications.(QCheck.Gen.int_bound 8 st) in
+    Dt_bhive.Generator.block rng ~app
+  in
+  QCheck.make ~print:Dt_x86.Block.to_string gen
+
+let prop_bounds_nonnegative =
+  QCheck.Test.make ~name:"bounds are nonnegative and finite" ~count:150
+    gen_block (fun b ->
+      let bd = Iaca.bounds Uarch.Haswell b in
+      bd.frontend >= 0.0 && bd.backend >= 0.0 && bd.latency >= 0.0
+      && Float.is_finite (bd.frontend +. bd.backend +. bd.latency))
+
+let () =
+  Alcotest.run "iaca"
+    [
+      ( "iaca",
+        [
+          Alcotest.test_case "zen2 unsupported" `Quick test_zen2_unsupported;
+          Alcotest.test_case "intel supported" `Quick test_intel_supported;
+          Alcotest.test_case "latency chain" `Quick test_latency_bound_chain;
+          Alcotest.test_case "latency independent" `Quick test_latency_bound_independent;
+          Alcotest.test_case "frontend" `Quick test_frontend_bound;
+          Alcotest.test_case "store port" `Quick test_backend_store_port;
+          Alcotest.test_case "max of bounds" `Quick test_prediction_is_max_of_bounds;
+          Alcotest.test_case "zero idiom" `Quick test_zero_idiom_knowledge;
+          Alcotest.test_case "stack engine" `Quick test_stack_engine_knowledge;
+          Alcotest.test_case "beats default mca" `Slow test_reasonable_accuracy;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_bounds_nonnegative ] );
+    ]

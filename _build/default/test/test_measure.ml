@@ -1,0 +1,141 @@
+(* Tests for the uops.info-style measurement harness (paper Section II-B):
+   synthesized latency/throughput kernels timed on the reference CPU. *)
+
+module M = Dt_measure.Measure
+module Uarch = Dt_refcpu.Uarch
+
+let hsw = Uarch.config Uarch.Haswell
+
+let opcode name = Option.get (Dt_x86.Opcode.by_name name)
+
+let obs name = M.latency_observations hsw (opcode name)
+
+let approx what expected actual tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.2f within %.2f of %.2f" what actual tol expected)
+    true
+    (Float.abs (actual -. expected) <= tol)
+
+let test_add_latency () =
+  match obs "ADD64rr" with
+  | [ a; b ] ->
+      (* A one-cycle ALU op measures ~1 in both kernels. *)
+      approx "same-reg" 1.0 a.latency 0.15;
+      approx "two-reg" 1.0 b.latency 0.15
+  | l -> Alcotest.failf "expected 2 observations, got %d" (List.length l)
+
+let test_xor_is_multivalued () =
+  (* The paper's central measurability point: the same opcode measures
+     differently under different operand patterns.  XOR's same-register
+     kernel is a zero idiom (eliminated: ~0.25 cycles of dispatch
+     throughput), its two-register cycle a real 1-cycle chain. *)
+  match obs "XOR32rr" with
+  | [ same; cycle ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "idiom kernel fast (%.2f)" same.latency)
+        true (same.latency < 0.5);
+      approx "real chain" 1.0 cycle.latency 0.15;
+      Alcotest.(check bool) "observations disagree" true
+        (Float.abs (same.latency -. cycle.latency) > 0.4)
+  | l -> Alcotest.failf "expected 2 observations, got %d" (List.length l)
+
+let test_mul_implicit_chain () =
+  match obs "MUL64r" with
+  | [ o ] -> approx "rax chain" 3.0 o.latency 0.3
+  | l -> Alcotest.failf "expected 1 observation, got %d" (List.length l)
+
+let test_load_pointer_chase () =
+  match obs "MOV64rm" with
+  | [ o ] -> approx "L1 latency" (float_of_int hsw.load_latency) o.latency 0.3
+  | l -> Alcotest.failf "expected 1 observation, got %d" (List.length l)
+
+let test_rmw_memory_chain () =
+  (* The ADD32mr chain measures the store-to-load round trip — a value no
+     single WriteLatency can represent faithfully. *)
+  match obs "ADD32mr" with
+  | [ o ] -> Alcotest.(check bool) "round trip > 4" true (o.latency > 4.0)
+  | l -> Alcotest.failf "expected 1 observation, got %d" (List.length l)
+
+let test_push_roundtrip () =
+  match obs "PUSH64r" with
+  | [ o ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "forwarding-bound (%.2f)" o.latency)
+        true
+        (o.latency > 1.0 && o.latency < 6.0)
+  | l -> Alcotest.failf "expected 1 observation, got %d" (List.length l)
+
+let test_flags_only_unmeasurable () =
+  (* CMP/TEST produce only flags: no register chain kernel exists. *)
+  Alcotest.(check int) "cmp has no kernels" 0 (List.length (obs "CMP64rr"));
+  Alcotest.(check int) "nop has no kernels" 0 (List.length (obs "NOP32"))
+
+let test_throughput_all_opcodes () =
+  Array.iter
+    (fun (op : Dt_x86.Opcode.t) ->
+      match M.throughput hsw op with
+      | Some t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s throughput %.2f positive finite" op.name t)
+            true
+            (t > 0.0 && Float.is_finite t)
+      | None -> Alcotest.failf "no throughput kernel for %s" op.name)
+    Dt_x86.Opcode.database
+
+let test_throughput_le_latency_for_chains () =
+  (* Pipelined units: reciprocal throughput <= chain latency. *)
+  List.iter
+    (fun name ->
+      let op = opcode name in
+      match (M.throughput hsw op, obs name) with
+      | Some t, o :: _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: tp %.2f <= lat %.2f + eps" name t o.latency)
+            true
+            (t <= o.latency +. 0.3)
+      | _ -> Alcotest.fail "missing measurements")
+    [ "ADD64rr"; "IMUL64rr"; "ADDPSrr" ]
+
+let test_measured_tables () =
+  let mn = M.measured_write_latency hsw ~strategy:M.Min in
+  let md = M.measured_write_latency hsw ~strategy:M.Median in
+  let mx = M.measured_write_latency hsw ~strategy:M.Max in
+  Alcotest.(check int) "length" Dt_x86.Opcode.count (Array.length mn);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "nonneg" true (v >= 0);
+      Alcotest.(check bool) "min <= median <= max" true
+        (v <= md.(i) && md.(i) <= mx.(i)))
+    mn;
+  (* XOR32rr: min strategy discovers the zero idiom, max does not. *)
+  let xor = (opcode "XOR32rr").index in
+  Alcotest.(check int) "xor min is 0" 0 mn.(xor);
+  Alcotest.(check int) "xor max is 1" 1 mx.(xor);
+  (* Valid as llvm-mca parameters. *)
+  let p =
+    { (Dt_mca.Params.copy (Dt_mca.Params.default Uarch.Haswell)) with
+      write_latency = mx }
+  in
+  Dt_mca.Params.validate p
+
+let () =
+  Alcotest.run "measure"
+    [
+      ( "latency",
+        [
+          Alcotest.test_case "add" `Quick test_add_latency;
+          Alcotest.test_case "xor multivalued" `Quick test_xor_is_multivalued;
+          Alcotest.test_case "mul implicit" `Quick test_mul_implicit_chain;
+          Alcotest.test_case "pointer chase" `Quick test_load_pointer_chase;
+          Alcotest.test_case "rmw chain" `Quick test_rmw_memory_chain;
+          Alcotest.test_case "push roundtrip" `Quick test_push_roundtrip;
+          Alcotest.test_case "unmeasurable" `Quick test_flags_only_unmeasurable;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "all opcodes" `Quick test_throughput_all_opcodes;
+          Alcotest.test_case "tp <= latency" `Quick
+            test_throughput_le_latency_for_chains;
+        ] );
+      ("tables", [ Alcotest.test_case "strategies" `Quick test_measured_tables ]);
+    ]

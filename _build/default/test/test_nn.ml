@@ -1,0 +1,184 @@
+(* Tests for layers and optimizers. *)
+
+module T = Dt_tensor.Tensor
+module Ad = Dt_autodiff.Ad
+module Rng = Dt_util.Rng
+open Dt_nn
+
+let test_store_duplicate_names () =
+  let s = Nn.Store.create () in
+  let _ = Nn.Store.param s ~name:"w" (T.zeros ~rows:1 ~cols:1) in
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Nn.Store.param s ~name:"w" (T.zeros ~rows:1 ~cols:1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_store_size () =
+  let s = Nn.Store.create () in
+  let _ = Nn.Store.param s ~name:"a" (T.zeros ~rows:2 ~cols:3) in
+  let _ = Nn.Store.param s ~name:"b" (T.zeros ~rows:1 ~cols:4) in
+  Alcotest.(check int) "size" 10 (Nn.Store.size s)
+
+let test_grad_norm_and_clip () =
+  let s = Nn.Store.create () in
+  let p = Nn.Store.param s ~name:"p" (T.vector [| 1.0; 1.0 |]) in
+  (Ad.grad p).T.data.(0) <- 3.0;
+  (Ad.grad p).T.data.(1) <- 4.0;
+  Alcotest.(check (float 1e-9)) "norm" 5.0 (Nn.Store.grad_norm s);
+  Nn.Store.clip_grads s ~max_norm:1.0;
+  Alcotest.(check (float 1e-9)) "clipped norm" 1.0 (Nn.Store.grad_norm s);
+  Nn.Store.zero_grads s;
+  Alcotest.(check (float 1e-9)) "zeroed" 0.0 (Nn.Store.grad_norm s)
+
+let test_linear_shapes () =
+  let rng = Rng.create 1 in
+  let s = Nn.Store.create () in
+  let l = Nn.Linear.create s rng ~name:"fc" ~input:3 ~output:5 in
+  let ctx = Ad.new_ctx () in
+  let y = Nn.Linear.forward l ctx (Ad.constant ctx (T.vector [| 1.; 2.; 3. |])) in
+  Alcotest.(check int) "output size" 5 (T.size (Ad.value y))
+
+let test_embedding_lookup () =
+  let rng = Rng.create 2 in
+  let s = Nn.Store.create () in
+  let e = Nn.Embedding.create s rng ~name:"emb" ~count:7 ~dim:4 in
+  let ctx = Ad.new_ctx () in
+  let v1 = Nn.Embedding.forward e ctx 3 in
+  let v2 = Nn.Embedding.forward e ctx 3 in
+  Alcotest.(check bool) "same row same values" true
+    ((Ad.value v1).T.data = (Ad.value v2).T.data);
+  Alcotest.(check int) "dim" 4 (T.size (Ad.value v1))
+
+let test_lstm_shapes_and_state () =
+  let rng = Rng.create 3 in
+  let s = Nn.Store.create () in
+  let lstm = Nn.Lstm.create s rng ~name:"l" ~input:3 ~hidden:6 ~layers:2 in
+  Alcotest.(check int) "hidden" 6 (Nn.Lstm.hidden_size lstm);
+  let ctx = Ad.new_ctx () in
+  let inputs =
+    List.init 4 (fun i ->
+        Ad.constant ctx (T.vector [| float_of_int i; 0.5; -0.5 |]))
+  in
+  let h = Nn.Lstm.forward lstm ctx inputs in
+  Alcotest.(check int) "final hidden size" 6 (T.size (Ad.value h))
+
+let test_lstm_empty_rejected () =
+  let rng = Rng.create 4 in
+  let s = Nn.Store.create () in
+  let lstm = Nn.Lstm.create s rng ~name:"l" ~input:2 ~hidden:3 ~layers:1 in
+  let ctx = Ad.new_ctx () in
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Nn.Lstm.forward lstm ctx []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_lstm_order_sensitivity () =
+  (* An LSTM must distinguish sequence orders (unlike a bag of words). *)
+  let rng = Rng.create 5 in
+  let s = Nn.Store.create () in
+  let lstm = Nn.Lstm.create s rng ~name:"l" ~input:2 ~hidden:4 ~layers:1 in
+  let run inputs =
+    let ctx = Ad.new_ctx () in
+    let nodes = List.map (fun v -> Ad.constant ctx (T.vector v)) inputs in
+    (Ad.value (Nn.Lstm.forward lstm ctx nodes)).T.data
+  in
+  let fwd = run [ [| 1.0; 0.0 |]; [| 0.0; 1.0 |] ] in
+  let rev = run [ [| 0.0; 1.0 |]; [| 1.0; 0.0 |] ] in
+  Alcotest.(check bool) "different outputs" true (fwd <> rev)
+
+(* Train y = w.x on a toy problem; both optimizers must fit. *)
+let toy_regression make_opt =
+  let rng = Rng.create 6 in
+  let s = Nn.Store.create () in
+  let l = Nn.Linear.create s rng ~name:"fc" ~input:2 ~output:1 in
+  let opt = make_opt s in
+  let target x0 x1 = (2.0 *. x0) -. (1.0 *. x1) +. 3.0 in
+  (* x in [-0.5, 0.5] keeps targets in [1.5, 4.5]: mape is well behaved. *)
+  let tail = Dt_util.Stats.Welford.create () in
+  for epoch = 1 to 800 do
+    let x0 = Rng.float_range rng (-0.5) 0.5 in
+    let x1 = Rng.float_range rng (-0.5) 0.5 in
+    let ctx = Ad.new_ctx () in
+    let y = Nn.Linear.forward l ctx (Ad.constant ctx (T.vector [| x0; x1 |])) in
+    let t = target x0 x1 in
+    let loss = Ad.mape ctx y ~target:t in
+    Ad.backward ctx loss;
+    Nn.Optimizer.step opt ~batch:1;
+    if epoch > 700 then Dt_util.Stats.Welford.add tail (Ad.scalar_value loss)
+  done;
+  Dt_util.Stats.Welford.mean tail
+
+let test_sgd_fits () =
+  let loss = toy_regression (fun s -> Nn.Optimizer.sgd s ~lr:0.05) in
+  Alcotest.(check bool) (Printf.sprintf "sgd loss %.4f" loss) true (loss < 0.15)
+
+let test_adam_fits () =
+  let loss = toy_regression (fun s -> Nn.Optimizer.adam s ~lr:0.02) in
+  Alcotest.(check bool) (Printf.sprintf "adam loss %.4f" loss) true (loss < 0.15)
+
+let test_step_batch_scaling () =
+  (* A batch of k identical samples with step ~batch:k equals one sample
+     with ~batch:1 for SGD. *)
+  let run k =
+    let s = Nn.Store.create () in
+    let p = Nn.Store.param s ~name:"p" (T.vector [| 1.0 |]) in
+    let opt = Nn.Optimizer.sgd s ~lr:0.1 in
+    for _ = 1 to k do
+      let ctx = Ad.new_ctx () in
+      let l = Ad.mape ctx (Ad.scale ctx p 1.0) ~target:2.0 in
+      Ad.backward ctx l
+    done;
+    Nn.Optimizer.step opt ~batch:k;
+    (Ad.value p).T.data.(0)
+  in
+  Alcotest.(check (float 1e-9)) "batch invariance" (run 1) (run 4)
+
+let test_step_rejects_bad_batch () =
+  let s = Nn.Store.create () in
+  let opt = Nn.Optimizer.sgd s ~lr:0.1 in
+  Alcotest.(check bool) "batch 0" true
+    (try
+       Nn.Optimizer.step opt ~batch:0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_set_lr () =
+  let s = Nn.Store.create () in
+  let p = Nn.Store.param s ~name:"p" (T.vector [| 1.0 |]) in
+  let opt = Nn.Optimizer.sgd s ~lr:0.0 in
+  (Ad.grad p).T.data.(0) <- 1.0;
+  Nn.Optimizer.step opt ~batch:1;
+  Alcotest.(check (float 1e-9)) "lr 0 no move" 1.0 (Ad.value p).T.data.(0);
+  (Ad.grad p).T.data.(0) <- 1.0;
+  Nn.Optimizer.set_lr opt 0.5;
+  Nn.Optimizer.step opt ~batch:1;
+  Alcotest.(check (float 1e-9)) "lr 0.5 moves" 0.5 (Ad.value p).T.data.(0)
+
+let () =
+  Alcotest.run "nn"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "duplicate names" `Quick test_store_duplicate_names;
+          Alcotest.test_case "size" `Quick test_store_size;
+          Alcotest.test_case "grad norm/clip" `Quick test_grad_norm_and_clip;
+        ] );
+      ( "layers",
+        [
+          Alcotest.test_case "linear shapes" `Quick test_linear_shapes;
+          Alcotest.test_case "embedding" `Quick test_embedding_lookup;
+          Alcotest.test_case "lstm shapes" `Quick test_lstm_shapes_and_state;
+          Alcotest.test_case "lstm empty" `Quick test_lstm_empty_rejected;
+          Alcotest.test_case "lstm order" `Quick test_lstm_order_sensitivity;
+        ] );
+      ( "optimizers",
+        [
+          Alcotest.test_case "sgd fits" `Quick test_sgd_fits;
+          Alcotest.test_case "adam fits" `Quick test_adam_fits;
+          Alcotest.test_case "batch scaling" `Quick test_step_batch_scaling;
+          Alcotest.test_case "bad batch" `Quick test_step_rejects_bad_batch;
+          Alcotest.test_case "set_lr" `Quick test_set_lr;
+        ] );
+    ]

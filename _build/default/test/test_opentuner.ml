@@ -1,0 +1,115 @@
+(* Tests for the black-box optimization baseline. *)
+
+module Ot = Dt_opentuner.Opentuner
+
+let sphere center vec =
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. ((v -. center.(i)) ** 2.0)) vec;
+  !acc
+
+let test_optimizes_sphere () =
+  let dim = 6 in
+  let center = Array.init dim (fun i -> 1.0 +. (0.3 *. float_of_int i)) in
+  let cfg = { Ot.default_config with seed = 1; budget_evaluations = 30_000; eval_blocks = 1 } in
+  let result =
+    Ot.optimize cfg ~lower:(Array.make dim (-5.0)) ~upper:(Array.make dim 5.0)
+      ~evaluate:(fun v ~n:_ -> sphere center v)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "found cost %.3f" result.best_cost)
+    true (result.best_cost < 0.5)
+
+let test_respects_budget () =
+  let cfg = { Ot.default_config with seed = 2; budget_evaluations = 1000; eval_blocks = 10 } in
+  let calls = ref 0 in
+  let result =
+    Ot.optimize cfg ~lower:[| 0.0 |] ~upper:[| 1.0 |]
+      ~evaluate:(fun v ~n ->
+        calls := !calls + n;
+        v.(0))
+  in
+  Alcotest.(check bool) "budget respected" true
+    (result.evaluations_used <= 1000 && !calls = result.evaluations_used)
+
+let test_respects_bounds () =
+  let lower = [| 2.0; -3.0 |] and upper = [| 4.0; -1.0 |] in
+  let cfg = { Ot.default_config with seed = 3; budget_evaluations = 3000; eval_blocks = 1 } in
+  let seen_violation = ref false in
+  let _ =
+    Ot.optimize cfg ~lower ~upper ~evaluate:(fun v ~n:_ ->
+        Array.iteri
+          (fun i x ->
+            if x < lower.(i) -. 1e-9 || x > upper.(i) +. 1e-9 then
+              seen_violation := true)
+          v;
+        Dt_util.Stats.mean v |> Float.abs)
+  in
+  Alcotest.(check bool) "all candidates in box" false !seen_violation
+
+let test_deterministic () =
+  let cfg = { Ot.default_config with seed = 4; budget_evaluations = 2000; eval_blocks = 1 } in
+  let run () =
+    (Ot.optimize cfg ~lower:[| -1.0; -1.0 |] ~upper:[| 1.0; 1.0 |]
+       ~evaluate:(fun v ~n:_ -> sphere [| 0.3; -0.2 |] v))
+      .best_cost
+  in
+  Alcotest.(check (float 1e-12)) "same seed same result" (run ()) (run ())
+
+let test_technique_wins_reported () =
+  let cfg = { Ot.default_config with seed = 5; budget_evaluations = 5000; eval_blocks = 1 } in
+  let result =
+    Ot.optimize cfg ~lower:[| -2.0 |] ~upper:[| 2.0 |]
+      ~evaluate:(fun v ~n:_ -> Float.abs v.(0))
+  in
+  Alcotest.(check int) "five techniques" 5 (List.length result.technique_wins);
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 result.technique_wins in
+  Alcotest.(check bool) "some improvements recorded" true (total > 0)
+
+let test_improves_over_first_sample () =
+  (* The search must strictly improve on a multi-modal function. *)
+  let f v = (sin (5.0 *. v.(0)) *. 0.5) +. (v.(0) ** 2.0) +. 1.0 in
+  let cfg = { Ot.default_config with seed = 6; budget_evaluations = 4000; eval_blocks = 1 } in
+  let result =
+    Ot.optimize cfg ~lower:[| -3.0 |] ~upper:[| 3.0 |] ~evaluate:(fun v ~n:_ -> f v)
+  in
+  Alcotest.(check bool) "near global optimum" true (result.best_cost < 0.9)
+
+let test_bad_bounds_rejected () =
+  let cfg = Ot.default_config in
+  Alcotest.(check bool) "mismatched" true
+    (try
+       ignore
+         (Ot.optimize cfg ~lower:[| 0.0 |] ~upper:[| 1.0; 2.0 |]
+            ~evaluate:(fun _ ~n:_ -> 0.0));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_best_cost_is_min_seen =
+  QCheck.Test.make ~name:"best cost never exceeds any evaluated cost" ~count:20
+    QCheck.small_int (fun seed ->
+      let cfg = { Ot.default_config with seed; budget_evaluations = 500; eval_blocks = 1 } in
+      let min_seen = ref infinity in
+      let result =
+        Ot.optimize cfg ~lower:[| -1.0 |] ~upper:[| 1.0 |]
+          ~evaluate:(fun v ~n:_ ->
+            let c = sphere [| 0.5 |] v in
+            if c < !min_seen then min_seen := c;
+            c)
+      in
+      Float.abs (result.best_cost -. !min_seen) < 1e-12)
+
+let () =
+  Alcotest.run "opentuner"
+    [
+      ( "opentuner",
+        [
+          Alcotest.test_case "optimizes sphere" `Quick test_optimizes_sphere;
+          Alcotest.test_case "respects budget" `Quick test_respects_budget;
+          Alcotest.test_case "respects bounds" `Quick test_respects_bounds;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "technique wins" `Quick test_technique_wins_reported;
+          Alcotest.test_case "multi-modal" `Quick test_improves_over_first_sample;
+          Alcotest.test_case "bad bounds" `Quick test_bad_bounds_rejected;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_best_cost_is_min_seen ]);
+    ]

@@ -1,0 +1,194 @@
+(* Tests for the tokenizer and the surrogate model. *)
+
+module T = Dt_tensor.Tensor
+module Ad = Dt_autodiff.Ad
+module Rng = Dt_util.Rng
+open Dt_surrogate
+
+let test_vocab_size () =
+  Alcotest.(check int) "opcodes + regs + 5 specials"
+    (Dt_x86.Opcode.count + Dt_x86.Reg.count + 5)
+    Tokenizer.vocab_size
+
+let tokens_of s = Tokenizer.tokens (Dt_x86.Parser.instruction s)
+
+let names_of s = List.map Tokenizer.token_name (tokens_of s)
+
+let test_tokens_in_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 50 do
+    let app = Rng.choice rng Dt_bhive.Generator.applications in
+    let b = Dt_bhive.Generator.block rng ~app in
+    Array.iter
+      (fun i ->
+        List.iter
+          (fun tok ->
+            Alcotest.(check bool) "in range" true
+              (tok >= 0 && tok < Tokenizer.vocab_size))
+          (Tokenizer.tokens i))
+      b.instrs
+  done
+
+let test_canonicalization_add () =
+  Alcotest.(check (list string)) "add rr"
+    [ "ADD32rr"; "<S>"; "rbx"; "rax"; "<D>"; "rbx"; "<E>" ]
+    (names_of "addl %eax, %ebx")
+
+let test_canonicalization_mov_load () =
+  Alcotest.(check (list string)) "load"
+    [ "MOV64rm"; "<S>"; "MEM"; "rsp"; "<D>"; "rax"; "<E>" ]
+    (names_of "movq 16(%rsp), %rax")
+
+let test_canonicalization_store () =
+  Alcotest.(check (list string)) "store"
+    [ "MOV64mr"; "<S>"; "rax"; "<D>"; "MEM"; "rsp"; "<E>" ]
+    (names_of "movq %rax, 16(%rsp)")
+
+let test_canonicalization_imm () =
+  Alcotest.(check (list string)) "imm"
+    [ "ADD64ri"; "<S>"; "rax"; "CONST"; "<D>"; "rax"; "<E>" ]
+    (names_of "addq $5, %rax")
+
+let test_canonicalization_rmw () =
+  (* ADD32mr reads and writes memory: MEM appears on both sides. *)
+  let names = names_of "addl %eax, 16(%rsp)" in
+  let count x = List.length (List.filter (( = ) x) names) in
+  Alcotest.(check int) "MEM twice" 2 (count "MEM")
+
+let test_nop_tokens () =
+  Alcotest.(check (list string)) "nop" [ "NOP32"; "<S>"; "<D>"; "<E>" ]
+    (names_of "nop")
+
+let test_token_name_bounds () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Tokenizer.token_name Tokenizer.vocab_size);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Model ---- *)
+
+let block = Dt_x86.Block.parse "addq %rax, %rbx\nmovq 8(%rsp), %rcx"
+
+let small_cfg =
+  {
+    Model.default_config with
+    embed_dim = 6;
+    token_hidden = 8;
+    instr_hidden = 8;
+    token_layers = 1;
+    instr_layers = 1;
+  }
+
+let test_model_with_params () =
+  let rng = Rng.create 7 in
+  let model = Model.create ~config:small_cfg rng in
+  let per = Array.make 2 (Array.make 15 0.2) in
+  let glob = [| 0.4; 1.0 |] in
+  let v = Model.predict_value model block ~params:(Some (per, glob)) () in
+  Alcotest.(check bool) "finite" true (Float.is_finite v)
+
+let test_model_param_count_mismatch () =
+  let rng = Rng.create 7 in
+  let model = Model.create ~config:small_cfg rng in
+  let per = Array.make 1 (Array.make 15 0.2) in
+  Alcotest.(check bool) "mismatch rejected" true
+    (try
+       ignore (Model.predict_value model block ~params:(Some (per, [| 0.; 0. |])) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_model_requires_params () =
+  let rng = Rng.create 7 in
+  let model = Model.create ~config:small_cfg rng in
+  Alcotest.(check bool) "params required" true
+    (try
+       ignore (Model.predict_value model block ~params:None ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_ithemal_mode () =
+  let rng = Rng.create 8 in
+  let cfg = { small_cfg with Model.with_params = false; per_instr_params = 0; global_params = 0 } in
+  let model = Model.create ~config:cfg rng in
+  let v = Model.predict_value model block ~params:None () in
+  Alcotest.(check bool) "finite" true (Float.is_finite v)
+
+let test_physics_informed_positive () =
+  (* With features, the prediction is base * exp(corr) > 0 at init. *)
+  let rng = Rng.create 9 in
+  let cfg = { small_cfg with Model.feature_width = 3 } in
+  let model = Model.create ~config:cfg rng in
+  let per = Array.make 2 (Array.make 15 0.2) in
+  let v =
+    Model.predict_value model block ~params:(Some (per, [| 0.4; 1.0 |]))
+      ~features:[| 1.5; 0.5; 2.0 |] ()
+  in
+  Alcotest.(check bool) "positive" true (v > 0.0)
+
+let test_feature_width_checked () =
+  let rng = Rng.create 9 in
+  let cfg = { small_cfg with Model.feature_width = 3 } in
+  let model = Model.create ~config:cfg rng in
+  let per = Array.make 2 (Array.make 15 0.2) in
+  Alcotest.(check bool) "missing features rejected" true
+    (try
+       ignore (Model.predict_value model block ~params:(Some (per, [| 0.; 0. |])) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_prediction_depends_on_params () =
+  let rng = Rng.create 10 in
+  let model = Model.create ~config:small_cfg rng in
+  let mk v = Array.make 2 (Array.make 15 v) in
+  let p1 = Model.predict_value model block ~params:(Some (mk 0.0, [| 0.0; 0.0 |])) () in
+  let p2 = Model.predict_value model block ~params:(Some (mk 1.0, [| 1.0; 2.0 |])) () in
+  Alcotest.(check bool) "different params, different outputs" true
+    (Float.abs (p1 -. p2) > 1e-9)
+
+let test_gradients_reach_embeddings () =
+  let rng = Rng.create 11 in
+  let model = Model.create ~config:small_cfg rng in
+  let ctx = Ad.new_ctx () in
+  let per =
+    Array.init 2 (fun _ -> Ad.constant ctx (T.vector (Array.make 15 0.1)))
+  in
+  let params =
+    { Model.per_instr = per; global = Some (Ad.constant ctx (T.vector [| 0.2; 0.3 |])) }
+  in
+  let pred = Model.predict model ctx block ~params:(Some params) ~features:None in
+  let loss = Ad.mape ctx pred ~target:2.0 in
+  Ad.backward ctx loss;
+  Alcotest.(check bool) "nonzero gradient somewhere" true
+    (Dt_nn.Nn.Store.grad_norm (Model.store model) > 0.0)
+
+let () =
+  Alcotest.run "surrogate"
+    [
+      ( "tokenizer",
+        [
+          Alcotest.test_case "vocab size" `Quick test_vocab_size;
+          Alcotest.test_case "tokens in range" `Quick test_tokens_in_range;
+          Alcotest.test_case "add" `Quick test_canonicalization_add;
+          Alcotest.test_case "load" `Quick test_canonicalization_mov_load;
+          Alcotest.test_case "store" `Quick test_canonicalization_store;
+          Alcotest.test_case "imm" `Quick test_canonicalization_imm;
+          Alcotest.test_case "rmw" `Quick test_canonicalization_rmw;
+          Alcotest.test_case "nop" `Quick test_nop_tokens;
+          Alcotest.test_case "token_name bounds" `Quick test_token_name_bounds;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "with params" `Quick test_model_with_params;
+          Alcotest.test_case "param count mismatch" `Quick
+            test_model_param_count_mismatch;
+          Alcotest.test_case "requires params" `Quick test_model_requires_params;
+          Alcotest.test_case "ithemal mode" `Quick test_ithemal_mode;
+          Alcotest.test_case "physics-informed positive" `Quick
+            test_physics_informed_positive;
+          Alcotest.test_case "feature width checked" `Quick test_feature_width_checked;
+          Alcotest.test_case "depends on params" `Quick
+            test_prediction_depends_on_params;
+          Alcotest.test_case "gradients flow" `Quick test_gradients_reach_embeddings;
+        ] );
+    ]

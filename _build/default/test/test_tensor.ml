@@ -1,0 +1,166 @@
+(* Tests for the tensor kernels. *)
+
+module T = Dt_tensor.Tensor
+module Rng = Dt_util.Rng
+
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let random_tensor rng ~rows ~cols = T.randn rng ~rows ~cols ~sigma:1.0
+
+(* Reference implementations. *)
+let naive_gemv m x =
+  Array.init m.T.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.T.cols - 1 do
+        acc := !acc +. (T.get m i j *. x.T.data.(j))
+      done;
+      !acc)
+
+let test_create_shapes () =
+  let t = T.zeros ~rows:3 ~cols:4 in
+  Alcotest.(check int) "size" 12 (T.size t);
+  Alcotest.(check bool) "bad shape" true
+    (try
+       ignore (T.create ~rows:0 ~cols:1 0.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_of_array_checks () =
+  Alcotest.(check bool) "length mismatch" true
+    (try
+       ignore (T.of_array ~rows:2 ~cols:2 [| 1.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_get_set () =
+  let t = T.zeros ~rows:2 ~cols:3 in
+  T.set t 1 2 5.0;
+  checkf "get" 5.0 (T.get t 1 2);
+  checkf "untouched" 0.0 (T.get t 0 2)
+
+let test_gemv_matches_naive () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 20 do
+    let rows = 1 + Rng.int rng 8 and cols = 1 + Rng.int rng 8 in
+    let m = random_tensor rng ~rows ~cols in
+    let x = random_tensor rng ~rows:1 ~cols in
+    let y = T.zeros ~rows:1 ~cols:rows in
+    T.gemv ~m ~x ~y ~beta:0.0;
+    let expect = naive_gemv m x in
+    Array.iteri (fun i e -> checkf "gemv" e y.T.data.(i)) expect
+  done
+
+let test_gemv_beta () =
+  let m = T.of_array ~rows:1 ~cols:1 [| 2.0 |] in
+  let x = T.vector [| 3.0 |] in
+  let y = T.vector [| 10.0 |] in
+  T.gemv ~m ~x ~y ~beta:0.5;
+  checkf "beta accumulate" 11.0 y.T.data.(0)
+
+let test_gemv_t_matches_transpose () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 20 do
+    let rows = 1 + Rng.int rng 8 and cols = 1 + Rng.int rng 8 in
+    let m = random_tensor rng ~rows ~cols in
+    let x = random_tensor rng ~rows:1 ~cols:rows in
+    let y = T.zeros ~rows:1 ~cols:cols in
+    T.gemv_t ~m ~x ~y ~beta:0.0;
+    (* y_j = sum_i m_ij x_i *)
+    for j = 0 to cols - 1 do
+      let acc = ref 0.0 in
+      for i = 0 to rows - 1 do
+        acc := !acc +. (T.get m i j *. x.T.data.(i))
+      done;
+      checkf "gemv_t" !acc y.T.data.(j)
+    done
+  done
+
+let test_ger_rank1 () =
+  let m = T.zeros ~rows:2 ~cols:3 in
+  let x = T.vector [| 2.0; -1.0 |] in
+  let y = T.vector [| 1.0; 0.0; 3.0 |] in
+  T.ger ~m ~x ~y;
+  checkf "m00" 2.0 (T.get m 0 0);
+  checkf "m02" 6.0 (T.get m 0 2);
+  checkf "m12" (-3.0) (T.get m 1 2)
+
+let test_axpy () =
+  let x = T.vector [| 1.0; 2.0 |] and y = T.vector [| 10.0; 20.0 |] in
+  T.axpy ~alpha:3.0 ~x ~y;
+  checkf "axpy" 13.0 y.T.data.(0);
+  checkf "axpy" 26.0 y.T.data.(1)
+
+let test_elementwise () =
+  let a = T.vector [| 1.0; 2.0 |] and b = T.vector [| 3.0; 4.0 |] in
+  let dst = T.zeros ~rows:1 ~cols:2 in
+  T.add_ ~dst ~a ~b;
+  checkf "add" 4.0 dst.T.data.(0);
+  T.mul_ ~dst ~a ~b;
+  checkf "mul" 8.0 dst.T.data.(1)
+
+let test_shape_mismatch_raises () =
+  let a = T.vector [| 1.0 |] and b = T.vector [| 1.0; 2.0 |] in
+  Alcotest.(check bool) "mismatch" true
+    (try
+       T.axpy ~alpha:1.0 ~x:a ~y:b;
+       false
+     with Invalid_argument _ -> true)
+
+let test_dot_scale_sum () =
+  let a = T.vector [| 1.0; 2.0; 3.0 |] in
+  checkf "dot" 14.0 (T.dot a a);
+  checkf "sum" 6.0 (T.sum a);
+  let b = T.copy a in
+  T.scale_ b 2.0;
+  checkf "scale" 6.0 b.T.data.(2);
+  checkf "copy independent" 3.0 a.T.data.(2)
+
+let test_map () =
+  let a = T.vector [| -1.0; 2.0 |] in
+  let b = T.map Float.abs a in
+  checkf "map" 1.0 b.T.data.(0);
+  checkf "original" (-1.0) a.T.data.(0);
+  T.map_ (fun x -> x *. 10.0) a;
+  checkf "map_" (-10.0) a.T.data.(0)
+
+let prop_gemv_linear =
+  QCheck.Test.make ~name:"gemv is linear in x" ~count:100
+    QCheck.(triple small_int (int_range 1 6) (int_range 1 6))
+    (fun (seed, rows, cols) ->
+      let rng = Rng.create seed in
+      let m = random_tensor rng ~rows ~cols in
+      let x1 = random_tensor rng ~rows:1 ~cols in
+      let x2 = random_tensor rng ~rows:1 ~cols in
+      let xsum = T.copy x1 in
+      T.axpy ~alpha:1.0 ~x:x2 ~y:xsum;
+      let y1 = T.zeros ~rows:1 ~cols:rows in
+      let y2 = T.zeros ~rows:1 ~cols:rows in
+      let ysum = T.zeros ~rows:1 ~cols:rows in
+      T.gemv ~m ~x:x1 ~y:y1 ~beta:0.0;
+      T.gemv ~m ~x:x2 ~y:y2 ~beta:0.0;
+      T.gemv ~m ~x:xsum ~y:ysum ~beta:0.0;
+      Array.for_all2
+        (fun s (a, b) -> Float.abs (s -. (a +. b)) < 1e-9)
+        ysum.T.data
+        (Array.map2 (fun a b -> (a, b)) y1.T.data y2.T.data))
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "tensor",
+        [
+          Alcotest.test_case "create shapes" `Quick test_create_shapes;
+          Alcotest.test_case "of_array checks" `Quick test_of_array_checks;
+          Alcotest.test_case "get/set" `Quick test_get_set;
+          Alcotest.test_case "gemv vs naive" `Quick test_gemv_matches_naive;
+          Alcotest.test_case "gemv beta" `Quick test_gemv_beta;
+          Alcotest.test_case "gemv_t" `Quick test_gemv_t_matches_transpose;
+          Alcotest.test_case "ger rank1" `Quick test_ger_rank1;
+          Alcotest.test_case "axpy" `Quick test_axpy;
+          Alcotest.test_case "elementwise" `Quick test_elementwise;
+          Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch_raises;
+          Alcotest.test_case "dot/scale/sum" `Quick test_dot_scale_sum;
+          Alcotest.test_case "map" `Quick test_map;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_gemv_linear ]);
+    ]

@@ -1,0 +1,151 @@
+(* Tests for the llvm_sim clone. *)
+
+open Dt_usim
+module Uarch = Dt_refcpu.Uarch
+
+let dflt = Usim.default Uarch.Haswell
+
+let timing ?(params = dflt) s = Usim.timing params (Dt_x86.Block.parse s)
+
+let opcode_index n = (Option.get (Dt_x86.Opcode.by_name n)).Dt_x86.Opcode.index
+
+let approx name expected actual tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.2f within %.2f of %.2f" name actual tol expected)
+    true
+    (Float.abs (actual -. expected) <= tol)
+
+let test_default_valid () =
+  List.iter (fun u -> Usim.validate (Usim.default u)) Uarch.all_uarchs
+
+let test_default_shapes () =
+  Alcotest.(check int) "wl rows" Dt_x86.Opcode.count
+    (Array.length dflt.write_latency);
+  Array.iter
+    (fun row ->
+      Alcotest.(check int) "pm width" Usim.num_ports (Array.length row))
+    dflt.port_map
+
+let test_validate_rejects () =
+  let bad = Usim.copy dflt in
+  bad.write_latency.(3) <- -2;
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       Usim.validate bad;
+       false
+     with Invalid_argument _ -> true)
+
+let test_copy_deep () =
+  let c = Usim.copy dflt in
+  c.port_map.(0).(0) <- c.port_map.(0).(0) + 3;
+  Alcotest.(check bool) "deep" true (dflt.port_map.(0).(0) <> c.port_map.(0).(0))
+
+let test_chain () =
+  approx "1-cycle chain" 3.0
+    (timing "addq %rax, %rbx\naddq %rbx, %rcx\naddq %rcx, %rax") 0.3
+
+let test_frontend_bound () =
+  (* Unlike llvm-mca, llvm_sim models the frontend: 4 micro-ops decoded
+     per cycle bounds even port-free instructions. *)
+  let p = Usim.copy dflt in
+  let i = opcode_index "ADD64rr" in
+  Array.fill p.port_map.(i) 0 Usim.num_ports 0;
+  approx "decode bound" 1.0
+    (timing ~params:p
+       "addq %r8, %r9\naddq %r10, %r11\naddq %r12, %r13\naddq %r14, %r15")
+    0.3
+
+let test_port_pinning () =
+  (* Micro-ops are pinned: 2 micro-ops on the same port serialize. *)
+  let p = Usim.copy dflt in
+  let i = opcode_index "ADD64rr" in
+  Array.fill p.port_map.(i) 0 Usim.num_ports 0;
+  p.port_map.(i).(2) <- 2;
+  approx "two pinned uops" 2.0 (timing ~params:p "addq %r8, %r9") 0.35
+
+let test_wl_monotone () =
+  let i = opcode_index "IMUL64rr" in
+  let prev = ref 0.0 in
+  List.iter
+    (fun wl ->
+      let p = Usim.copy dflt in
+      p.write_latency.(i) <- wl;
+      let t = timing ~params:p "imulq %rax, %rbx\nimulq %rbx, %rax" in
+      Alcotest.(check bool) "monotone" true (t >= !prev -. 1e-9);
+      prev := t)
+    [ 0; 2; 5; 9 ]
+
+let test_default_error_higher_than_mca () =
+  (* Appendix A: llvm_sim's default error is much higher than llvm-mca's
+     (61.3% vs 25.0%).  Check the directional claim on a small corpus. *)
+  let c = Dt_bhive.Dataset.corpus ~seed:77 ~size:150 in
+  let ds = Dt_bhive.Dataset.label c ~seed:1 ~uarch:Uarch.Haswell ~noise:0.0 in
+  let all = Dt_bhive.Dataset.all ds in
+  let mca_params = Dt_mca.Params.default Uarch.Haswell in
+  let err f =
+    Dt_util.Stats.mean
+      (Array.map
+         (fun (l : Dt_bhive.Dataset.labeled) ->
+           Float.abs (f l.entry.block -. l.timing) /. l.timing)
+         all)
+  in
+  let usim_err = err (fun b -> Usim.timing dflt b) in
+  let mca_err = err (fun b -> Dt_mca.Pipeline.timing mca_params b) in
+  Alcotest.(check bool)
+    (Printf.sprintf "usim %.2f > mca %.2f" usim_err mca_err)
+    true (usim_err > mca_err)
+
+let test_determinism () =
+  let s = "pmulld %xmm1, %xmm2\nmovaps %xmm2, 16(%rsp)" in
+  Alcotest.(check (float 1e-12)) "same" (timing s) (timing s)
+
+let gen_block =
+  let gen st =
+    let seed = QCheck.Gen.int_bound 1_000_000 st in
+    let rng = Dt_util.Rng.create seed in
+    let app = Dt_bhive.Generator.applications.(QCheck.Gen.int_bound 8 st) in
+    Dt_bhive.Generator.block rng ~app
+  in
+  QCheck.make ~print:Dt_x86.Block.to_string gen
+
+let prop_positive =
+  QCheck.Test.make ~name:"default usim timings positive and finite" ~count:80
+    gen_block (fun b ->
+      QCheck.assume (Dt_x86.Block.length b <= 20);
+      let t = Usim.timing dflt b in
+      t > 0.0 && Float.is_finite t)
+
+let prop_random_params_terminate =
+  QCheck.Test.make ~name:"random usim tables terminate" ~count:50
+    QCheck.(pair small_int gen_block)
+    (fun (seed, b) ->
+      QCheck.assume (Dt_x86.Block.length b <= 12);
+      let spec = Dt_difftune.Spec.usim_spec Uarch.Haswell in
+      let rng = Dt_util.Rng.create seed in
+      let t = spec.timing (spec.sample rng) b in
+      t > 0.0 && Float.is_finite t)
+
+let () =
+  Alcotest.run "usim"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "default valid" `Quick test_default_valid;
+          Alcotest.test_case "default shapes" `Quick test_default_shapes;
+          Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+          Alcotest.test_case "deep copy" `Quick test_copy_deep;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "frontend bound" `Quick test_frontend_bound;
+          Alcotest.test_case "port pinning" `Quick test_port_pinning;
+          Alcotest.test_case "wl monotone" `Quick test_wl_monotone;
+          Alcotest.test_case "default worse than mca" `Slow
+            test_default_error_higher_than_mca;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_positive; prop_random_params_terminate ] );
+    ]

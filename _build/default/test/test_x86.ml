@@ -1,0 +1,368 @@
+(* Tests for the x86 ISA substrate: registers, opcodes, instructions,
+   parser, blocks. *)
+
+open Dt_x86
+
+let check = Alcotest.check
+
+(* ---- Reg ---- *)
+
+let test_reg_indices_dense () =
+  let seen = Array.make Reg.count false in
+  let mark r =
+    let i = Reg.index r in
+    Alcotest.(check bool) "in range" true (i >= 0 && i < Reg.count);
+    Alcotest.(check bool) "no collision" false seen.(i);
+    seen.(i) <- true
+  in
+  Array.iter (fun g -> mark (Reg.Gpr g)) Reg.all_gprs;
+  Array.iter (fun v -> mark (Reg.Vec v)) Reg.all_vecs;
+  mark Reg.Flags;
+  Alcotest.(check bool) "all covered" true (Array.for_all Fun.id seen)
+
+let test_reg_names_roundtrip () =
+  Array.iter
+    (fun g ->
+      List.iter
+        (fun w ->
+          let name = Reg.gpr_name g w in
+          let g', w' = Reg.gpr_of_name name in
+          Alcotest.(check bool) "roundtrip" true (g' = g && w' = w))
+        [ Reg.W8; Reg.W16; Reg.W32; Reg.W64 ])
+    Reg.all_gprs
+
+let test_vec_names_roundtrip () =
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "roundtrip" true
+        (Reg.vec_of_name (Reg.vec_name v) = v))
+    Reg.all_vecs
+
+let test_reg_unknown_raises () =
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Reg.gpr_of_name "bogus"))
+
+(* ---- Opcode ---- *)
+
+let test_opcode_count () =
+  Alcotest.(check bool) "substantial ISA" true (Opcode.count > 200);
+  check Alcotest.int "database length" Opcode.count
+    (Array.length Opcode.database)
+
+let test_opcode_indices () =
+  Array.iteri
+    (fun i (op : Opcode.t) -> check Alcotest.int "index matches" i op.index)
+    Opcode.database
+
+let test_opcode_names_unique () =
+  let names = Array.map (fun (o : Opcode.t) -> o.name) Opcode.database in
+  let distinct = Array.to_list names |> List.sort_uniq compare in
+  check Alcotest.int "unique names" (Array.length names) (List.length distinct)
+
+let test_by_name () =
+  List.iter
+    (fun n ->
+      match Opcode.by_name n with
+      | Some op -> check Alcotest.string "name matches" n op.name
+      | None -> Alcotest.failf "missing opcode %s" n)
+    [ "PUSH64r"; "POP64r"; "XOR32rr"; "ADD32mr"; "SHR64mi"; "MOV64rm";
+      "VFMADD231PSrr"; "DIV64r"; "LEA64rm"; "NOP32" ];
+  check Alcotest.bool "unknown is None" true (Opcode.by_name "FROB" = None)
+
+let test_by_att () =
+  (match Opcode.by_att ~att:"addl" ~form:Opcode.RR with
+  | Some op -> check Alcotest.string "addl rr" "ADD32rr" op.name
+  | None -> Alcotest.fail "addl not found");
+  check Alcotest.bool "wrong form None" true
+    (Opcode.by_att ~att:"lea" ~form:Opcode.RR = None)
+
+let test_memory_flags () =
+  let get n = Option.get (Opcode.by_name n) in
+  let l n = (get n).Opcode.load and s n = (get n).Opcode.store in
+  Alcotest.(check bool) "MOV64rm loads" true (l "MOV64rm");
+  Alcotest.(check bool) "MOV64rm no store" false (s "MOV64rm");
+  Alcotest.(check bool) "MOV64mr stores" true (s "MOV64mr");
+  Alcotest.(check bool) "MOV64mr no load" false (l "MOV64mr");
+  Alcotest.(check bool) "ADD32mr RMW load" true (l "ADD32mr");
+  Alcotest.(check bool) "ADD32mr RMW store" true (s "ADD32mr");
+  Alcotest.(check bool) "CMP64rm loads" true (l "CMP64rm");
+  Alcotest.(check bool) "CMP64mr no store" false (s "CMP64mr");
+  Alcotest.(check bool) "CMP64mr loads" true (l "CMP64mr");
+  Alcotest.(check bool) "LEA no load" false (l "LEA64rm");
+  Alcotest.(check bool) "PUSH stores" true (s "PUSH64r");
+  Alcotest.(check bool) "POP loads" true (l "POP64r")
+
+let test_zero_idiom_flags () =
+  let zi n = (Option.get (Opcode.by_name n)).Opcode.zero_idiom in
+  Alcotest.(check bool) "XOR32rr" true (zi "XOR32rr");
+  Alcotest.(check bool) "SUB64rr" true (zi "SUB64rr");
+  Alcotest.(check bool) "PXORrr" true (zi "PXORrr");
+  Alcotest.(check bool) "ADD32rr not" false (zi "ADD32rr");
+  Alcotest.(check bool) "XOR32ri not" false (zi "XOR32ri")
+
+let test_operand_count () =
+  check Alcotest.int "rr" 2 (Opcode.operand_count Opcode.RR);
+  check Alcotest.int "rri" 3 (Opcode.operand_count Opcode.RRI);
+  check Alcotest.int "noops" 0 (Opcode.operand_count Opcode.NoOps)
+
+(* ---- Instruction ---- *)
+
+let rax = Operand.Reg (Reg.Gpr Reg.RAX)
+let rbx = Operand.Reg (Reg.Gpr Reg.RBX)
+let xmm0 = Operand.Reg (Reg.Vec Reg.XMM0)
+
+let test_make_validates_arity () =
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Instruction.make: ADD32rr expects 2 operands, got 1")
+    (fun () -> ignore (Instruction.make_named "ADD32rr" [ rax ]))
+
+let test_make_validates_shape () =
+  Alcotest.(check bool) "imm where reg" true
+    (try
+       ignore (Instruction.make_named "ADD32rr" [ rax; Operand.Imm 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_make_validates_class () =
+  Alcotest.(check bool) "gpr where vec" true
+    (try
+       ignore (Instruction.make_named "PADDDrr" [ rax; rbx ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "mixed classes ok" true
+    (try
+       ignore (Instruction.make_named "CVTSI2SDrr" [ xmm0; rax ]);
+       true
+     with Invalid_argument _ -> false)
+
+let reads_of s = Instruction.reads (Parser.instruction s)
+let writes_of s = Instruction.writes (Parser.instruction s)
+
+let has r l = List.exists (Reg.equal r) l
+
+let test_reads_writes_add () =
+  let r = reads_of "addq %rax, %rbx" and w = writes_of "addq %rax, %rbx" in
+  Alcotest.(check bool) "reads rax" true (has (Reg.Gpr Reg.RAX) r);
+  Alcotest.(check bool) "reads rbx (dst_read)" true (has (Reg.Gpr Reg.RBX) r);
+  Alcotest.(check bool) "writes rbx" true (has (Reg.Gpr Reg.RBX) w);
+  Alcotest.(check bool) "writes flags" true (has Reg.Flags w)
+
+let test_reads_writes_mov () =
+  let r = reads_of "movq %rax, %rbx" in
+  Alcotest.(check bool) "mov does not read dst" false (has (Reg.Gpr Reg.RBX) r);
+  Alcotest.(check bool) "mov writes no flags" false
+    (has Reg.Flags (writes_of "movq %rax, %rbx"))
+
+let test_reads_writes_push () =
+  let r = reads_of "pushq %rbx" and w = writes_of "pushq %rbx" in
+  Alcotest.(check bool) "reads rbx" true (has (Reg.Gpr Reg.RBX) r);
+  Alcotest.(check bool) "reads rsp" true (has (Reg.Gpr Reg.RSP) r);
+  Alcotest.(check bool) "writes rsp" true (has (Reg.Gpr Reg.RSP) w);
+  Alcotest.(check bool) "does not write rbx" false (has (Reg.Gpr Reg.RBX) w)
+
+let test_reads_writes_pop () =
+  let w = writes_of "popq %rdi" in
+  Alcotest.(check bool) "writes rdi" true (has (Reg.Gpr Reg.RDI) w);
+  Alcotest.(check bool) "writes rsp" true (has (Reg.Gpr Reg.RSP) w)
+
+let test_reads_writes_mul () =
+  let r = reads_of "mull %ecx" and w = writes_of "mull %ecx" in
+  Alcotest.(check bool) "reads rax" true (has (Reg.Gpr Reg.RAX) r);
+  Alcotest.(check bool) "reads ecx" true (has (Reg.Gpr Reg.RCX) r);
+  Alcotest.(check bool) "writes rdx" true (has (Reg.Gpr Reg.RDX) w)
+
+let test_reads_writes_cmov () =
+  let r = reads_of "cmoveq %rax, %rbx" in
+  Alcotest.(check bool) "reads flags" true (has Reg.Flags r)
+
+let test_reads_writes_avx () =
+  let r = reads_of "vaddps %xmm3, %xmm2, %xmm1"
+  and w = writes_of "vaddps %xmm3, %xmm2, %xmm1" in
+  Alcotest.(check bool) "reads src1" true (has (Reg.Vec Reg.XMM2) r);
+  Alcotest.(check bool) "reads src2" true (has (Reg.Vec Reg.XMM3) r);
+  Alcotest.(check bool) "does not read dst" false (has (Reg.Vec Reg.XMM1) r);
+  Alcotest.(check bool) "writes dst" true (has (Reg.Vec Reg.XMM1) w)
+
+let test_reads_mem_address () =
+  let r = reads_of "movq 8(%rbp,%rcx,4), %rax" in
+  Alcotest.(check bool) "reads base" true (has (Reg.Gpr Reg.RBP) r);
+  Alcotest.(check bool) "reads index" true (has (Reg.Gpr Reg.RCX) r)
+
+let test_zero_idiom_detection () =
+  Alcotest.(check bool) "xor same" true
+    (Instruction.is_zero_idiom (Parser.instruction "xorl %eax, %eax"));
+  Alcotest.(check bool) "avx same sources" true
+    (Instruction.is_zero_idiom (Parser.instruction "vpxor %xmm1, %xmm1, %xmm2"));
+  Alcotest.(check bool) "avx distinct sources" false
+    (Instruction.is_zero_idiom (Parser.instruction "vpxor %xmm1, %xmm3, %xmm2"));
+  Alcotest.(check bool) "xor diff" false
+    (Instruction.is_zero_idiom (Parser.instruction "xorl %ebx, %eax"));
+  Alcotest.(check bool) "add same" false
+    (Instruction.is_zero_idiom (Parser.instruction "addl %eax, %eax"))
+
+(* ---- Parser ---- *)
+
+let test_parse_roundtrip_cases () =
+  List.iter
+    (fun s ->
+      let i = Parser.instruction s in
+      check Alcotest.string "roundtrip" s (Instruction.to_string i))
+    [
+      "addq %rax, %rbx";
+      "addl $5, %eax";
+      "movq 16(%rsp), %rax";
+      "movq %rax, -8(%rbp)";
+      "shrq $5, 16(%rsp)";
+      "pushq %rbx";
+      "nop";
+      "leaq 8(%rax,%rbx,4), %rcx";
+      "imulq $3, %rax, %rbx";
+      "shufps $7, %xmm1, %xmm0";
+      "vfmadd231ps %xmm3, %xmm4";
+      "movzbl %al, %ebx";
+      "cvtsi2sd %rax, %xmm2";
+      "movl $0, 16(%rsp)";
+      "addw %ax, %bx";
+      "cmpw $3, %dx";
+      "pslld $2, %xmm3";
+      "movsd %xmm0, 8(%rsp)";
+      "movsd 8(%rsp), %xmm0";
+      "cvtss2sd %xmm1, %xmm2";
+      "pmaddwd %xmm1, %xmm2";
+      "andps %xmm1, %xmm2";
+      "vaddps %xmm3, %xmm2, %xmm1";
+      "vpxor %xmm1, %xmm1, %xmm2";
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (try
+           ignore (Parser.instruction s);
+           false
+         with Parser.Parse_error _ -> true))
+    [ ""; "frobnicate %rax"; "addq %bogus, %rax"; "addq"; "movq 5, %rax" ]
+
+let test_parse_block_comments () =
+  let b =
+    Block.parse "# header comment\naddq %rax, %rbx # trailing\n\n; \n subq %rbx, %rcx"
+  in
+  check Alcotest.int "two instrs" 2 (Block.length b)
+
+let test_parse_block_semicolons () =
+  let b = Block.parse "incl %eax; decl %ebx" in
+  check Alcotest.int "two instrs" 2 (Block.length b)
+
+(* ---- Block ---- *)
+
+let test_block_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Block.of_array: empty block")
+    (fun () -> ignore (Block.of_array [||]))
+
+let test_block_opcodes () =
+  let b = Block.parse "addq %rax, %rbx\naddq %rcx, %rdx\nsubq %rax, %rbx" in
+  check Alcotest.int "distinct opcodes" 2 (List.length (Block.opcodes b))
+
+let test_block_dependencies () =
+  let b = Block.parse "addq %rax, %rbx\naddq %rbx, %rcx" in
+  let deps = Block.dependencies b in
+  check Alcotest.int "first has none" 0 (List.length deps.(0));
+  Alcotest.(check bool) "second depends on first via rbx" true
+    (List.exists (fun (p, r) -> p = 0 && Reg.equal r (Reg.Gpr Reg.RBX)) deps.(1))
+
+let test_block_dependencies_zero_idiom () =
+  let b = Block.parse "addq %rax, %rbx\nxorq %rbx, %rbx" in
+  let deps = Block.dependencies b in
+  check Alcotest.int "zero idiom breaks deps" 0 (List.length deps.(1))
+
+let test_block_hash_stable () =
+  let b1 = Block.parse "addq %rax, %rbx" in
+  let b2 = Block.parse "addq %rax, %rbx" in
+  check Alcotest.int "equal hash" (Block.hash b1) (Block.hash b2);
+  Alcotest.(check bool) "equal blocks" true (Block.equal b1 b2)
+
+(* ---- qcheck: random instruction round-trips ---- *)
+
+let arbitrary_instruction =
+  let gen st =
+    (* Use stdlib Random state via qcheck to drive our generator. *)
+    let seed = QCheck.Gen.int_bound 1_000_000 st in
+    let rng = Dt_util.Rng.create seed in
+    let app =
+      Dt_bhive.Generator.applications.(QCheck.Gen.int_bound 8 st)
+    in
+    let b = Dt_bhive.Generator.block rng ~app in
+    b.instrs.(0)
+  in
+  QCheck.make ~print:Instruction.to_string gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse . to_string = id" ~count:500
+    arbitrary_instruction (fun i ->
+      let s = Instruction.to_string i in
+      let i' = Parser.instruction s in
+      Instruction.to_string i' = s)
+
+let prop_writes_subset_of_tracked =
+  QCheck.Test.make ~name:"reads/writes produce valid register indices"
+    ~count:500 arbitrary_instruction (fun i ->
+      List.for_all
+        (fun r -> Reg.index r >= 0 && Reg.index r < Reg.count)
+        (Instruction.reads i @ Instruction.writes i))
+
+let () =
+  Alcotest.run "x86"
+    [
+      ( "reg",
+        [
+          Alcotest.test_case "dense indices" `Quick test_reg_indices_dense;
+          Alcotest.test_case "gpr names roundtrip" `Quick test_reg_names_roundtrip;
+          Alcotest.test_case "vec names roundtrip" `Quick test_vec_names_roundtrip;
+          Alcotest.test_case "unknown raises" `Quick test_reg_unknown_raises;
+        ] );
+      ( "opcode",
+        [
+          Alcotest.test_case "count" `Quick test_opcode_count;
+          Alcotest.test_case "indices" `Quick test_opcode_indices;
+          Alcotest.test_case "unique names" `Quick test_opcode_names_unique;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "by_att" `Quick test_by_att;
+          Alcotest.test_case "memory flags" `Quick test_memory_flags;
+          Alcotest.test_case "zero idiom flags" `Quick test_zero_idiom_flags;
+          Alcotest.test_case "operand count" `Quick test_operand_count;
+        ] );
+      ( "instruction",
+        [
+          Alcotest.test_case "validates arity" `Quick test_make_validates_arity;
+          Alcotest.test_case "validates shape" `Quick test_make_validates_shape;
+          Alcotest.test_case "validates class" `Quick test_make_validates_class;
+          Alcotest.test_case "add reads/writes" `Quick test_reads_writes_add;
+          Alcotest.test_case "mov reads/writes" `Quick test_reads_writes_mov;
+          Alcotest.test_case "push reads/writes" `Quick test_reads_writes_push;
+          Alcotest.test_case "pop reads/writes" `Quick test_reads_writes_pop;
+          Alcotest.test_case "mul implicit regs" `Quick test_reads_writes_mul;
+          Alcotest.test_case "cmov reads flags" `Quick test_reads_writes_cmov;
+          Alcotest.test_case "mem address reads" `Quick test_reads_mem_address;
+          Alcotest.test_case "avx reads/writes" `Quick test_reads_writes_avx;
+          Alcotest.test_case "zero idiom detection" `Quick test_zero_idiom_detection;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "roundtrip cases" `Quick test_parse_roundtrip_cases;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments" `Quick test_parse_block_comments;
+          Alcotest.test_case "semicolons" `Quick test_parse_block_semicolons;
+        ] );
+      ( "block",
+        [
+          Alcotest.test_case "empty raises" `Quick test_block_empty_raises;
+          Alcotest.test_case "opcodes" `Quick test_block_opcodes;
+          Alcotest.test_case "dependencies" `Quick test_block_dependencies;
+          Alcotest.test_case "zero idiom deps" `Quick test_block_dependencies_zero_idiom;
+          Alcotest.test_case "hash stable" `Quick test_block_hash_stable;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_writes_subset_of_tracked ] );
+    ]
