@@ -1,6 +1,6 @@
 # Convenience targets for the DiffTune reproduction.
 
-.PHONY: all build test bench bench-full clean doc quickstart
+.PHONY: all build test bench bench-full bench-json clean doc quickstart
 
 all: build
 
@@ -15,6 +15,10 @@ bench:
 
 bench-full:
 	DIFFTUNE_SCALE=full dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Machine-readable perf snapshot (ns/op + domain-scaling samples/sec).
+bench-json:
+	dune exec bench/main.exe -- perf-json
 
 quickstart:
 	dune exec examples/quickstart.exe

@@ -15,8 +15,13 @@ module Runner = Dt_exp.Runner
 
 (* ---- Bechamel micro-benchmarks ---- *)
 
-let perf () =
-  print_endline "\n=== Performance micro-benchmarks (Bechamel) ===";
+module T = Dt_tensor.Tensor
+module Ad = Dt_autodiff.Ad
+module Model = Dt_surrogate.Model
+module Engine = Dt_difftune.Engine
+
+(* Estimated ns/call for each named micro-benchmark. *)
+let estimates () =
   let open Bechamel in
   let open Toolkit in
   let uarch = Dt_refcpu.Uarch.Haswell in
@@ -40,26 +45,47 @@ let perf () =
     }
   in
   let model = Dt_surrogate.Model.create ~config:model_cfg rng in
-  let per = Array.make 5 (Array.make 15 0.2) in
+  let per = Array.init 5 (fun _ -> Array.make 15 0.2) in
   let glob = [| 0.6; 1.4 |] in
   let spec = Dt_difftune.Spec.mca_full uarch in
   let staged_sample = spec.sample (Dt_util.Rng.create 7) in
+  (* One full training step over a reused workspace: constants + forward
+     + MAPE + backward, gradients cleared at the end. *)
+  let store = Model.store model in
+  let ctx = Ad.new_ctx () in
+  let train_step () =
+    Ad.reset ctx;
+    let params =
+      {
+        Model.per_instr = Array.map (fun v -> Ad.constant ctx (T.vector v)) per;
+        global = Some (Ad.constant ctx (T.vector glob));
+      }
+    in
+    let pred =
+      Model.predict model ctx block ~params:(Some params) ~features:None
+    in
+    let loss = Ad.mape ctx pred ~target:2.0 in
+    Ad.backward ctx loss;
+    Dt_nn.Nn.Store.zero_grads store
+  in
   let tests =
     [
-      Test.make ~name:"refcpu.timing (ground truth, 100 iters)"
+      Test.make ~name:"refcpu.timing"
         (Staged.stage (fun () -> Dt_refcpu.Machine.timing cfg block));
-      Test.make ~name:"mca.timing (llvm-mca clone, 100 iters)"
+      Test.make ~name:"mca.timing"
         (Staged.stage (fun () -> Dt_mca.Pipeline.timing params block));
-      Test.make ~name:"usim.timing (llvm_sim clone, 100 iters)"
+      Test.make ~name:"usim.timing"
         (Staged.stage (fun () -> Dt_usim.Usim.timing usim block));
-      Test.make ~name:"iaca.predict (analytical)"
+      Test.make ~name:"iaca.predict"
         (Staged.stage (fun () -> Dt_iaca.Iaca.predict uarch block));
-      Test.make ~name:"mca.timing (random table)"
+      Test.make ~name:"mca.timing_random_table"
         (Staged.stage (fun () -> spec.timing staged_sample block));
-      Test.make ~name:"surrogate.forward (4+4 stack LSTM)"
+      Test.make ~name:"surrogate.forward"
         (Staged.stage (fun () ->
              Dt_surrogate.Model.predict_value model block
                ~params:(Some (per, glob)) ()));
+      Test.make ~name:"surrogate.forward_backward"
+        (Staged.stage train_step);
       Test.make ~name:"tokenizer"
         (Staged.stage (fun () ->
              Array.map Dt_surrogate.Tokenizer.tokens block.instrs));
@@ -79,16 +105,105 @@ let perf () =
       (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
       Instance.monotonic_clock results
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = analyze (benchmark test) in
-      Hashtbl.iter
-        (fun name result ->
+      Hashtbl.fold
+        (fun name result acc ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-48s %12.1f ns/call\n%!" name est
-          | _ -> ())
-        results)
+          | Some [ est ] -> (name, est) :: acc
+          | _ -> acc)
+        results [])
     tests
+
+let perf () =
+  print_endline "\n=== Performance micro-benchmarks (Bechamel) ===";
+  List.iter
+    (fun (name, est) -> Printf.printf "%-48s %12.1f ns/call\n%!" name est)
+    (estimates ())
+
+(* ---- Domain scaling: samples/sec of collect and surrogate training ---- *)
+
+let with_domains d f =
+  let prev = Sys.getenv_opt "DIFFTUNE_DOMAINS" in
+  Unix.putenv "DIFFTUNE_DOMAINS" (string_of_int d);
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DIFFTUNE_DOMAINS"
+        (match prev with Some v -> v | None -> ""))
+    f
+
+let scaling () =
+  let uarch = Dt_refcpu.Uarch.Haswell in
+  let spec = Dt_difftune.Spec.mca_full uarch in
+  let templates =
+    [|
+      "addq %rax, %rbx\nmovq 8(%rsp), %rcx";
+      "imulq %rcx, %rax\naddq %rdx, %rcx\nxorl %r8d, %r8d";
+      "movq 8(%rbp), %rax\naddq %rax, %rcx\nmovq %rcx, 16(%rbp)";
+      "shlq $2, %rax\norq %rbx, %rax";
+    |]
+  in
+  let blocks =
+    Array.init 64 (fun i ->
+        Dt_x86.Block.parse templates.(i mod Array.length templates))
+  in
+  let cfg =
+    { Engine.fast_config with sim_multiplier = 8; surrogate_passes = 0.25 }
+  in
+  let n_default = Dt_util.Pool.default_domains () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let measure domains =
+    with_domains domains (fun () ->
+        let data, dt_collect = time (fun () -> Engine.collect cfg spec blocks) in
+        let n = Array.length data in
+        let model = Engine.make_model cfg spec (Dt_util.Rng.create 11) in
+        let steps =
+          int_of_float (cfg.Engine.surrogate_passes *. float_of_int n)
+        in
+        let _, dt_train =
+          time (fun () ->
+              ignore (Engine.train_surrogate cfg spec model data blocks))
+        in
+        ( float_of_int n /. dt_collect,
+          float_of_int steps /. dt_train ))
+  in
+  let c1, t1 = measure 1 in
+  let base =
+    [
+      ("domains_default", float_of_int n_default);
+      ("collect.samples_per_sec.domains_1", c1);
+      ("train.samples_per_sec.domains_1", t1);
+    ]
+  in
+  if n_default = 1 then base
+  else
+    let cn, tn = measure n_default in
+    base
+    @ [
+        (Printf.sprintf "collect.samples_per_sec.domains_%d" n_default, cn);
+        (Printf.sprintf "train.samples_per_sec.domains_%d" n_default, tn);
+      ]
+
+(* ---- machine-readable perf snapshot for the PR trajectory ---- *)
+
+let perf_json () =
+  let ns = estimates () in
+  let sc = scaling () in
+  let oc = open_out "BENCH_PR1.json" in
+  let field (name, v) = Printf.sprintf "    %S: %.1f" name v in
+  Printf.fprintf oc
+    "{\n  \"pr\": 1,\n  \"ns_per_call\": {\n%s\n  },\n  \"scaling\": \
+     {\n%s\n  }\n}\n"
+    (String.concat ",\n" (List.map field ns))
+    (String.concat ",\n" (List.map field sc));
+  close_out oc;
+  print_endline "wrote BENCH_PR1.json";
+  List.iter (fun (n, v) -> Printf.printf "%-48s %12.1f\n%!" n v) (ns @ sc)
 
 (* ---- Surrogate-depth ablation (design decision in DESIGN.md) ---- *)
 
@@ -97,7 +212,7 @@ let ablation_depth () =
   let block =
     Dt_x86.Block.parse "addq %rax, %rbx\nmovq 8(%rsp), %rcx\nimulq %rcx, %rax"
   in
-  let per = Array.make 3 (Array.make 15 0.2) in
+  let per = Array.init 3 (fun _ -> Array.make 15 0.2) in
   let glob = [| 0.6; 1.4 |] in
   List.iter
     (fun layers ->
@@ -131,6 +246,7 @@ let () =
   let known =
     Experiments.all
     @ [ ("perf", fun _ -> perf ());
+        ("perf-json", fun _ -> perf_json ());
         ("ablation_depth", fun _ -> ablation_depth ()) ]
   in
   let to_run =

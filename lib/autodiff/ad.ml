@@ -1,112 +1,150 @@
 module T = Dt_tensor.Tensor
 
-type node = { value : T.t; grad : T.t; backward : unit -> unit }
+(* Unary op kinds share one tape constructor; forward/backward dispatch on
+   the kind with direct loops (no per-element closure calls). *)
+type ukind = Sigmoid | Tanh | Relu | Abs | Expc | Affine of float * float
 
-type ctx = { mutable tape : node list; mutable count : int }
+type node = { value : T.t; grad : T.t; op : op }
 
-let new_ctx () = { tape = []; count = 0 }
+and op =
+  | Leaf
+  | Const
+  | Matvec of node * node (* m, x *)
+  | Row of node * int
+  | Add of node * node
+  | Mul of node * node
+  | Concat of node array
+  | Slice of node * int (* v, pos *)
+  | Unary of node * ukind
+  | Max2 of node * node
+  | Div of node * node
+  | SumAll of node
+  | ReduceMax of node * int (* v, argmax at forward time *)
+  | Mape of node * float (* pred, target *)
+
+type ctx = {
+  mutable buf : T.buf; (* arena; abandoned (not copied) on growth *)
+  mutable used : int; (* floats handed out from [buf] *)
+  mutable tape : node array;
+  mutable count : int;
+}
+
+let initial_arena = 8192
+
+let dummy =
+  let z = T.scalar 0.0 in
+  { value = z; grad = z; op = Leaf }
+
+let new_ctx () =
+  {
+    buf = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout initial_arena;
+    used = 0;
+    tape = Array.make 256 dummy;
+    count = 0;
+  }
+
+let reset ctx =
+  ctx.used <- 0;
+  ctx.count <- 0
 
 let tape_size ctx = ctx.count
+let arena_capacity ctx = Bigarray.Array1.dim ctx.buf
 
 let value n = n.value
 let grad n = n.grad
 
 let scalar_value n =
   if T.size n.value <> 1 then invalid_arg "Ad.scalar_value: not a scalar";
-  n.value.T.data.(0)
+  T.unsafe_get1 n.value 0
+
+(* Carve a fresh value slot out of the arena.  On overflow the old chunk
+   is abandoned, not copied: live nodes keep views into it, so it stays
+   reachable until the next [reset]; capacity doubles until a whole tape
+   fits in one chunk, after which steady state allocates nothing. *)
+let alloc ctx ~rows ~cols =
+  let size = rows * cols in
+  if ctx.used + size > Bigarray.Array1.dim ctx.buf then begin
+    let cap = max (2 * Bigarray.Array1.dim ctx.buf) (max size initial_arena) in
+    ctx.buf <- Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout cap;
+    ctx.used <- 0
+  end;
+  let off = ctx.used in
+  ctx.used <- ctx.used + size;
+  T.of_buf ctx.buf ~off ~rows ~cols
+
+let alloc_grad ctx ~rows ~cols =
+  let g = alloc ctx ~rows ~cols in
+  T.zero_ g;
+  g
 
 let record ctx n =
-  ctx.tape <- n :: ctx.tape;
+  if ctx.count = Array.length ctx.tape then begin
+    let bigger = Array.make (2 * ctx.count) dummy in
+    Array.blit ctx.tape 0 bigger 0 ctx.count;
+    ctx.tape <- bigger
+  end;
+  ctx.tape.(ctx.count) <- n;
   ctx.count <- ctx.count + 1;
   n
 
 let leaf ~value ~grad =
   if not (T.same_shape value grad) then
     invalid_arg "Ad.leaf: value/grad shape mismatch";
-  { value; grad; backward = (fun () -> ()) }
+  { value; grad; op = Leaf }
 
 let constant ctx t =
-  record ctx { value = t; grad = T.zeros ~rows:t.T.rows ~cols:t.T.cols;
-               backward = (fun () -> ()) }
+  let value = alloc ctx ~rows:t.T.rows ~cols:t.T.cols in
+  T.blit ~src:t ~dst:value;
+  record ctx
+    { value; grad = alloc_grad ctx ~rows:t.T.rows ~cols:t.T.cols; op = Const }
 
-let make ctx ~rows ~cols backward_of =
-  let value = T.zeros ~rows ~cols in
-  let grad = T.zeros ~rows ~cols in
-  let n = { value; grad; backward = (fun () -> ()) } in
-  let n = { n with backward = backward_of n } in
-  record ctx n
+let scalar ctx v =
+  let value = alloc ctx ~rows:1 ~cols:1 in
+  T.unsafe_set1 value 0 v;
+  record ctx { value; grad = alloc_grad ctx ~rows:1 ~cols:1; op = Const }
+
+(* Fresh value+grad slots for an op producing a rows x cols output. *)
+let make ctx ~rows ~cols op =
+  record ctx
+    { value = alloc ctx ~rows ~cols; grad = alloc_grad ctx ~rows ~cols; op }
+
+(* Ops whose value is a zero-copy view into the operand's value. *)
+let make_view ctx ~view ~rows ~cols op =
+  record ctx { value = view; grad = alloc_grad ctx ~rows ~cols; op }
 
 let matvec ctx ~m ~x =
   let out_dim = m.value.T.rows in
-  let n =
-    make ctx ~rows:1 ~cols:out_dim (fun n () ->
-        T.ger ~m:m.grad ~x:n.grad ~y:x.value;
-        T.gemv_t ~m:m.value ~x:n.grad ~y:x.grad ~beta:1.0)
-  in
-  (* ger expects x indexing rows: adjoint dy has out_dim entries matching
-     m's rows; value computed after node creation. *)
+  let n = make ctx ~rows:1 ~cols:out_dim (Matvec (m, x)) in
   T.gemv ~m:m.value ~x:x.value ~y:n.value ~beta:0.0;
   n
 
 let row ctx ~m i =
-  let cols = m.value.T.cols in
   if i < 0 || i >= m.value.T.rows then invalid_arg "Ad.row: index out of range";
-  let n =
-    make ctx ~rows:1 ~cols (fun n () ->
-        let base = i * cols in
-        for j = 0 to cols - 1 do
-          m.grad.T.data.(base + j) <-
-            m.grad.T.data.(base + j) +. n.grad.T.data.(j)
-        done)
-  in
-  Array.blit m.value.T.data (i * cols) n.value.T.data 0 cols;
-  n
+  let cols = m.value.T.cols in
+  make_view ctx ~view:(T.row_view m.value i) ~rows:1 ~cols (Row (m, i))
 
 let add ctx a b =
-  if not (T.same_shape a.value b.value) then
-    invalid_arg "Ad.add: shape mismatch";
-  let n =
-    make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (fun n () ->
-        T.axpy ~alpha:1.0 ~x:n.grad ~y:a.grad;
-        T.axpy ~alpha:1.0 ~x:n.grad ~y:b.grad)
-  in
+  if not (T.same_shape a.value b.value) then invalid_arg "Ad.add: shape mismatch";
+  let n = make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (Add (a, b)) in
   T.add_ ~dst:n.value ~a:a.value ~b:b.value;
   n
 
 let mul ctx a b =
-  if not (T.same_shape a.value b.value) then
-    invalid_arg "Ad.mul: shape mismatch";
-  let n =
-    make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (fun n () ->
-        let g = n.grad.T.data in
-        for i = 0 to Array.length g - 1 do
-          a.grad.T.data.(i) <- a.grad.T.data.(i) +. (g.(i) *. b.value.T.data.(i));
-          b.grad.T.data.(i) <- b.grad.T.data.(i) +. (g.(i) *. a.value.T.data.(i))
-        done)
-  in
+  if not (T.same_shape a.value b.value) then invalid_arg "Ad.mul: shape mismatch";
+  let n = make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (Mul (a, b)) in
   T.mul_ ~dst:n.value ~a:a.value ~b:b.value;
   n
 
 let concat ctx parts =
   if parts = [] then invalid_arg "Ad.concat: empty";
-  let total = List.fold_left (fun acc p -> acc + T.size p.value) 0 parts in
-  let n =
-    make ctx ~rows:1 ~cols:total (fun n () ->
-        let off = ref 0 in
-        List.iter
-          (fun p ->
-            let k = T.size p.value in
-            for j = 0 to k - 1 do
-              p.grad.T.data.(j) <- p.grad.T.data.(j) +. n.grad.T.data.(!off + j)
-            done;
-            off := !off + k)
-          parts)
-  in
+  let parts = Array.of_list parts in
+  let total = Array.fold_left (fun acc p -> acc + T.size p.value) 0 parts in
+  let n = make ctx ~rows:1 ~cols:total (Concat parts) in
   let off = ref 0 in
-  List.iter
+  Array.iter
     (fun p ->
       let k = T.size p.value in
-      Array.blit p.value.T.data 0 n.value.T.data !off k;
+      T.blit_sub ~src:p.value ~spos:0 ~dst:n.value ~dpos:!off ~len:k;
       off := !off + k)
     parts;
   n
@@ -114,122 +152,238 @@ let concat ctx parts =
 let slice ctx v ~pos ~len =
   if pos < 0 || len <= 0 || pos + len > T.size v.value then
     invalid_arg "Ad.slice: out of range";
+  make_view ctx ~view:(T.sub v.value ~pos ~len) ~rows:1 ~cols:len
+    (Slice (v, pos))
+
+(* ---- elementwise unary ---- *)
+
+(* tanh from a single exp: libm tanh is ~2x the cost of exp here.  The
+   formula is exact at the negative end (e -> 0) and clamped where
+   exp(2x) would overflow. *)
+let[@inline always] fast_tanh x =
+  if x > 19.0 then 1.0
+  else
+    let e = exp (2.0 *. x) in
+    (e -. 1.0) /. (e +. 1.0)
+
+let unary_forward kind ~src ~dst =
+  let k = T.size src in
+  let sd = src.T.data and so = src.T.off in
+  let dd = dst.T.data and dof = dst.T.off in
+  match kind with
+  | Sigmoid ->
+      for i = 0 to k - 1 do
+        Bigarray.Array1.unsafe_set dd (dof + i)
+          (1.0 /. (1.0 +. exp (-.Bigarray.Array1.unsafe_get sd (so + i))))
+      done
+  | Tanh ->
+      for i = 0 to k - 1 do
+        Bigarray.Array1.unsafe_set dd (dof + i)
+          (fast_tanh (Bigarray.Array1.unsafe_get sd (so + i)))
+      done
+  | Relu ->
+      for i = 0 to k - 1 do
+        let x = Bigarray.Array1.unsafe_get sd (so + i) in
+        Bigarray.Array1.unsafe_set dd (dof + i) (if x > 0.0 then x else 0.0)
+      done
+  | Abs ->
+      for i = 0 to k - 1 do
+        Bigarray.Array1.unsafe_set dd (dof + i)
+          (Float.abs (Bigarray.Array1.unsafe_get sd (so + i)))
+      done
+  | Expc ->
+      for i = 0 to k - 1 do
+        Bigarray.Array1.unsafe_set dd (dof + i)
+          (exp (Float.min (Bigarray.Array1.unsafe_get sd (so + i)) 30.0))
+      done
+  | Affine (m, a) ->
+      for i = 0 to k - 1 do
+        Bigarray.Array1.unsafe_set dd (dof + i)
+          ((m *. Bigarray.Array1.unsafe_get sd (so + i)) +. a)
+      done
+
+(* Accumulate dL/dsrc += dL/dout * f'(x), with f' expressed from the
+   output where cheaper (sigmoid/tanh/exp). *)
+let unary_backward kind ~v ~n =
+  let k = T.size n.value in
+  let sd = v.value.T.data and so = v.value.T.off in
+  let od = n.value.T.data and oo = n.value.T.off in
+  let gd = n.grad.T.data and go = n.grad.T.off in
+  let vd = v.grad.T.data and vo = v.grad.T.off in
+  match kind with
+  | Sigmoid ->
+      for i = 0 to k - 1 do
+        let y = Bigarray.Array1.unsafe_get od (oo + i) in
+        Bigarray.Array1.unsafe_set vd (vo + i)
+          (Bigarray.Array1.unsafe_get vd (vo + i)
+          +. (Bigarray.Array1.unsafe_get gd (go + i) *. y *. (1.0 -. y)))
+      done
+  | Tanh ->
+      for i = 0 to k - 1 do
+        let y = Bigarray.Array1.unsafe_get od (oo + i) in
+        Bigarray.Array1.unsafe_set vd (vo + i)
+          (Bigarray.Array1.unsafe_get vd (vo + i)
+          +. (Bigarray.Array1.unsafe_get gd (go + i) *. (1.0 -. (y *. y))))
+      done
+  | Relu ->
+      for i = 0 to k - 1 do
+        if Bigarray.Array1.unsafe_get sd (so + i) > 0.0 then
+          Bigarray.Array1.unsafe_set vd (vo + i)
+            (Bigarray.Array1.unsafe_get vd (vo + i)
+            +. Bigarray.Array1.unsafe_get gd (go + i))
+      done
+  | Abs ->
+      for i = 0 to k - 1 do
+        let s =
+          if Bigarray.Array1.unsafe_get sd (so + i) >= 0.0 then 1.0 else -1.0
+        in
+        Bigarray.Array1.unsafe_set vd (vo + i)
+          (Bigarray.Array1.unsafe_get vd (vo + i)
+          +. (Bigarray.Array1.unsafe_get gd (go + i) *. s))
+      done
+  | Expc ->
+      for i = 0 to k - 1 do
+        let d =
+          if Bigarray.Array1.unsafe_get sd (so + i) > 30.0 then 0.0
+          else Bigarray.Array1.unsafe_get od (oo + i)
+        in
+        Bigarray.Array1.unsafe_set vd (vo + i)
+          (Bigarray.Array1.unsafe_get vd (vo + i)
+          +. (Bigarray.Array1.unsafe_get gd (go + i) *. d))
+      done
+  | Affine (m, _) ->
+      for i = 0 to k - 1 do
+        Bigarray.Array1.unsafe_set vd (vo + i)
+          (Bigarray.Array1.unsafe_get vd (vo + i)
+          +. (Bigarray.Array1.unsafe_get gd (go + i) *. m))
+      done
+
+let unary ctx v kind =
   let n =
-    make ctx ~rows:1 ~cols:len (fun n () ->
-        for j = 0 to len - 1 do
-          v.grad.T.data.(pos + j) <- v.grad.T.data.(pos + j) +. n.grad.T.data.(j)
-        done)
+    make ctx ~rows:v.value.T.rows ~cols:v.value.T.cols (Unary (v, kind))
   in
-  Array.blit v.value.T.data pos n.value.T.data 0 len;
+  unary_forward kind ~src:v.value ~dst:n.value;
   n
 
-let unary ctx v f df =
-  (* df receives the *output* value (cheaper for sigmoid/tanh). *)
-  let n =
-    make ctx ~rows:v.value.T.rows ~cols:v.value.T.cols (fun n () ->
-        for i = 0 to T.size n.value - 1 do
-          v.grad.T.data.(i) <-
-            v.grad.T.data.(i) +. (n.grad.T.data.(i) *. df n.value.T.data.(i) v.value.T.data.(i))
-        done)
-  in
-  for i = 0 to T.size v.value - 1 do
-    n.value.T.data.(i) <- f v.value.T.data.(i)
-  done;
-  n
-
-let sigmoid ctx v =
-  unary ctx v
-    (fun x -> 1.0 /. (1.0 +. exp (-.x)))
-    (fun y _x -> y *. (1.0 -. y))
-
-let tanh_ ctx v = unary ctx v tanh (fun y _x -> 1.0 -. (y *. y))
-
-let relu ctx v =
-  unary ctx v (fun x -> if x > 0.0 then x else 0.0) (fun _y x -> if x > 0.0 then 1.0 else 0.0)
-
-let abs_ ctx v =
-  unary ctx v Float.abs (fun _y x -> if x >= 0.0 then 1.0 else -1.0)
-
-let exp_ ctx v =
-  unary ctx v (fun x -> exp (Float.min x 30.0)) (fun y x -> if x > 30.0 then 0.0 else y)
-
-let affine ctx v ~mul ~add =
-  unary ctx v (fun x -> (mul *. x) +. add) (fun _y _x -> mul)
+let sigmoid ctx v = unary ctx v Sigmoid
+let tanh_ ctx v = unary ctx v Tanh
+let relu ctx v = unary ctx v Relu
+let abs_ ctx v = unary ctx v Abs
+let exp_ ctx v = unary ctx v Expc
+let affine ctx v ~mul ~add = unary ctx v (Affine (mul, add))
+let scale ctx v alpha = unary ctx v (Affine (alpha, 0.0))
 
 let max2 ctx a b =
   if not (T.same_shape a.value b.value) then
     invalid_arg "Ad.max2: shape mismatch";
-  let n =
-    make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (fun n () ->
-        for i = 0 to T.size n.value - 1 do
-          if a.value.T.data.(i) >= b.value.T.data.(i) then
-            a.grad.T.data.(i) <- a.grad.T.data.(i) +. n.grad.T.data.(i)
-          else b.grad.T.data.(i) <- b.grad.T.data.(i) +. n.grad.T.data.(i)
-        done)
-  in
+  let n = make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (Max2 (a, b)) in
   for i = 0 to T.size a.value - 1 do
-    n.value.T.data.(i) <- Float.max a.value.T.data.(i) b.value.T.data.(i)
+    T.unsafe_set1 n.value i
+      (Float.max (T.unsafe_get1 a.value i) (T.unsafe_get1 b.value i))
   done;
   n
 
 let div ctx a b =
   if not (T.same_shape a.value b.value) then invalid_arg "Ad.div: shape mismatch";
-  let n =
-    make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (fun n () ->
-        for i = 0 to T.size n.value - 1 do
-          let bi = b.value.T.data.(i) in
-          a.grad.T.data.(i) <- a.grad.T.data.(i) +. (n.grad.T.data.(i) /. bi);
-          b.grad.T.data.(i) <-
-            b.grad.T.data.(i)
-            -. (n.grad.T.data.(i) *. a.value.T.data.(i) /. (bi *. bi))
-        done)
-  in
+  let n = make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (Div (a, b)) in
   for i = 0 to T.size a.value - 1 do
-    n.value.T.data.(i) <- a.value.T.data.(i) /. b.value.T.data.(i)
+    T.unsafe_set1 n.value i (T.unsafe_get1 a.value i /. T.unsafe_get1 b.value i)
   done;
   n
 
 let sum_all ctx v =
-  let n =
-    make ctx ~rows:1 ~cols:1 (fun n () ->
-        let g = n.grad.T.data.(0) in
-        for i = 0 to T.size v.value - 1 do
-          v.grad.T.data.(i) <- v.grad.T.data.(i) +. g
-        done)
-  in
-  n.value.T.data.(0) <- T.sum v.value;
+  let n = make ctx ~rows:1 ~cols:1 (SumAll v) in
+  T.unsafe_set1 n.value 0 (T.sum v.value);
   n
 
 let reduce_max ctx v =
   let best = ref 0 in
   for i = 1 to T.size v.value - 1 do
-    if v.value.T.data.(i) > v.value.T.data.(!best) then best := i
+    if T.unsafe_get1 v.value i > T.unsafe_get1 v.value !best then best := i
   done;
-  let bi = !best in
-  let n =
-    make ctx ~rows:1 ~cols:1 (fun n () ->
-        v.grad.T.data.(bi) <- v.grad.T.data.(bi) +. n.grad.T.data.(0))
-  in
-  n.value.T.data.(0) <- v.value.T.data.(bi);
+  let n = make ctx ~rows:1 ~cols:1 (ReduceMax (v, !best)) in
+  T.unsafe_set1 n.value 0 (T.unsafe_get1 v.value !best);
   n
-
-let scale ctx v alpha =
-  unary ctx v (fun x -> alpha *. x) (fun _y _x -> alpha)
 
 let mape ctx pred ~target =
   if T.size pred.value <> 1 then invalid_arg "Ad.mape: prediction not scalar";
   if target <= 0.0 then invalid_arg "Ad.mape: target must be positive";
-  let n =
-    make ctx ~rows:1 ~cols:1 (fun n () ->
-        let diff = pred.value.T.data.(0) -. target in
-        let sign = if diff >= 0.0 then 1.0 else -1.0 in
-        pred.grad.T.data.(0) <-
-          pred.grad.T.data.(0) +. (n.grad.T.data.(0) *. sign /. target))
-  in
-  n.value.T.data.(0) <- Float.abs (pred.value.T.data.(0) -. target) /. target;
+  let n = make ctx ~rows:1 ~cols:1 (Mape (pred, target)) in
+  T.unsafe_set1 n.value 0
+    (Float.abs (T.unsafe_get1 pred.value 0 -. target) /. target);
   n
+
+(* ---- reverse pass ---- *)
+
+let backprop n =
+  match n.op with
+  | Leaf | Const -> ()
+  | Matvec (m, x) ->
+      T.ger ~m:m.grad ~x:n.grad ~y:x.value;
+      T.gemv_t ~m:m.value ~x:n.grad ~y:x.grad ~beta:1.0
+  | Row (m, i) ->
+      T.axpy_at ~alpha:1.0 ~x:n.grad ~y:m.grad ~ypos:(i * m.value.T.cols)
+  | Add (a, b) ->
+      T.axpy ~alpha:1.0 ~x:n.grad ~y:a.grad;
+      T.axpy ~alpha:1.0 ~x:n.grad ~y:b.grad
+  | Mul (a, b) ->
+      let k = T.size n.value in
+      let gd = n.grad.T.data and go = n.grad.T.off in
+      let avd = a.value.T.data and avo = a.value.T.off in
+      let bvd = b.value.T.data and bvo = b.value.T.off in
+      let agd = a.grad.T.data and ago = a.grad.T.off in
+      let bgd = b.grad.T.data and bgo = b.grad.T.off in
+      for i = 0 to k - 1 do
+        let g = Bigarray.Array1.unsafe_get gd (go + i) in
+        Bigarray.Array1.unsafe_set agd (ago + i)
+          (Bigarray.Array1.unsafe_get agd (ago + i)
+          +. (g *. Bigarray.Array1.unsafe_get bvd (bvo + i)));
+        Bigarray.Array1.unsafe_set bgd (bgo + i)
+          (Bigarray.Array1.unsafe_get bgd (bgo + i)
+          +. (g *. Bigarray.Array1.unsafe_get avd (avo + i)))
+      done
+  | Concat parts ->
+      let off = ref 0 in
+      Array.iter
+        (fun p ->
+          let k = T.size p.value in
+          T.axpy_from ~alpha:1.0 ~x:n.grad ~xpos:!off ~len:k ~y:p.grad;
+          off := !off + k)
+        parts
+  | Slice (v, pos) -> T.axpy_at ~alpha:1.0 ~x:n.grad ~y:v.grad ~ypos:pos
+  | Unary (v, kind) -> unary_backward kind ~v ~n
+  | Max2 (a, b) ->
+      for i = 0 to T.size n.value - 1 do
+        let g = T.unsafe_get1 n.grad i in
+        if T.unsafe_get1 a.value i >= T.unsafe_get1 b.value i then
+          T.unsafe_set1 a.grad i (T.unsafe_get1 a.grad i +. g)
+        else T.unsafe_set1 b.grad i (T.unsafe_get1 b.grad i +. g)
+      done
+  | Div (a, b) ->
+      for i = 0 to T.size n.value - 1 do
+        let g = T.unsafe_get1 n.grad i in
+        let bi = T.unsafe_get1 b.value i in
+        T.unsafe_set1 a.grad i (T.unsafe_get1 a.grad i +. (g /. bi));
+        T.unsafe_set1 b.grad i
+          (T.unsafe_get1 b.grad i
+          -. (g *. T.unsafe_get1 a.value i /. (bi *. bi)))
+      done
+  | SumAll v ->
+      let g = T.unsafe_get1 n.grad 0 in
+      for i = 0 to T.size v.value - 1 do
+        T.unsafe_set1 v.grad i (T.unsafe_get1 v.grad i +. g)
+      done
+  | ReduceMax (v, bi) ->
+      T.unsafe_set1 v.grad bi (T.unsafe_get1 v.grad bi +. T.unsafe_get1 n.grad 0)
+  | Mape (pred, target) ->
+      let diff = T.unsafe_get1 pred.value 0 -. target in
+      let sign = if diff >= 0.0 then 1.0 else -1.0 in
+      T.unsafe_set1 pred.grad 0
+        (T.unsafe_get1 pred.grad 0 +. (T.unsafe_get1 n.grad 0 *. sign /. target))
 
 let backward ctx loss =
   if T.size loss.value <> 1 then invalid_arg "Ad.backward: loss not scalar";
-  loss.grad.T.data.(0) <- 1.0;
-  List.iter (fun n -> n.backward ()) ctx.tape
+  T.unsafe_set1 loss.grad 0 1.0;
+  for i = ctx.count - 1 downto 0 do
+    backprop ctx.tape.(i)
+  done

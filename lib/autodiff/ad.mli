@@ -1,21 +1,37 @@
 (** Reverse-mode automatic differentiation over {!Dt_tensor.Tensor}
     values.
 
-    Define-by-run tape: every operation appends a node holding its output
-    value, an accumulation buffer for the output adjoint, and a closure
-    propagating that adjoint to the inputs.  {!backward} walks the tape in
-    reverse.  This is the machinery that makes the surrogate
-    differentiable — and hence the whole point of DiffTune: gradients flow
-    both into network weights (surrogate training, Eq. 2) and into the
-    parameter-table inputs (simulator parameter optimization, Eq. 3). *)
+    Define-by-run tape over a {e reusable workspace}: a context owns one
+    growable float64 arena out of which every node's value and adjoint
+    buffers are carved, plus a flat tape array of nodes.  Nodes carry an
+    op tag and references to their operands instead of a captured
+    closure; {!backward} walks the tape array in reverse and dispatches
+    on the tag.  {!reset} rewinds the arena and tape so the next forward
+    pass reuses the same memory — after the first few passes a training
+    loop performs no per-sample buffer allocation at all.
+
+    This is the machinery that makes the surrogate differentiable — and
+    hence the whole point of DiffTune: gradients flow both into network
+    weights (surrogate training, Eq. 2) and into the parameter-table
+    inputs (simulator parameter optimization, Eq. 3). *)
 
 type ctx
 type node
 
 val new_ctx : unit -> ctx
 
+(** [reset ctx] rewinds the workspace: the tape empties and the arena's
+    high-water mark returns to zero, retaining capacity.  Nodes created
+    before the reset must no longer be used (their buffers will be
+    overwritten by subsequent allocations).  Leaves are unaffected — they
+    own external buffers. *)
+val reset : ctx -> unit
+
 (** Number of nodes currently on the tape (diagnostics). *)
 val tape_size : ctx -> int
+
+(** Current arena capacity in floats (diagnostics). *)
+val arena_capacity : ctx -> int
 
 val value : node -> Dt_tensor.Tensor.t
 val grad : node -> Dt_tensor.Tensor.t
@@ -29,8 +45,12 @@ val scalar_value : node -> float
     tape and may be shared across contexts. *)
 val leaf : value:Dt_tensor.Tensor.t -> grad:Dt_tensor.Tensor.t -> node
 
-(** [constant ctx t] — input node; its gradient buffer is discarded. *)
+(** [constant ctx t] — input node; [t] is copied into the workspace and
+    its gradient buffer is discarded at {!reset}. *)
 val constant : ctx -> Dt_tensor.Tensor.t -> node
+
+(** [scalar ctx v] — a 1x1 constant. *)
+val scalar : ctx -> float -> node
 
 (* ---- operations (all record onto the tape) ---- *)
 
@@ -38,14 +58,15 @@ val constant : ctx -> Dt_tensor.Tensor.t -> node
 val matvec : ctx -> m:node -> x:node -> node
 
 (** [row ctx ~m i] — row [i] of matrix [m] as a vector (embedding
-    lookup; the backward pass scatter-adds into row [i]). *)
+    lookup; the value is a zero-copy view and the backward pass
+    scatter-adds into row [i]). *)
 val row : ctx -> m:node -> int -> node
 
 val add : ctx -> node -> node -> node
 val mul : ctx -> node -> node -> node
 val concat : ctx -> node list -> node
 
-(** [slice ctx v ~pos ~len] — contiguous sub-vector. *)
+(** [slice ctx v ~pos ~len] — contiguous sub-vector (zero-copy view). *)
 val slice : ctx -> node -> pos:int -> len:int -> node
 
 val sigmoid : ctx -> node -> node

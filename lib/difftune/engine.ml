@@ -3,6 +3,7 @@ module Ad = Dt_autodiff.Ad
 module Nn = Dt_nn.Nn
 module Model = Dt_surrogate.Model
 module Rng = Dt_util.Rng
+module Pool = Dt_util.Pool
 
 type config = {
   seed : int;
@@ -69,34 +70,45 @@ type sim_sample = {
   target : float;
 }
 
+(* Work within a minibatch is split into a {e fixed} number of shards,
+   independent of how many domains execute them: each shard accumulates
+   its gradients sequentially into its own replica, and the per-shard
+   sums are reduced in shard-index order.  Floating-point results are
+   therefore bit-identical whatever DIFFTUNE_DOMAINS says. *)
+let n_shards = 16
+
+let with_pool f =
+  let pool = Pool.create () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
 let collect config (spec : Spec.t) blocks =
-  let rng = Rng.create (config.seed lxor 0x1d1f_f7) in
   let eligible =
-    Array.of_list
-      (List.filter
-         (fun b -> Dt_x86.Block.length b <= config.max_train_block_len)
-         (Array.to_list blocks))
+    let acc = ref [] in
+    Array.iteri
+      (fun i b ->
+        if Dt_x86.Block.length b <= config.max_train_block_len then
+          acc := (i, b) :: !acc)
+      blocks;
+    Array.of_list (List.rev !acc)
   in
   if Array.length eligible = 0 then
     invalid_arg "Engine.collect: no training blocks within length limit";
   let n = config.sim_multiplier * Array.length eligible in
-  (* Index map back into the original [blocks] array. *)
-  let index_of = Hashtbl.create (Array.length blocks) in
-  Array.iteri
-    (fun i b -> Hashtbl.replace index_of (Dt_x86.Block.to_string b) i)
-    blocks;
-  Array.init n (fun _ ->
-      let bi = Rng.int rng (Array.length eligible) in
-      let block = eligible.(bi) in
-      let table = spec.sample rng in
-      let target = spec.timing table block in
-      let per, global = Spec.normalize_block spec table block in
-      {
-        block_idx = Hashtbl.find index_of (Dt_x86.Block.to_string block);
-        per;
-        global;
-        target;
-      })
+  let out =
+    Array.make n { block_idx = 0; per = [||]; global = [||]; target = 0.0 }
+  in
+  (* One decorrelated RNG per sample (SplitMix-style seeding) makes each
+     sample independent of execution order. *)
+  let base = config.seed lxor 0x1d1f_f7 in
+  with_pool (fun pool ->
+      Pool.run pool n (fun i ->
+          let rng = Rng.create (base + i) in
+          let block_idx, block = eligible.(Rng.int rng (Array.length eligible)) in
+          let table = spec.sample rng in
+          let target = spec.timing table block in
+          let per, global = Spec.normalize_block spec table block in
+          out.(i) <- { block_idx; per; global; target }));
+  out
 
 let make_model config (spec : Spec.t) rng =
   let mcfg =
@@ -116,6 +128,13 @@ let make_model config (spec : Spec.t) rng =
     }
   in
   Model.create ~config:mcfg rng
+
+(* A structural copy of [model] with the same parameter values; its store
+   can be reduced back into the original's via [Store.accum_grads]. *)
+let replicate model =
+  let m = Model.create ~config:(Model.config model) (Rng.create 0) in
+  Nn.Store.copy_values ~src:(Model.store model) ~dst:(Model.store m);
+  m
 
 let sample_loss model ctx (spec : Spec.t) block (s : sim_sample) =
   let params =
@@ -138,39 +157,75 @@ let sample_loss model ctx (spec : Spec.t) block (s : sim_sample) =
   let pred = Model.predict model ctx block ~params:(Some params) ~features in
   Ad.mape ctx pred ~target:(Float.max s.target 1e-3)
 
+(* The epoch shuffles consume the RNG sequentially, so the whole visit
+   order is fixed up front; shards then index into it. *)
+let make_schedule rng ~n ~steps =
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  Array.init steps (fun step ->
+      if step > 0 && step mod n = 0 then Rng.shuffle rng order;
+      order.(step mod n))
+
+(* Bounds of shard [k] within [lo, lo + size). *)
+let shard_range ~lo ~size k =
+  (lo + (k * size / n_shards), lo + ((k + 1) * size / n_shards))
+
 let train_surrogate config spec model (data : sim_sample array) blocks =
   let rng = Rng.create (config.seed lxor 0x5e_ed) in
   let store = Model.store model in
   let opt = Nn.Optimizer.adam store ~lr:config.surrogate_lr in
   let n = Array.length data in
   let steps = int_of_float (config.surrogate_passes *. float_of_int n) in
-  let order = Array.init n Fun.id in
-  Rng.shuffle rng order;
-  let last_avg = ref Float.nan in
+  let sched = make_schedule rng ~n ~steps in
+  let losses = Array.make (max steps 1) 0.0 in
+  let replicas = Array.init n_shards (fun _ -> replicate model) in
+  let ctxs = Array.init n_shards (fun _ -> Ad.new_ctx ()) in
   let running = Dt_util.Stats.Welford.create () in
-  let in_batch = ref 0 in
-  for step = 0 to steps - 1 do
-    let s = data.(order.(step mod n)) in
-    if step > 0 && step mod n = 0 then Rng.shuffle rng order;
-    let ctx = Ad.new_ctx () in
-    let loss = sample_loss model ctx spec blocks.(s.block_idx) s in
-    Ad.backward ctx loss;
-    Dt_util.Stats.Welford.add running (Ad.scalar_value loss);
-    incr in_batch;
-    if !in_batch = config.batch || step = steps - 1 then begin
-      Nn.Store.clip_grads store ~max_norm:(config.grad_clip *. float_of_int !in_batch);
-      Nn.Optimizer.step opt ~batch:!in_batch;
-      in_batch := 0
-    end;
-    if step = (2 * steps) / 3 then
-      Nn.Optimizer.set_lr opt (config.surrogate_lr *. 0.3);
-    if (step + 1) mod 2000 = 0 then begin
-      last_avg := Dt_util.Stats.Welford.mean running;
-      config.log
-        (Printf.sprintf "surrogate step %d/%d loss %.3f" (step + 1) steps
-           !last_avg)
-    end
-  done;
+  let last_avg = ref Float.nan in
+  let lr_drop_step = 2 * steps / 3 in
+  let lr_dropped = ref false in
+  with_pool (fun pool ->
+      let batch_start = ref 0 in
+      while !batch_start < steps do
+        let b0 = !batch_start in
+        let bsize = min config.batch (steps - b0) in
+        Pool.run pool n_shards (fun k ->
+            let lo, hi = shard_range ~lo:b0 ~size:bsize k in
+            let m = replicas.(k) and ctx = ctxs.(k) in
+            for step = lo to hi - 1 do
+              Ad.reset ctx;
+              let s = data.(sched.(step)) in
+              let loss = sample_loss m ctx spec blocks.(s.block_idx) s in
+              Ad.backward ctx loss;
+              losses.(step) <- Ad.scalar_value loss
+            done);
+        Array.iter
+          (fun m ->
+            let rs = Model.store m in
+            Nn.Store.accum_grads ~src:rs ~dst:store;
+            Nn.Store.zero_grads rs)
+          replicas;
+        Nn.Store.clip_grads store
+          ~max_norm:(config.grad_clip *. float_of_int bsize);
+        if (not !lr_dropped) && lr_drop_step < b0 + bsize then begin
+          Nn.Optimizer.set_lr opt (config.surrogate_lr *. 0.3);
+          lr_dropped := true
+        end;
+        Nn.Optimizer.step opt ~batch:bsize;
+        Array.iter
+          (fun m -> Nn.Store.copy_values ~src:store ~dst:(Model.store m))
+          replicas;
+        for step = b0 to b0 + bsize - 1 do
+          Dt_util.Stats.Welford.add running losses.(step);
+          if (step + 1) mod 2000 = 0 then begin
+            last_avg := Dt_util.Stats.Welford.mean running;
+            config.log
+              (Printf.sprintf "surrogate step %d/%d loss %.3f" (step + 1)
+                 steps !last_avg)
+          end
+        done;
+        batch_start := b0 + bsize
+      done);
   if Dt_util.Stats.Welford.count running > 0 then
     Dt_util.Stats.Welford.mean running
   else Float.nan
@@ -198,6 +253,16 @@ let validation_error (spec : Spec.t) table valid =
     valid;
   !acc /. float_of_int (Array.length valid)
 
+(* Per-shard state for the parameter-descent phase: its own relaxed
+   table (leaves + store) and its own frozen-surrogate replica. *)
+type theta_replica = {
+  tstore : Nn.Store.t;
+  pnode : Ad.node;
+  gnode : Ad.node;
+  smodel : Model.t;
+  tctx : Ad.ctx;
+}
+
 let optimize_table ?init ?(valid = [||]) config (spec : Spec.t) model ~train =
   let rng = Rng.create (config.seed lxor 0x7ab1e) in
   (* Initialize the relaxed table in offset space (value - lower bound):
@@ -205,25 +270,42 @@ let optimize_table ?init ?(valid = [||]) config (spec : Spec.t) model ~train =
      a warm start is provided (iterative refinement). *)
   let init = match init with Some t -> t | None -> spec.sample rng in
   let n_opc = Dt_x86.Opcode.count in
-  let theta_per = T.zeros ~rows:n_opc ~cols:(max 1 spec.per_width) in
-  for i = 0 to n_opc - 1 do
-    for j = 0 to spec.per_width - 1 do
-      T.set theta_per i j (init.per.(i).(j) -. spec.per_lower.(j))
-    done
-  done;
-  let theta_global = T.zeros ~rows:1 ~cols:(max 1 spec.global_width) in
-  for j = 0 to spec.global_width - 1 do
-    T.set theta_global 0 j (init.global.(j) -. spec.global_lower.(j))
-  done;
-  let theta_store = Nn.Store.create () in
-  let per_node = Nn.Store.param theta_store ~name:"theta.per" theta_per in
-  let global_node =
-    Nn.Store.param theta_store ~name:"theta.global" theta_global
+  let make_theta () =
+    let theta_per = T.zeros ~rows:n_opc ~cols:(max 1 spec.per_width) in
+    for i = 0 to n_opc - 1 do
+      for j = 0 to spec.per_width - 1 do
+        T.set theta_per i j (init.per.(i).(j) -. spec.per_lower.(j))
+      done
+    done;
+    let theta_global = T.zeros ~rows:1 ~cols:(max 1 spec.global_width) in
+    for j = 0 to spec.global_width - 1 do
+      T.set theta_global 0 j (init.global.(j) -. spec.global_lower.(j))
+    done;
+    let store = Nn.Store.create () in
+    let pnode = Nn.Store.param store ~name:"theta.per" theta_per in
+    let gnode = Nn.Store.param store ~name:"theta.global" theta_global in
+    (store, theta_per, theta_global, pnode, gnode)
+  in
+  let theta_store, theta_per, theta_global, _, _ = make_theta () in
+  let replicas =
+    Array.init n_shards (fun _ ->
+        let tstore, _, _, pnode, gnode = make_theta () in
+        {
+          tstore;
+          pnode;
+          gnode;
+          smodel = replicate model;
+          tctx = Ad.new_ctx ();
+        })
   in
   let opt = Nn.Optimizer.adam theta_store ~lr:config.table_lr in
   let per_scale = T.vector (Array.copy spec.per_scale) in
-  let global_scale = T.vector (Array.copy spec.global_scale) in
-  let surrogate_store = Model.store model in
+  let global_scale =
+    (* Specs without globals (e.g. write-latency-only) have an empty
+       scale vector; the node is never built in that case. *)
+    if spec.global_width = 0 then T.scalar 0.0
+    else T.vector (Array.copy spec.global_scale)
+  in
   let eligible =
     Array.of_list
       (List.filter
@@ -233,9 +315,7 @@ let optimize_table ?init ?(valid = [||]) config (spec : Spec.t) model ~train =
   let n = Array.length eligible in
   if n = 0 then invalid_arg "Engine.optimize_table: no usable training blocks";
   let steps = int_of_float (config.table_passes *. float_of_int n) in
-  let order = Array.init n Fun.id in
-  Rng.shuffle rng order;
-  let in_batch = ref 0 in
+  let sched = make_schedule rng ~n ~steps in
   (* Validation-gated extraction: periodically extract the integer table
      and keep the snapshot with the lowest true-simulator error on the
      validation split (the split the paper reserves for development
@@ -256,69 +336,90 @@ let optimize_table ?init ?(valid = [||]) config (spec : Spec.t) model ~train =
     end
   in
   let snapshot_every = max 500 (steps / 12) in
-  for step = 0 to steps - 1 do
-    let block, y = eligible.(order.(step mod n)) in
-    if step > 0 && step mod n = 0 then Rng.shuffle rng order;
-    let ctx = Ad.new_ctx () in
-    let scale_node v = Ad.constant ctx v in
-    let per_inputs =
-      Array.map
-        (fun (instr : Dt_x86.Instruction.t) ->
-          let r = Ad.row ctx ~m:per_node instr.opcode.index in
-          let r = Ad.abs_ ctx r in
-          let r =
-            if spec.per_width = T.size (Ad.value r) then r
-            else Ad.slice ctx r ~pos:0 ~len:spec.per_width
-          in
-          Ad.mul ctx r (scale_node per_scale))
-        block.instrs
-    in
-    let global_input =
-      if spec.global_width = 0 then None
-      else
-        let gview = Ad.row ctx ~m:global_node 0 in
-        let g = Ad.abs_ ctx gview in
-        Some (Ad.mul ctx g (scale_node global_scale))
-    in
-    let params = { Model.per_instr = per_inputs; global = global_input } in
-    let features =
-      if (Model.config model).feature_width = 0 then None
-      else
-        match spec.bounds with
-        | Some f -> Some (f ctx block ~per:per_inputs ~global:global_input)
-        | None -> None
-    in
-    let pred = Model.predict model ctx block ~params:(Some params) ~features in
-    let loss = Ad.mape ctx pred ~target:(Float.max y 1e-3) in
-    Ad.backward ctx loss;
-    incr in_batch;
-    if !in_batch = config.table_batch || step = steps - 1 then begin
-      Nn.Optimizer.step opt ~batch:!in_batch;
-      (* The surrogate is frozen: its accumulated gradients are simply
-         discarded. *)
-      Nn.Store.zero_grads surrogate_store;
-      in_batch := 0;
-      (* Keep |theta| inside the sampling distribution's support: the
-         surrogate cannot be trusted to extrapolate outside the region it
-         was trained on (paper Section VII, "Sampling distributions"). *)
-      for i = 0 to n_opc - 1 do
-        for j = 0 to spec.per_width - 1 do
-          let hi = spec.per_upper.(j) -. spec.per_lower.(j) in
-          let v = T.get theta_per i j in
-          if Float.abs v > hi then T.set theta_per i j (if v < 0.0 then -.hi else hi)
-        done
-      done;
-      for j = 0 to spec.global_width - 1 do
-        let hi = spec.global_upper.(j) -. spec.global_lower.(j) in
-        let v = T.get theta_global 0 j in
-        if Float.abs v > hi then
-          T.set theta_global 0 j (if v < 0.0 then -.hi else hi)
-      done
-    end;
-    if (step + 1) mod snapshot_every = 0 then consider ();
-    if (step + 1) mod 2000 = 0 then
-      config.log (Printf.sprintf "table step %d/%d" (step + 1) steps)
-  done;
+  let shard_task r lo hi =
+    let ctx = r.tctx in
+    for step = lo to hi - 1 do
+      Ad.reset ctx;
+      let block, y = eligible.(sched.(step)) in
+      let scale_node v = Ad.constant ctx v in
+      let per_inputs =
+        Array.map
+          (fun (instr : Dt_x86.Instruction.t) ->
+            let row = Ad.row ctx ~m:r.pnode instr.opcode.index in
+            let row = Ad.abs_ ctx row in
+            let row =
+              if spec.per_width = T.size (Ad.value row) then row
+              else Ad.slice ctx row ~pos:0 ~len:spec.per_width
+            in
+            Ad.mul ctx row (scale_node per_scale))
+          block.instrs
+      in
+      let global_input =
+        if spec.global_width = 0 then None
+        else
+          let gview = Ad.row ctx ~m:r.gnode 0 in
+          let g = Ad.abs_ ctx gview in
+          Some (Ad.mul ctx g (scale_node global_scale))
+      in
+      let params = { Model.per_instr = per_inputs; global = global_input } in
+      let features =
+        if (Model.config r.smodel).feature_width = 0 then None
+        else
+          match spec.bounds with
+          | Some f -> Some (f ctx block ~per:per_inputs ~global:global_input)
+          | None -> None
+      in
+      let pred =
+        Model.predict r.smodel ctx block ~params:(Some params) ~features
+      in
+      let loss = Ad.mape ctx pred ~target:(Float.max y 1e-3) in
+      Ad.backward ctx loss
+    done
+  in
+  with_pool (fun pool ->
+      let batch_start = ref 0 in
+      while !batch_start < steps do
+        let b0 = !batch_start in
+        let bsize = min config.table_batch (steps - b0) in
+        Array.iter
+          (fun r -> Nn.Store.copy_values ~src:theta_store ~dst:r.tstore)
+          replicas;
+        Pool.run pool n_shards (fun k ->
+            let lo, hi = shard_range ~lo:b0 ~size:bsize k in
+            shard_task replicas.(k) lo hi);
+        Array.iter
+          (fun r ->
+            Nn.Store.accum_grads ~src:r.tstore ~dst:theta_store;
+            Nn.Store.zero_grads r.tstore;
+            (* The surrogate is frozen: its accumulated gradients are
+               simply discarded. *)
+            Nn.Store.zero_grads (Model.store r.smodel))
+          replicas;
+        Nn.Optimizer.step opt ~batch:bsize;
+        (* Keep |theta| inside the sampling distribution's support: the
+           surrogate cannot be trusted to extrapolate outside the region
+           it was trained on (paper Section VII, "Sampling
+           distributions"). *)
+        for i = 0 to n_opc - 1 do
+          for j = 0 to spec.per_width - 1 do
+            let hi = spec.per_upper.(j) -. spec.per_lower.(j) in
+            let v = T.get theta_per i j in
+            if Float.abs v > hi then
+              T.set theta_per i j (if v < 0.0 then -.hi else hi)
+          done
+        done;
+        for j = 0 to spec.global_width - 1 do
+          let hi = spec.global_upper.(j) -. spec.global_lower.(j) in
+          let v = T.get theta_global 0 j in
+          if Float.abs v > hi then
+            T.set theta_global 0 j (if v < 0.0 then -.hi else hi)
+        done;
+        if (b0 + bsize) / snapshot_every > b0 / snapshot_every then
+          consider ();
+        if (b0 + bsize) / 2000 > b0 / 2000 then
+          config.log (Printf.sprintf "table step %d/%d" (b0 + bsize) steps);
+        batch_start := b0 + bsize
+      done);
   (* Extraction: |theta| + lower bound, rounded; prefer the best
      validation snapshot when a validation split was provided. *)
   let final = extract_table spec theta_per theta_global in
@@ -437,7 +538,7 @@ let spec_features (spec : Spec.t) ~reference block =
         if Array.length global = 0 then None
         else Some (Ad.constant ctx (T.vector global))
       in
-      Array.copy (Ad.value (f ctx block ~per ~global)).T.data
+      T.to_array (Ad.value (f ctx block ~per ~global))
 
 let make_ithemal_model config ~feature_width rng =
   let mcfg =
@@ -493,10 +594,11 @@ let train_ithemal config ~features ~train =
   let order = Array.init n Fun.id in
   Rng.shuffle rng order;
   let in_batch = ref 0 in
+  let ctx = Ad.new_ctx () in
   for step = 0 to steps - 1 do
     let block, y = eligible.(order.(step mod n)) in
     if step > 0 && step mod n = 0 then Rng.shuffle rng order;
-    let ctx = Ad.new_ctx () in
+    Ad.reset ctx;
     let features =
       if (Model.config model).feature_width = 0 then None
       else
@@ -522,12 +624,7 @@ let train_ithemal config ~features ~train =
   model
 
 let ithemal_predict ~features model block =
-  let ctx = Ad.new_ctx () in
-  let features =
-    if (Model.config model).feature_width = 0 then None
-    else
-      match features with
-      | Some f -> Some (Ad.constant ctx (T.vector (f block)))
-      | None -> None
-  in
-  Ad.scalar_value (Model.predict model ctx block ~params:None ~features)
+  match features with
+  | Some f when (Model.config model).feature_width <> 0 ->
+      Model.predict_value model block ~params:None ~features:(f block) ()
+  | _ -> Model.predict_value model block ~params:None ()

@@ -1,6 +1,5 @@
 module Rng = Dt_util.Rng
 module Ad = Dt_autodiff.Ad
-module T = Dt_tensor.Tensor
 
 type table = { per : float array array; global : float array }
 
@@ -29,10 +28,7 @@ let n_bounds = 3
 
 (* ---- differentiable bound helpers ---------------------------------- *)
 
-let scalar_const ctx v =
-  let t = T.zeros ~rows:1 ~cols:1 in
-  t.T.data.(0) <- v;
-  Ad.constant ctx t
+let scalar_const ctx v = Ad.scalar ctx v
 
 let sub ctx a b = Ad.add ctx a (Ad.scale ctx b (-1.0))
 

@@ -561,9 +561,8 @@ let ablation_surrogate runner =
                          (Dt_tensor.Tensor.vector s.global))
                 in
                 Some
-                  (Array.copy
-                     (Dt_autodiff.Ad.value (f ctx block ~per ~global))
-                       .Dt_tensor.Tensor.data)
+                  (Dt_tensor.Tensor.to_array
+                     (Dt_autodiff.Ad.value (f ctx block ~per ~global)))
             | _ -> None
           in
           let p =

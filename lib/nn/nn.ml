@@ -32,6 +32,25 @@ module Store = struct
       List.iter (fun e -> T.scale_ e.grad (max_norm /. norm)) t.entries
 
   let iter t f = List.iter (fun e -> f e.name ~value:e.value ~grad:e.grad) t.entries
+
+  (* Stores built by the same construction code path register parameters
+     in the same order, so pairing entries positionally is sound; the
+     name check guards against mismatched stores. *)
+  let iter2 src dst f =
+    if List.length src.entries <> List.length dst.entries then
+      invalid_arg "Store.iter2: stores have different sizes";
+    List.iter2
+      (fun (a : entry) (b : entry) ->
+        if a.name <> b.name then
+          invalid_arg ("Store.iter2: parameter mismatch " ^ a.name ^ " / " ^ b.name);
+        f a b)
+      src.entries dst.entries
+
+  let copy_values ~src ~dst =
+    iter2 src dst (fun a b -> T.blit ~src:a.value ~dst:b.value)
+
+  let accum_grads ~src ~dst =
+    iter2 src dst (fun a b -> T.axpy ~alpha:1.0 ~x:a.grad ~y:b.grad)
 end
 
 let xavier rng ~rows ~cols =
@@ -68,7 +87,7 @@ module Lstm = struct
     let b = T.zeros ~rows:1 ~cols:(4 * hidden) in
     (* Forget-gate bias starts at 1: standard recipe for stable memory. *)
     for j = hidden to (2 * hidden) - 1 do
-      b.T.data.(j) <- 1.0
+      T.set1 b j 1.0
     done;
     {
       wx =
@@ -167,13 +186,17 @@ module Optimizer = struct
             in
             let m = find a.m and v = find a.v in
             for i = 0 to T.size value - 1 do
-              let g = grad.T.data.(i) *. scale in
-              m.T.data.(i) <- (beta1 *. m.T.data.(i)) +. ((1.0 -. beta1) *. g);
-              v.T.data.(i) <- (beta2 *. v.T.data.(i)) +. ((1.0 -. beta2) *. g *. g);
-              let mhat = m.T.data.(i) /. bc1 in
-              let vhat = v.T.data.(i) /. bc2 in
-              value.T.data.(i) <-
-                value.T.data.(i) -. (t.lr *. mhat /. (sqrt vhat +. eps))
+              let g = T.unsafe_get1 grad i *. scale in
+              let mi = (beta1 *. T.unsafe_get1 m i) +. ((1.0 -. beta1) *. g) in
+              let vi =
+                (beta2 *. T.unsafe_get1 v i) +. ((1.0 -. beta2) *. g *. g)
+              in
+              T.unsafe_set1 m i mi;
+              T.unsafe_set1 v i vi;
+              let mhat = mi /. bc1 in
+              let vhat = vi /. bc2 in
+              T.unsafe_set1 value i
+                (T.unsafe_get1 value i -. (t.lr *. mhat /. (sqrt vhat +. eps)))
             done));
     Store.zero_grads t.store
 end

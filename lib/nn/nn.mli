@@ -32,6 +32,17 @@ module Store : sig
   val clip_grads : t -> max_norm:float -> unit
 
   val iter : t -> (string -> value:T.t -> grad:T.t -> unit) -> unit
+
+  (** [copy_values ~src ~dst] overwrites [dst]'s parameter values with
+      [src]'s.  Both stores must have been built by the same construction
+      path (same parameters in the same order); used to sync per-domain
+      model replicas. *)
+  val copy_values : src:t -> dst:t -> unit
+
+  (** [accum_grads ~src ~dst] adds [src]'s gradients into [dst]'s.
+      Reduction of per-domain replica gradients; same pairing rules as
+      {!copy_values}. *)
+  val accum_grads : src:t -> dst:t -> unit
 end
 
 (** Fully connected layer [y = W x + b]. *)

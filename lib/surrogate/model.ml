@@ -40,6 +40,7 @@ type t = {
   instr_lstm : Nn.Lstm.t;
   head1 : Nn.Linear.t;
   head2 : Nn.Linear.t option;
+  scratch : Ad.ctx;  (** workspace for gradient-free {!predict_value} calls *)
 }
 
 let create ?(config = default_config) rng =
@@ -72,7 +73,16 @@ let create ?(config = default_config) rng =
           (Nn.Linear.create store rng ~name:"head2" ~input:config.head_hidden
              ~output:1) )
   in
-  { cfg = config; store; embedding; token_lstm; instr_lstm; head1; head2 }
+  {
+    cfg = config;
+    store;
+    embedding;
+    token_lstm;
+    instr_lstm;
+    head1;
+    head2;
+    scratch = Ad.new_ctx ();
+  }
 
 let config t = t.cfg
 let store t = t.store
@@ -126,20 +136,15 @@ let predict t ctx (block : Dt_x86.Block.t) ~params ~features =
   | Some f ->
       (* Physics-informed head: the analytic bounds give the base timing;
          the network produces a bounded multiplicative correction. *)
-      let base =
-        Ad.max2 ctx (Ad.reduce_max ctx f)
-          (Ad.constant ctx
-             (let t0 = T.zeros ~rows:1 ~cols:1 in
-              t0.T.data.(0) <- 0.05;
-              t0))
-      in
+      let base = Ad.max2 ctx (Ad.reduce_max ctx f) (Ad.scalar ctx 0.05) in
       let corr = head ctx (Ad.concat ctx [ block_vec; f ]) in
       (* Clamp the log-correction to [-4, 4] via tanh for stability. *)
       let corr = Ad.scale ctx (Ad.tanh_ ctx (Ad.scale ctx corr 0.25)) 4.0 in
       Ad.mul ctx base (Ad.exp_ ctx corr)
 
 let predict_value t (block : Dt_x86.Block.t) ~params ?features () =
-  let ctx = Ad.new_ctx () in
+  let ctx = t.scratch in
+  Ad.reset ctx;
   let params =
     Option.map
       (fun (per, glob) ->

@@ -1,0 +1,114 @@
+type job = {
+  n : int;
+  f : int -> unit;
+  next : int Atomic.t;
+  err : exn option Atomic.t;
+}
+
+type t = {
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable active : int; (* workers still on the current job *)
+  mutable stop : bool;
+  size : int;
+}
+
+let default_domains () =
+  match Sys.getenv_opt "DIFFTUNE_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Pull tasks off the shared counter until exhausted.  The first
+   exception is kept; later tasks still run so [run] always joins. *)
+let exec job =
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      (try job.f i
+       with e -> ignore (Atomic.compare_and_set job.err None (Some e)));
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t () =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.m;
+    while (not t.stop) && t.generation = !seen do
+      Condition.wait t.work_ready t.m
+    done;
+    if t.stop then Mutex.unlock t.m
+    else begin
+      seen := t.generation;
+      let job = match t.job with Some j -> j | None -> assert false in
+      Mutex.unlock t.m;
+      exec job;
+      Mutex.lock t.m;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let size = match domains with Some d -> d | None -> default_domains () in
+  if size <= 0 then invalid_arg "Pool.create: domains must be positive";
+  let t =
+    {
+      workers = [||];
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      active = 0;
+      stop = false;
+      size;
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = t.size
+
+let run t n f =
+  if n <= 0 then ()
+  else if Array.length t.workers = 0 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let job = { n; f; next = Atomic.make 0; err = Atomic.make None } in
+    Mutex.lock t.m;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    t.active <- Array.length t.workers;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.m;
+    exec job;
+    Mutex.lock t.m;
+    while t.active > 0 do
+      Condition.wait t.work_done t.m
+    done;
+    t.job <- None;
+    Mutex.unlock t.m;
+    match Atomic.get job.err with Some e -> raise e | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]

@@ -1,0 +1,38 @@
+(** A persistent pool of worker domains for data-parallel loops.
+
+    Workers are spawned once at {!create} and parked on a condition
+    variable between jobs, so per-job overhead is a broadcast + join
+    rather than domain spawns.  {!run} executes [f 0 .. f (n-1)] across
+    the pool (the calling domain participates too); tasks are handed out
+    by an atomic counter, so callers that need deterministic results must
+    make each [f i] write only to slot [i] of preallocated output and do
+    any reduction themselves in index order afterwards.
+
+    Pool size comes from [?domains], else the [DIFFTUNE_DOMAINS]
+    environment variable, else [Domain.recommended_domain_count ()].
+    A pool of size 1 runs everything inline on the caller — useful both
+    for determinism checks and on single-core machines. *)
+
+type t
+
+(** [create ?domains ()] spawns [domains - 1] workers ([domains] total
+    execution lanes including the caller).  Raises [Invalid_argument] on
+    a non-positive count. *)
+val create : ?domains:int -> unit -> t
+
+(** Number of execution lanes (workers + the calling domain). *)
+val size : t -> int
+
+(** [run t n f] evaluates [f i] for every [i] in [0, n); returns when all
+    are done.  If any task raises, one of the exceptions is re-raised
+    after the job completes.  Not reentrant: [f] must not call {!run} on
+    the same pool. *)
+val run : t -> int -> (int -> unit) -> unit
+
+(** Joins the workers.  The pool must not be used afterwards. *)
+val shutdown : t -> unit
+
+(** The pool size {!create} would pick with no [?domains] argument:
+    [DIFFTUNE_DOMAINS] if set and positive, else
+    [Domain.recommended_domain_count ()]. *)
+val default_domains : unit -> int

@@ -6,7 +6,10 @@ module Ad = Dt_autodiff.Ad
 module Rng = Dt_util.Rng
 
 (* Generic finite-difference check: [f] builds a scalar loss from leaf
-   parameter tensors. *)
+   parameter tensors.  Every evaluation — the analytic pass and all the
+   finite-difference probes — reuses one workspace rewound with
+   [Ad.reset], so stale-buffer bugs in the arena surface as gradient
+   mismatches. *)
 let fd_check ?(eps = 1e-5) ?(tol = 1e-3) name params f =
   let grads =
     List.map (fun p -> T.zeros ~rows:p.T.rows ~cols:p.T.cols) params
@@ -21,10 +24,10 @@ let fd_check ?(eps = 1e-5) ?(tol = 1e-3) name params f =
     (fun pi p ->
       let grad = List.nth grads pi in
       for k = 0 to T.size p - 1 do
-        let orig = p.T.data.(k) in
+        let orig = T.get1 p k in
         let eval v =
-          p.T.data.(k) <- v;
-          let ctx = Ad.new_ctx () in
+          T.set1 p k v;
+          Ad.reset ctx;
           let leaves =
             List.map2
               (fun value grad -> Ad.leaf ~value ~grad)
@@ -32,11 +35,11 @@ let fd_check ?(eps = 1e-5) ?(tol = 1e-3) name params f =
               (List.map (fun q -> T.zeros ~rows:q.T.rows ~cols:q.T.cols) params)
           in
           let l = Ad.scalar_value (f ctx leaves) in
-          p.T.data.(k) <- orig;
+          T.set1 p k orig;
           l
         in
         let fd = (eval (orig +. eps) -. eval (orig -. eps)) /. (2.0 *. eps) in
-        let an = grad.T.data.(k) in
+        let an = T.get1 grad k in
         let denom = Float.max 1.0 (Float.abs fd +. Float.abs an) in
         if Float.abs (fd -. an) /. denom > tol then
           Alcotest.failf "%s: param %d[%d] fd=%.6g ad=%.6g" name pi k fd an
@@ -133,7 +136,7 @@ let test_mape_value () =
   let l = Ad.mape ctx leaf ~target:2.0 in
   Alcotest.(check (float 1e-9)) "mape value" 0.5 (Ad.scalar_value l);
   Ad.backward ctx l;
-  Alcotest.(check (float 1e-9)) "mape grad" 0.5 g.T.data.(0)
+  Alcotest.(check (float 1e-9)) "mape grad" 0.5 (T.get1 g 0)
 
 let test_mape_rejects () =
   let ctx = Ad.new_ctx () in
@@ -167,9 +170,9 @@ let test_grad_accumulation_across_passes () =
     Ad.backward ctx l
   in
   run ();
-  let g1 = g.T.data.(0) in
+  let g1 = T.get1 g 0 in
   run ();
-  Alcotest.(check (float 1e-9)) "doubled" (2.0 *. g1) g.T.data.(0)
+  Alcotest.(check (float 1e-9)) "doubled" (2.0 *. g1) (T.get1 g 0)
 
 let test_tape_size () =
   let ctx = Ad.new_ctx () in
@@ -229,6 +232,67 @@ let test_shape_mismatches () =
       ("backward non-scalar", fun () -> Ad.backward ctx b; b);
     ]
 
+(* ---- workspace reuse ---- *)
+
+(* The same computation on a rewound workspace must be bit-identical:
+   any stale value/grad buffer left over from the previous pass would
+   perturb the result. *)
+let test_reset_reuse_bit_identical () =
+  let rng = Rng.create 9 in
+  let m = T.randn rng ~rows:4 ~cols:3 ~sigma:1.0 in
+  let g = T.zeros ~rows:4 ~cols:3 in
+  let leaf = Ad.leaf ~value:m ~grad:g in
+  let ctx = Ad.new_ctx () in
+  let run () =
+    Ad.reset ctx;
+    T.zero_ g;
+    let x = Ad.constant ctx (T.vector [| 1.0; -2.0; 0.5 |]) in
+    let h = Ad.tanh_ ctx (Ad.matvec ctx ~m:leaf ~x) in
+    let l = Ad.mape ctx (Ad.sum_all ctx h) ~target:2.0 in
+    Ad.backward ctx l;
+    (Ad.scalar_value l, T.to_array g)
+  in
+  let l1, g1 = run () in
+  for _ = 1 to 5 do
+    let l2, g2 = run () in
+    Alcotest.(check bool) "loss bit-identical" true (l1 = l2);
+    Alcotest.(check bool) "grads bit-identical" true (g1 = g2)
+  done
+
+let test_arena_capacity_stabilizes () =
+  let ctx = Ad.new_ctx () in
+  let rng = Rng.create 10 in
+  let m = T.randn rng ~rows:32 ~cols:32 ~sigma:1.0 in
+  let g = T.zeros ~rows:32 ~cols:32 in
+  let leaf = Ad.leaf ~value:m ~grad:g in
+  let run () =
+    Ad.reset ctx;
+    let x = Ad.constant ctx (T.randn rng ~rows:1 ~cols:32 ~sigma:1.0) in
+    let h = ref x in
+    for _ = 1 to 8 do
+      h := Ad.sigmoid ctx (Ad.matvec ctx ~m:leaf ~x:!h)
+    done;
+    Ad.backward ctx (Ad.mape ctx (Ad.sum_all ctx !h) ~target:1.0)
+  in
+  (* Let the arena grow to steady state, then demand it stops. *)
+  for _ = 1 to 3 do
+    run ()
+  done;
+  let cap = Ad.arena_capacity ctx in
+  let tape = Ad.tape_size ctx in
+  for _ = 1 to 10 do
+    run ()
+  done;
+  Alcotest.(check int) "capacity stable" cap (Ad.arena_capacity ctx);
+  Alcotest.(check int) "tape length stable" tape (Ad.tape_size ctx)
+
+let test_reset_empties_tape () =
+  let ctx = Ad.new_ctx () in
+  let a = Ad.constant ctx (T.vector [| 1.0 |]) in
+  ignore (Ad.add ctx a a);
+  Ad.reset ctx;
+  Alcotest.(check int) "tape empty" 0 (Ad.tape_size ctx)
+
 let prop_exp_positive =
   QCheck.Test.make ~name:"exp output positive" ~count:100
     QCheck.(float_range (-20.0) 20.0)
@@ -264,6 +328,15 @@ let () =
           Alcotest.test_case "slice bounds" `Quick test_slice_bounds;
           Alcotest.test_case "concat empty" `Quick test_concat_empty;
           Alcotest.test_case "shape mismatches" `Quick test_shape_mismatches;
+        ] );
+      ( "workspace reuse",
+        [
+          Alcotest.test_case "reset reuse bit-identical" `Quick
+            test_reset_reuse_bit_identical;
+          Alcotest.test_case "arena capacity stabilizes" `Quick
+            test_arena_capacity_stabilizes;
+          Alcotest.test_case "reset empties tape" `Quick
+            test_reset_empties_tape;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_exp_positive ]);
     ]

@@ -109,9 +109,9 @@ let test_bounds_match_plain_computation () =
        + dflt.num_micro_ops.(opcode "PUSH64r")) in
   Alcotest.(check (float 1e-6)) "frontend bound"
     (uops /. float_of_int dflt.dispatch_width)
-    v.T.data.(0);
+    (T.get1 v 0);
   (* Chain: two mutually dependent 1-cycle adds -> 2 cycles/iter. *)
-  Alcotest.(check (float 1e-6)) "chain bound" 2.0 v.T.data.(2)
+  Alcotest.(check (float 1e-6)) "chain bound" 2.0 (T.get1 v 2)
 
 let test_bounds_gradients_flow_to_theta () =
   (* Gradients must reach a leaf table through the bound graph. *)
@@ -260,6 +260,40 @@ let test_learn_with_validation_gating () =
   in
   Alcotest.(check bool) "finite validation error" true (Float.is_finite err)
 
+(* The parallel phases must be bit-identical regardless of how many
+   domains execute them: collect uses per-sample RNG streams and the
+   training loops use a fixed shard count with an ordered reduction. *)
+let with_domains d f =
+  let prev = Sys.getenv_opt "DIFFTUNE_DOMAINS" in
+  Unix.putenv "DIFFTUNE_DOMAINS" (string_of_int d);
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DIFFTUNE_DOMAINS"
+        (match prev with Some v -> v | None -> ""))
+    f
+
+let test_domain_determinism () =
+  let blocks = Array.map fst tiny_train in
+  let wl_spec = Spec.mca_write_latency Uarch.Haswell in
+  let cfg =
+    { tiny_cfg with Engine.sim_multiplier = 2; surrogate_passes = 0.5 }
+  in
+  let run domains =
+    with_domains domains (fun () ->
+        let data = Engine.collect cfg wl_spec blocks in
+        let model = Engine.make_model cfg wl_spec (Rng.create 11) in
+        let loss = Engine.train_surrogate cfg wl_spec model data blocks in
+        (data, loss))
+  in
+  let d1, l1 = run 1 in
+  let d3, l3 = run 3 in
+  Alcotest.(check int) "same dataset size" (Array.length d1) (Array.length d3);
+  Alcotest.(check bool) "collect bit-identical" true (d1 = d3);
+  Alcotest.(check bool)
+    (Printf.sprintf "train loss bit-identical (%.17g vs %.17g)" l1 l3)
+    true
+    (Float.equal l1 l3)
+
 let test_ithemal_smoke () =
   let reference = Spec.mca_table_of_params (Dt_mca.Params.default Uarch.Haswell) in
   let features = Some (Engine.spec_features spec ~reference) in
@@ -294,6 +328,8 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "collect" `Quick test_collect;
+          Alcotest.test_case "domain determinism" `Quick
+            test_domain_determinism;
           Alcotest.test_case "learn smoke" `Slow test_learn_end_to_end_smoke;
           Alcotest.test_case "validation gating" `Slow
             test_learn_with_validation_gating;

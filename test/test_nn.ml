@@ -23,13 +23,41 @@ let test_store_size () =
 let test_grad_norm_and_clip () =
   let s = Nn.Store.create () in
   let p = Nn.Store.param s ~name:"p" (T.vector [| 1.0; 1.0 |]) in
-  (Ad.grad p).T.data.(0) <- 3.0;
-  (Ad.grad p).T.data.(1) <- 4.0;
+  T.set1 (Ad.grad p) 0 3.0;
+  T.set1 (Ad.grad p) 1 4.0;
   Alcotest.(check (float 1e-9)) "norm" 5.0 (Nn.Store.grad_norm s);
   Nn.Store.clip_grads s ~max_norm:1.0;
   Alcotest.(check (float 1e-9)) "clipped norm" 1.0 (Nn.Store.grad_norm s);
   Nn.Store.zero_grads s;
   Alcotest.(check (float 1e-9)) "zeroed" 0.0 (Nn.Store.grad_norm s)
+
+let test_store_replica_sync () =
+  (* copy_values / accum_grads pair stores built by the same path. *)
+  let make () =
+    let s = Nn.Store.create () in
+    let a = Nn.Store.param s ~name:"a" (T.vector [| 1.0; 2.0 |]) in
+    let b = Nn.Store.param s ~name:"b" (T.vector [| 3.0 |]) in
+    (s, a, b)
+  in
+  let src, sa, sb = make () in
+  let dst, da, db = make () in
+  T.set1 (Ad.value sa) 0 9.0;
+  Nn.Store.copy_values ~src ~dst;
+  Alcotest.(check (float 1e-9)) "value copied" 9.0 (T.get1 (Ad.value da) 0);
+  Alcotest.(check (float 1e-9)) "value copied b" 3.0 (T.get1 (Ad.value db) 0);
+  T.set1 (Ad.grad sa) 1 2.0;
+  T.set1 (Ad.grad sb) 0 1.5;
+  T.set1 (Ad.grad da) 1 0.5;
+  Nn.Store.accum_grads ~src ~dst;
+  Alcotest.(check (float 1e-9)) "grad accumulated" 2.5 (T.get1 (Ad.grad da) 1);
+  Alcotest.(check (float 1e-9)) "grad accumulated b" 1.5 (T.get1 (Ad.grad db) 0);
+  let other = Nn.Store.create () in
+  let _ = Nn.Store.param other ~name:"x" (T.vector [| 0.0 |]) in
+  Alcotest.(check bool) "mismatched stores rejected" true
+    (try
+       Nn.Store.copy_values ~src ~dst:other;
+       false
+     with Invalid_argument _ -> true)
 
 let test_linear_shapes () =
   let rng = Rng.create 1 in
@@ -47,7 +75,7 @@ let test_embedding_lookup () =
   let v1 = Nn.Embedding.forward e ctx 3 in
   let v2 = Nn.Embedding.forward e ctx 3 in
   Alcotest.(check bool) "same row same values" true
-    ((Ad.value v1).T.data = (Ad.value v2).T.data);
+    (T.to_array (Ad.value v1) = T.to_array (Ad.value v2));
   Alcotest.(check int) "dim" 4 (T.size (Ad.value v1))
 
 let test_lstm_shapes_and_state () =
@@ -82,7 +110,7 @@ let test_lstm_order_sensitivity () =
   let run inputs =
     let ctx = Ad.new_ctx () in
     let nodes = List.map (fun v -> Ad.constant ctx (T.vector v)) inputs in
-    (Ad.value (Nn.Lstm.forward lstm ctx nodes)).T.data
+    T.to_array (Ad.value (Nn.Lstm.forward lstm ctx nodes))
   in
   let fwd = run [ [| 1.0; 0.0 |]; [| 0.0; 1.0 |] ] in
   let rev = run [ [| 0.0; 1.0 |]; [| 1.0; 0.0 |] ] in
@@ -131,7 +159,7 @@ let test_step_batch_scaling () =
       Ad.backward ctx l
     done;
     Nn.Optimizer.step opt ~batch:k;
-    (Ad.value p).T.data.(0)
+    T.get1 (Ad.value p) 0
   in
   Alcotest.(check (float 1e-9)) "batch invariance" (run 1) (run 4)
 
@@ -148,13 +176,13 @@ let test_set_lr () =
   let s = Nn.Store.create () in
   let p = Nn.Store.param s ~name:"p" (T.vector [| 1.0 |]) in
   let opt = Nn.Optimizer.sgd s ~lr:0.0 in
-  (Ad.grad p).T.data.(0) <- 1.0;
+  T.set1 (Ad.grad p) 0 1.0;
   Nn.Optimizer.step opt ~batch:1;
-  Alcotest.(check (float 1e-9)) "lr 0 no move" 1.0 (Ad.value p).T.data.(0);
-  (Ad.grad p).T.data.(0) <- 1.0;
+  Alcotest.(check (float 1e-9)) "lr 0 no move" 1.0 (T.get1 (Ad.value p) 0);
+  T.set1 (Ad.grad p) 0 1.0;
   Nn.Optimizer.set_lr opt 0.5;
   Nn.Optimizer.step opt ~batch:1;
-  Alcotest.(check (float 1e-9)) "lr 0.5 moves" 0.5 (Ad.value p).T.data.(0)
+  Alcotest.(check (float 1e-9)) "lr 0.5 moves" 0.5 (T.get1 (Ad.value p) 0)
 
 let () =
   Alcotest.run "nn"
@@ -164,6 +192,7 @@ let () =
           Alcotest.test_case "duplicate names" `Quick test_store_duplicate_names;
           Alcotest.test_case "size" `Quick test_store_size;
           Alcotest.test_case "grad norm/clip" `Quick test_grad_norm_and_clip;
+          Alcotest.test_case "replica sync" `Quick test_store_replica_sync;
         ] );
       ( "layers",
         [

@@ -1,4 +1,6 @@
-(* Tests for the tensor kernels. *)
+(* Tests for the Bigarray-backed tensor kernels: unit checks plus
+   property tests against naive reference implementations on random
+   shapes. *)
 
 module T = Dt_tensor.Tensor
 module Rng = Dt_util.Rng
@@ -12,9 +14,19 @@ let naive_gemv m x =
   Array.init m.T.rows (fun i ->
       let acc = ref 0.0 in
       for j = 0 to m.T.cols - 1 do
-        acc := !acc +. (T.get m i j *. x.T.data.(j))
+        acc := !acc +. (T.get m i j *. T.get1 x j)
       done;
       !acc)
+
+let naive_gemv_t m x =
+  Array.init m.T.cols (fun j ->
+      let acc = ref 0.0 in
+      for i = 0 to m.T.rows - 1 do
+        acc := !acc +. (T.get m i j *. T.get1 x i)
+      done;
+      !acc)
+
+let close a b = Float.abs (a -. b) < 1e-9
 
 let test_create_shapes () =
   let t = T.zeros ~rows:3 ~cols:4 in
@@ -36,7 +48,9 @@ let test_get_set () =
   let t = T.zeros ~rows:2 ~cols:3 in
   T.set t 1 2 5.0;
   checkf "get" 5.0 (T.get t 1 2);
-  checkf "untouched" 0.0 (T.get t 0 2)
+  checkf "untouched" 0.0 (T.get t 0 2);
+  T.set1 t 5 7.0;
+  checkf "flat set" 7.0 (T.get t 1 2)
 
 let test_gemv_matches_naive () =
   let rng = Rng.create 3 in
@@ -47,7 +61,7 @@ let test_gemv_matches_naive () =
     let y = T.zeros ~rows:1 ~cols:rows in
     T.gemv ~m ~x ~y ~beta:0.0;
     let expect = naive_gemv m x in
-    Array.iteri (fun i e -> checkf "gemv" e y.T.data.(i)) expect
+    Array.iteri (fun i e -> checkf "gemv" e (T.get1 y i)) expect
   done
 
 let test_gemv_beta () =
@@ -55,7 +69,7 @@ let test_gemv_beta () =
   let x = T.vector [| 3.0 |] in
   let y = T.vector [| 10.0 |] in
   T.gemv ~m ~x ~y ~beta:0.5;
-  checkf "beta accumulate" 11.0 y.T.data.(0)
+  checkf "beta accumulate" 11.0 (T.get1 y 0)
 
 let test_gemv_t_matches_transpose () =
   let rng = Rng.create 5 in
@@ -65,14 +79,8 @@ let test_gemv_t_matches_transpose () =
     let x = random_tensor rng ~rows:1 ~cols:rows in
     let y = T.zeros ~rows:1 ~cols:cols in
     T.gemv_t ~m ~x ~y ~beta:0.0;
-    (* y_j = sum_i m_ij x_i *)
-    for j = 0 to cols - 1 do
-      let acc = ref 0.0 in
-      for i = 0 to rows - 1 do
-        acc := !acc +. (T.get m i j *. x.T.data.(i))
-      done;
-      checkf "gemv_t" !acc y.T.data.(j)
-    done
+    let expect = naive_gemv_t m x in
+    Array.iteri (fun j e -> checkf "gemv_t" e (T.get1 y j)) expect
   done
 
 let test_ger_rank1 () =
@@ -87,16 +95,16 @@ let test_ger_rank1 () =
 let test_axpy () =
   let x = T.vector [| 1.0; 2.0 |] and y = T.vector [| 10.0; 20.0 |] in
   T.axpy ~alpha:3.0 ~x ~y;
-  checkf "axpy" 13.0 y.T.data.(0);
-  checkf "axpy" 26.0 y.T.data.(1)
+  checkf "axpy" 13.0 (T.get1 y 0);
+  checkf "axpy" 26.0 (T.get1 y 1)
 
 let test_elementwise () =
   let a = T.vector [| 1.0; 2.0 |] and b = T.vector [| 3.0; 4.0 |] in
   let dst = T.zeros ~rows:1 ~cols:2 in
   T.add_ ~dst ~a ~b;
-  checkf "add" 4.0 dst.T.data.(0);
+  checkf "add" 4.0 (T.get1 dst 0);
   T.mul_ ~dst ~a ~b;
-  checkf "mul" 8.0 dst.T.data.(1)
+  checkf "mul" 8.0 (T.get1 dst 1)
 
 let test_shape_mismatch_raises () =
   let a = T.vector [| 1.0 |] and b = T.vector [| 1.0; 2.0 |] in
@@ -112,20 +120,87 @@ let test_dot_scale_sum () =
   checkf "sum" 6.0 (T.sum a);
   let b = T.copy a in
   T.scale_ b 2.0;
-  checkf "scale" 6.0 b.T.data.(2);
-  checkf "copy independent" 3.0 a.T.data.(2)
+  checkf "scale" 6.0 (T.get1 b 2);
+  checkf "copy independent" 3.0 (T.get1 a 2)
 
 let test_map () =
   let a = T.vector [| -1.0; 2.0 |] in
   let b = T.map Float.abs a in
-  checkf "map" 1.0 b.T.data.(0);
-  checkf "original" (-1.0) a.T.data.(0);
+  checkf "map" 1.0 (T.get1 b 0);
+  checkf "original" (-1.0) (T.get1 a 0);
   T.map_ (fun x -> x *. 10.0) a;
-  checkf "map_" (-10.0) a.T.data.(0)
+  checkf "map_" (-10.0) (T.get1 a 0)
+
+(* ---- views and copies ---- *)
+
+let test_sub_view_shares_buffer () =
+  let t = T.of_array ~rows:1 ~cols:5 [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  let v = T.sub t ~pos:1 ~len:3 in
+  Alcotest.(check int) "view size" 3 (T.size v);
+  checkf "view read" 2.0 (T.get1 v 1);
+  T.set1 v 0 9.0;
+  checkf "write through view" 9.0 (T.get1 t 1);
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (T.sub t ~pos:3 ~len:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_row_view () =
+  let m = T.of_array ~rows:2 ~cols:3 [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+  let r = T.row_view m 1 in
+  Alcotest.(check int) "row size" 3 (T.size r);
+  checkf "row read" 5.0 (T.get1 r 1);
+  T.set1 r 2 0.5;
+  checkf "write through row view" 0.5 (T.get m 1 2)
+
+let test_fill_blit () =
+  let a = T.zeros ~rows:2 ~cols:2 in
+  T.fill a 3.0;
+  checkf "fill" 3.0 (T.get a 1 1);
+  let b = T.zeros ~rows:2 ~cols:2 in
+  T.blit ~src:a ~dst:b;
+  checkf "blit" 3.0 (T.get b 0 1);
+  T.zero_ a;
+  checkf "zero_" 0.0 (T.get a 1 0);
+  checkf "blit is a copy" 3.0 (T.get b 1 0);
+  let src = T.vector [| 1.0; 2.0; 3.0; 4.0 |] in
+  let dst = T.zeros ~rows:1 ~cols:4 in
+  T.blit_sub ~src ~spos:1 ~dst ~dpos:2 ~len:2;
+  checkf "blit_sub" 2.0 (T.get1 dst 2);
+  checkf "blit_sub" 3.0 (T.get1 dst 3);
+  checkf "blit_sub untouched" 0.0 (T.get1 dst 0)
+
+let test_axpy_at_from () =
+  let x = T.vector [| 1.0; 2.0 |] in
+  let y = T.vector [| 10.0; 20.0; 30.0; 40.0 |] in
+  T.axpy_at ~alpha:2.0 ~x ~y ~ypos:1;
+  checkf "axpy_at" 22.0 (T.get1 y 1);
+  checkf "axpy_at" 34.0 (T.get1 y 2);
+  checkf "axpy_at untouched" 40.0 (T.get1 y 3);
+  let acc = T.vector [| 1.0; 1.0 |] in
+  T.axpy_from ~alpha:1.0 ~x:y ~xpos:2 ~len:2 ~y:acc;
+  checkf "axpy_from" 35.0 (T.get1 acc 0);
+  checkf "axpy_from" 41.0 (T.get1 acc 1)
+
+let test_of_buf_view () =
+  let buf = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 8 in
+  Bigarray.Array1.fill buf 0.0;
+  let a = T.of_buf buf ~off:2 ~rows:2 ~cols:2 in
+  T.set a 1 1 5.0;
+  checkf "of_buf addresses buffer" 5.0 (Bigarray.Array1.get buf 5);
+  Alcotest.(check bool) "window overflow" true
+    (try
+       ignore (T.of_buf buf ~off:6 ~rows:1 ~cols:3);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- property tests vs naive references ---- *)
+
+let shape_gen = QCheck.(triple small_int (int_range 1 9) (int_range 1 9))
 
 let prop_gemv_linear =
-  QCheck.Test.make ~name:"gemv is linear in x" ~count:100
-    QCheck.(triple small_int (int_range 1 6) (int_range 1 6))
+  QCheck.Test.make ~name:"gemv is linear in x" ~count:100 shape_gen
     (fun (seed, rows, cols) ->
       let rng = Rng.create seed in
       let m = random_tensor rng ~rows ~cols in
@@ -140,9 +215,73 @@ let prop_gemv_linear =
       T.gemv ~m ~x:x2 ~y:y2 ~beta:0.0;
       T.gemv ~m ~x:xsum ~y:ysum ~beta:0.0;
       Array.for_all2
-        (fun s (a, b) -> Float.abs (s -. (a +. b)) < 1e-9)
-        ysum.T.data
-        (Array.map2 (fun a b -> (a, b)) y1.T.data y2.T.data))
+        (fun s (a, b) -> close s (a +. b))
+        (T.to_array ysum)
+        (Array.map2
+           (fun a b -> (a, b))
+           (T.to_array y1) (T.to_array y2)))
+
+let prop_gemv_matches_naive =
+  QCheck.Test.make ~name:"gemv matches naive" ~count:100 shape_gen
+    (fun (seed, rows, cols) ->
+      let rng = Rng.create (seed + 17) in
+      let m = random_tensor rng ~rows ~cols in
+      let x = random_tensor rng ~rows:1 ~cols in
+      let y = random_tensor rng ~rows:1 ~cols:rows in
+      let beta = 0.5 in
+      let expect =
+        Array.mapi (fun i e -> e +. (beta *. T.get1 y i)) (naive_gemv m x)
+      in
+      T.gemv ~m ~x ~y ~beta;
+      Array.for_all2 close (T.to_array y) expect)
+
+let prop_gemv_t_matches_naive =
+  QCheck.Test.make ~name:"gemv_t matches naive" ~count:100 shape_gen
+    (fun (seed, rows, cols) ->
+      let rng = Rng.create (seed + 29) in
+      let m = random_tensor rng ~rows ~cols in
+      let x = random_tensor rng ~rows:1 ~cols:rows in
+      let y = random_tensor rng ~rows:1 ~cols in
+      let expect =
+        Array.mapi (fun j e -> e +. T.get1 y j) (naive_gemv_t m x)
+      in
+      T.gemv_t ~m ~x ~y ~beta:1.0;
+      Array.for_all2 close (T.to_array y) expect)
+
+let prop_ger_matches_naive =
+  QCheck.Test.make ~name:"ger matches naive" ~count:100 shape_gen
+    (fun (seed, rows, cols) ->
+      let rng = Rng.create (seed + 43) in
+      let m = random_tensor rng ~rows ~cols in
+      let x = random_tensor rng ~rows:1 ~cols:rows in
+      let y = random_tensor rng ~rows:1 ~cols in
+      let expect =
+        Array.init rows (fun i ->
+            Array.init cols (fun j ->
+                T.get m i j +. (T.get1 x i *. T.get1 y j)))
+      in
+      T.ger ~m ~x ~y;
+      let ok = ref true in
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          if not (close (T.get m i j) expect.(i).(j)) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_axpy_matches_naive =
+  QCheck.Test.make ~name:"axpy matches naive" ~count:100
+    QCheck.(pair small_int (int_range 1 32))
+    (fun (seed, n) ->
+      let rng = Rng.create (seed + 71) in
+      let x = random_tensor rng ~rows:1 ~cols:n in
+      let y = random_tensor rng ~rows:1 ~cols:n in
+      let alpha = -1.5 in
+      let expect =
+        Array.init n (fun i -> T.get1 y i +. (alpha *. T.get1 x i))
+      in
+      T.axpy ~alpha ~x ~y;
+      Array.for_all2 close (T.to_array y) expect)
 
 let () =
   Alcotest.run "tensor"
@@ -162,5 +301,21 @@ let () =
           Alcotest.test_case "dot/scale/sum" `Quick test_dot_scale_sum;
           Alcotest.test_case "map" `Quick test_map;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_gemv_linear ]);
+      ( "views",
+        [
+          Alcotest.test_case "sub view" `Quick test_sub_view_shares_buffer;
+          Alcotest.test_case "row view" `Quick test_row_view;
+          Alcotest.test_case "fill/blit" `Quick test_fill_blit;
+          Alcotest.test_case "axpy_at/axpy_from" `Quick test_axpy_at_from;
+          Alcotest.test_case "of_buf" `Quick test_of_buf_view;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_gemv_linear;
+            prop_gemv_matches_naive;
+            prop_gemv_t_matches_naive;
+            prop_ger_matches_naive;
+            prop_axpy_matches_naive;
+          ] );
     ]
