@@ -1,6 +1,6 @@
 # Convenience targets for the DiffTune reproduction.
 
-.PHONY: all build test bench bench-full bench-json clean doc quickstart
+.PHONY: all build test verify bench bench-full bench-json clean doc quickstart
 
 all: build
 
@@ -9,6 +9,24 @@ build:
 
 test:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+# Full verification: build, the regular test suite, then the fault
+# smoke matrix — every injection site crossed with serial and parallel
+# pools.  Each cell kills/corrupts a checkpointed training run and
+# requires it to converge (bit-identically, unless the fault was
+# numeric).
+FAULT_SPECS = pool.worker@2 grad.nan@2 ckpt.truncate@1 engine.abort@2 \
+              "engine.abort@2;grad.nan@3"
+verify: build
+	dune runtest --force
+	@for faults in $(FAULT_SPECS); do \
+	  for domains in 1 4; do \
+	    echo "== faults=$$faults domains=$$domains =="; \
+	    DIFFTUNE_FAULTS="$$faults" DIFFTUNE_DOMAINS=$$domains \
+	      dune exec test/fault_smoke.exe || exit 1; \
+	  done; \
+	done
+	@echo "verify: all fault combinations passed"
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt

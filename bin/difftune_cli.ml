@@ -189,7 +189,14 @@ let learn_cmd =
     Arg.(value & flag
          & info [ "full" ] ~doc:"Use the full (slow) training scale.")
   in
-  let run uarch size seed spec_kind full save =
+  let ckpt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"Periodically checkpoint training state under $(docv); \
+                   re-running the same command resumes an interrupted run \
+                   from the last checkpoint with identical results.")
+  in
+  let run uarch size seed spec_kind full save checkpoint_dir =
     let scale = if full then Dt_exp.Scale.full else Dt_exp.Scale.quick in
     let scale = { scale with corpus_size = size } in
     let corpus = Dt_bhive.Dataset.corpus ~seed ~size in
@@ -215,7 +222,9 @@ let learn_cmd =
         (fun (l : Dt_bhive.Dataset.labeled) -> (l.entry.block, l.timing))
         ds.valid
     in
-    let result = Engine.learn ~valid cfg spec ~train in
+    let result = Engine.learn ~valid ?checkpoint_dir cfg spec ~train in
+    Printf.printf "run health: %s\n"
+      (Dt_difftune.Fault.health_summary result.health);
     let eval name f =
       let p =
         Array.map (fun (l : Dt_bhive.Dataset.labeled) -> f l.entry.block) ds.test
@@ -244,7 +253,7 @@ let learn_cmd =
   Cmd.v
     (Cmd.info "learn" ~doc:"Run DiffTune end to end and report test error")
     Term.(const run $ uarch_arg $ size_arg $ seed_arg $ spec_arg $ full_arg
-          $ save_arg)
+          $ save_arg $ ckpt_arg)
 
 (* ---- experiment ---- *)
 
@@ -256,19 +265,27 @@ let experiment_cmd =
                    fig5, ablation_wl, cases, table8, random_tables, \
                    measured_latency, extension_idioms, ablation_surrogate.")
   in
-  let run name =
+  let ckpt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"Checkpoint every DiffTune run under $(docv) so an \
+                   interrupted experiment resumes instead of restarting.")
+  in
+  let run name checkpoint_dir =
     match List.assoc_opt name Dt_exp.Experiments.all with
     | None ->
         Printf.eprintf "unknown experiment %S\n" name;
         exit 1
     | Some f ->
-        let runner = Dt_exp.Runner.create (Dt_exp.Scale.from_env ()) in
+        let runner =
+          Dt_exp.Runner.create ?checkpoint_dir (Dt_exp.Scale.from_env ())
+        in
         f runner
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Reproduce one of the paper's tables or figures")
-    Term.(const run $ name_arg)
+    Term.(const run $ name_arg $ ckpt_arg)
 
 let () =
   let doc = "DiffTune: learning CPU-simulator parameters (MICRO 2020) in OCaml" in

@@ -1,0 +1,218 @@
+let magic = "DTCK"
+let version = 1
+
+module Enc = struct
+  let byte b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let i64 b (v : int64) =
+    for k = 0 to 7 do
+      byte b (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff)
+    done
+
+  let int b v = i64 b (Int64.of_int v)
+  let bool b v = int b (if v then 1 else 0)
+  let float b v = i64 b (Int64.bits_of_float v)
+
+  let string b s =
+    int b (String.length s);
+    Buffer.add_string b s
+
+  let float_array b a =
+    int b (Array.length a);
+    Array.iter (float b) a
+
+  let array b enc a =
+    int b (Array.length a);
+    Array.iter (enc b) a
+
+  let list b enc l =
+    int b (List.length l);
+    List.iter (enc b) l
+
+  let option b enc = function
+    | None -> int b 0
+    | Some v ->
+        int b 1;
+        enc b v
+end
+
+module Dec = struct
+  type t = { s : string; limit : int; mutable pos : int }
+
+  exception Corrupt of string
+
+  let make s ~pos ~limit = { s; limit; pos }
+
+  let need d n =
+    if d.pos + n > d.limit then raise (Corrupt "truncated payload")
+
+  let i64 d =
+    need d 8;
+    let v = ref 0L in
+    for k = 7 downto 0 do
+      v :=
+        Int64.logor
+          (Int64.shift_left !v 8)
+          (Int64.of_int (Char.code d.s.[d.pos + k]))
+    done;
+    d.pos <- d.pos + 8;
+    !v
+
+  let int d = Int64.to_int (i64 d)
+
+  let bool d =
+    match int d with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Corrupt (Printf.sprintf "bad boolean %d" n))
+
+  let float d = Int64.float_of_bits (i64 d)
+
+  let len d =
+    let n = int d in
+    if n < 0 || n > d.limit - d.pos then
+      raise (Corrupt (Printf.sprintf "bad length %d" n));
+    n
+
+  let string d =
+    let n = len d in
+    let s = String.sub d.s d.pos n in
+    d.pos <- d.pos + n;
+    s
+
+  let float_array d =
+    let n = len d in
+    need d (8 * n);
+    Array.init n (fun _ -> float d)
+
+  let array d dec =
+    let n = len d in
+    Array.init n (fun _ -> dec d)
+
+  let list d dec = Array.to_list (array d dec)
+
+  let option d dec =
+    match int d with
+    | 0 -> None
+    | 1 -> Some (dec d)
+    | n -> raise (Corrupt (Printf.sprintf "bad option tag %d" n))
+end
+
+(* Standard CRC-32 (reflected, polynomial 0xEDB88320), as used by
+   gzip/PNG: cheap tamper/rot evidence on top of the atomic rename. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand !c 0xFFl) lxor Char.code s.[i] in
+    c := Int32.logxor table.(idx land 0xff) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let path ~dir ~name = Filename.concat dir (name ^ ".ckpt")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> () (* lost a race: fine *)
+  end
+
+let header_len = String.length magic + 8
+
+let save ~dir ~name write =
+  mkdir_p dir;
+  let payload = Buffer.create 4096 in
+  write payload;
+  let payload = Buffer.contents payload in
+  let file = Buffer.create (String.length payload + header_len + 8) in
+  Buffer.add_string file magic;
+  Enc.int file version;
+  Buffer.add_string file payload;
+  Enc.i64 file
+    (Int64.of_int32 (crc32 payload ~pos:0 ~len:(String.length payload)));
+  let final = path ~dir ~name in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc file);
+  Sys.rename tmp final;
+  if Dt_util.Faultsim.fire "ckpt.truncate" then begin
+    let full = Buffer.contents file in
+    let oc = open_out_bin final in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (String.sub full 0 (String.length full / 2)))
+  end
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir ~name read =
+  let p = path ~dir ~name in
+  if not (Sys.file_exists p) then Error (Fault.Checkpoint_missing { path = p })
+  else
+    match read_file p with
+    | exception Sys_error reason ->
+        Error (Fault.Checkpoint_corrupt { path = p; reason })
+    | s ->
+        let mlen = String.length magic in
+        if String.length s < header_len + 8 then
+          Error (Fault.Checkpoint_corrupt { path = p; reason = "truncated file" })
+        else if String.sub s 0 mlen <> magic then
+          Error (Fault.Checkpoint_corrupt { path = p; reason = "bad magic" })
+        else begin
+          let d = Dec.make s ~pos:mlen ~limit:(String.length s) in
+          match Dec.int d with
+          | exception Dec.Corrupt reason ->
+              Error (Fault.Checkpoint_corrupt { path = p; reason })
+          | v when v <> version ->
+              Error
+                (Fault.Checkpoint_version
+                   { path = p; found = v; expected = version })
+          | _ -> (
+              let payload_len = String.length s - header_len - 8 in
+              let stored_crc =
+                let d =
+                  Dec.make s
+                    ~pos:(header_len + payload_len)
+                    ~limit:(String.length s)
+                in
+                Int64.to_int32 (Dec.i64 d)
+              in
+              if crc32 s ~pos:header_len ~len:payload_len <> stored_crc then
+                Error
+                  (Fault.Checkpoint_corrupt
+                     { path = p; reason = "CRC mismatch" })
+              else
+                let d =
+                  Dec.make s ~pos:header_len ~limit:(header_len + payload_len)
+                in
+                match read d with
+                | value -> Ok value
+                | exception Dec.Corrupt reason ->
+                    Error (Fault.Checkpoint_corrupt { path = p; reason })
+                | exception (Invalid_argument reason | Failure reason) ->
+                    Error (Fault.Checkpoint_corrupt { path = p; reason }))
+        end
+
+let remove ~dir ~name =
+  let p = path ~dir ~name in
+  if Sys.file_exists p then Sys.remove p

@@ -1,0 +1,82 @@
+(** Atomic, versioned, integrity-checked snapshot files.
+
+    The engine persists pipeline state (model weights, Adam moments, the
+    relaxed table, RNG state, phase cursors) so a killed run resumes from
+    [?checkpoint_dir] bit-identically instead of starting over.  This
+    module owns the container format; the engine owns the payload layout
+    via the {!Enc}/{!Dec} combinators:
+
+    {v
+    "DTCK" | version (8-byte LE int) | payload bytes | CRC-32(payload)
+    v}
+
+    Writes go to a temp file in the same directory followed by
+    [Sys.rename], so a crash mid-write can never tear an existing
+    checkpoint — readers see either the old complete file or the new
+    one.  {!load} verifies magic, version, and CRC, and runs the decoder
+    under an exception barrier: every failure mode (missing file, torn
+    temp, truncation, bit rot, stale format) comes back as a clean
+    [Error of Fault.t], never an escaping exception.
+
+    A checkpoint directory is owned by one process at a time; concurrent
+    writers of the {e same} checkpoint name are not supported.
+
+    The [ckpt.truncate] {!Dt_util.Faultsim} site fires once per {!save},
+    after the rename; when armed it truncates the just-written file to
+    half its size so recovery from torn checkpoints can be exercised
+    under [dune runtest]. *)
+
+(** Payload writers.  All integers are 64-bit little-endian; floats are
+    their IEEE-754 bit patterns, so round-trips are bit-exact. *)
+module Enc : sig
+  val int : Buffer.t -> int -> unit
+  val i64 : Buffer.t -> int64 -> unit
+  val bool : Buffer.t -> bool -> unit
+  val float : Buffer.t -> float -> unit
+  val string : Buffer.t -> string -> unit
+  val float_array : Buffer.t -> float array -> unit
+  val array : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a array -> unit
+  val list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+  val option : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+end
+
+(** Payload readers, symmetric to {!Enc}.  Raise {!Dec.Corrupt} on a
+    malformed payload; {!load} catches it. *)
+module Dec : sig
+  type t
+
+  exception Corrupt of string
+
+  val int : t -> int
+  val i64 : t -> int64
+  val bool : t -> bool
+  val float : t -> float
+  val string : t -> string
+  val float_array : t -> float array
+  val array : t -> (t -> 'a) -> 'a array
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+end
+
+(** Current container format version. *)
+val version : int
+
+(** [path ~dir ~name] — the file a checkpoint lives in:
+    [dir/name.ckpt]. *)
+val path : dir:string -> name:string -> string
+
+(** [save ~dir ~name write] serializes a payload with [write] and
+    atomically installs it as [dir/name.ckpt], creating [dir] (and
+    parents) as needed. *)
+val save : dir:string -> name:string -> (Buffer.t -> unit) -> unit
+
+(** [load ~dir ~name read] validates the container and decodes the
+    payload with [read].  All failures are values:
+    [Error (Checkpoint_missing _)] when the file does not exist,
+    [Error (Checkpoint_version _)] on a format-version mismatch,
+    [Error (Checkpoint_corrupt _)] on bad magic, truncation, CRC
+    mismatch, or a decoder error. *)
+val load : dir:string -> name:string -> (Dec.t -> 'a) -> ('a, Fault.t) result
+
+(** [remove ~dir ~name] deletes a checkpoint if present. *)
+val remove : dir:string -> name:string -> unit

@@ -4,6 +4,10 @@ module Nn = Dt_nn.Nn
 module Model = Dt_surrogate.Model
 module Rng = Dt_util.Rng
 module Pool = Dt_util.Pool
+module Faultsim = Dt_util.Faultsim
+module Welford = Dt_util.Stats.Welford
+module Enc = Checkpoint.Enc
+module Dec = Checkpoint.Dec
 
 type config = {
   seed : int;
@@ -81,34 +85,270 @@ let with_pool f =
   let pool = Pool.create () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
-let collect config (spec : Spec.t) blocks =
-  let eligible =
-    let acc = ref [] in
-    Array.iteri
-      (fun i b ->
-        if Dt_x86.Block.length b <= config.max_train_block_len then
-          acc := (i, b) :: !acc)
-      blocks;
-    Array.of_list (List.rev !acc)
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance: checkpoint payloads, rollback snapshots, and       *)
+(* numeric-health checks shared by the two training phases.            *)
+(* ------------------------------------------------------------------ *)
+
+(* Rollback budget: a batch with non-finite or exploding loss/gradients
+   restores the last good snapshot and halves the learning rate, at most
+   [max_backoffs] times per phase before the run fails with a structured
+   [Fault.Numeric_divergence]. *)
+let max_backoffs = 4
+let backoff_factor = 0.5
+let explode_factor = 100.0
+
+(* Periodic on-disk checkpoints per training phase. *)
+let checkpoint_segments = 8
+
+let enc_weights b w =
+  Enc.list b
+    (fun b (name, rows, cols, data) ->
+      Enc.string b name;
+      Enc.int b rows;
+      Enc.int b cols;
+      Enc.float_array b data)
+    w
+
+let dec_weights d =
+  Dec.list d (fun d ->
+      let name = Dec.string d in
+      let rows = Dec.int d in
+      let cols = Dec.int d in
+      let data = Dec.float_array d in
+      (name, rows, cols, data))
+
+let enc_opt b (s : Nn.Optimizer.state) =
+  Enc.int b s.algo_step;
+  Enc.list b
+    (fun b (name, m, v) ->
+      Enc.string b name;
+      Enc.float_array b m;
+      Enc.float_array b v)
+    s.moments
+
+let dec_opt d =
+  let algo_step = Dec.int d in
+  let moments =
+    Dec.list d (fun d ->
+        let name = Dec.string d in
+        let m = Dec.float_array d in
+        let v = Dec.float_array d in
+        (name, m, v))
   in
+  { Nn.Optimizer.algo_step; moments }
+
+let enc_table b (t : Spec.table) =
+  Enc.array b Enc.float_array t.per;
+  Enc.float_array b t.global
+
+let dec_table d =
+  let per = Dec.array d Dec.float_array in
+  let global = Dec.float_array d in
+  { Spec.per; global }
+
+(* Mid-phase training state: everything beyond the immutable schedule
+   that the optimizer loop mutates.  Doubles as the in-memory rollback
+   snapshot and (serialized) the mid-phase checkpoint payload; restoring
+   one and replaying the remaining minibatches is bit-identical to an
+   uninterrupted run. *)
+type train_snapshot = {
+  ts_cursor : int; (* next step index *)
+  ts_weights : (string * int * int * float array) list;
+  ts_opt : Nn.Optimizer.state;
+  ts_lr : float; (* backed-off base learning rate *)
+  ts_lr_dropped : bool;
+  ts_welford : int * float * float;
+  ts_best : (Spec.table * float) option; (* table phase only *)
+  ts_rng : int64;
+}
+
+let enc_snapshot b s =
+  Enc.int b s.ts_cursor;
+  enc_weights b s.ts_weights;
+  enc_opt b s.ts_opt;
+  Enc.float b s.ts_lr;
+  Enc.bool b s.ts_lr_dropped;
+  (let c, m, m2 = s.ts_welford in
+   Enc.int b c;
+   Enc.float b m;
+   Enc.float b m2);
+  Enc.option b
+    (fun b (t, e) ->
+      enc_table b t;
+      Enc.float b e)
+    s.ts_best;
+  Enc.i64 b s.ts_rng
+
+let dec_snapshot d =
+  let ts_cursor = Dec.int d in
+  let ts_weights = dec_weights d in
+  let ts_opt = dec_opt d in
+  let ts_lr = Dec.float d in
+  let ts_lr_dropped = Dec.bool d in
+  let ts_welford =
+    let c = Dec.int d in
+    let m = Dec.float d in
+    let m2 = Dec.float d in
+    (c, m, m2)
+  in
+  let ts_best =
+    Dec.option d (fun d ->
+        let t = dec_table d in
+        let e = Dec.float d in
+        (t, e))
+  in
+  let ts_rng = Dec.i64 d in
+  { ts_cursor; ts_weights; ts_opt; ts_lr; ts_lr_dropped; ts_welford; ts_best;
+    ts_rng }
+
+(* Every checkpoint payload starts with a fingerprint of the run
+   configuration that produced it; a stale file from a different run
+   must never be resumed into this one. *)
+type 'a resume = Fresh | Loaded of 'a
+
+let try_load ~dir ~name ~fp ~(health : Fault.health) ~log dec =
+  match
+    Checkpoint.load ~dir ~name (fun d ->
+        let found = Dec.string d in
+        if found <> fp then `Mismatch found else `Ok (dec d))
+  with
+  | Error (Fault.Checkpoint_missing _) -> Fresh
+  | Error f ->
+      health.bad_checkpoints <- health.bad_checkpoints + 1;
+      log (Printf.sprintf "ignoring checkpoint: %s" (Fault.to_string f));
+      Fresh
+  | Ok (`Mismatch found) ->
+      health.bad_checkpoints <- health.bad_checkpoints + 1;
+      log
+        (Fault.to_string
+           (Fault.Checkpoint_mismatch
+              { path = Checkpoint.path ~dir ~name; expected = fp; found }));
+      Fresh
+  | Ok (`Ok v) -> Loaded v
+
+(* The [engine.abort] fault site fires after every checkpoint install:
+   arming it simulates a SIGKILL at a resumable boundary. *)
+let save_ckpt ~dir ~name ~fp write =
+  Checkpoint.save ~dir ~name (fun b ->
+      Enc.string b fp;
+      write b);
+  Faultsim.fire_exn "engine.abort"
+
+let fnv64 fold =
+  let h = ref 0xcbf29ce484222325L in
+  fold (fun (bits : int64) ->
+      h := Int64.mul (Int64.logxor !h bits) 0x100000001b3L);
+  Printf.sprintf "%016Lx" !h
+
+let table_digest (t : Spec.table) =
+  fnv64 (fun mix ->
+      Array.iter (fun row -> Array.iter (fun v -> mix (Int64.bits_of_float v)) row) t.per;
+      Array.iter (fun v -> mix (Int64.bits_of_float v)) t.global)
+
+let poison_grads store =
+  Nn.Store.iter store (fun _ ~value:_ ~grad ->
+      if T.size grad > 0 then T.set1 grad 0 Float.nan)
+
+(* First problem with this minibatch, if any: a non-finite per-sample
+   loss, a batch mean blowing past the running average, or a non-finite
+   reduced gradient. *)
+let batch_problem losses ~b0 ~bsize ~running store =
+  let sum = ref 0.0 and bad = ref None in
+  for step = b0 to b0 + bsize - 1 do
+    if !bad = None && not (Float.is_finite losses.(step)) then
+      bad := Some (Printf.sprintf "non-finite loss at step %d" step);
+    sum := !sum +. losses.(step)
+  done;
+  if !bad = None && Welford.count running > 0 then begin
+    let mean = !sum /. float_of_int bsize in
+    let baseline = Float.max 1.0 (Welford.mean running) in
+    if mean > explode_factor *. baseline then
+      bad :=
+        Some
+          (Printf.sprintf "exploding loss (batch mean %.3g vs running %.3g)"
+             mean baseline)
+  end;
+  if !bad = None && not (Float.is_finite (Nn.Store.grad_norm store)) then
+    bad := Some "non-finite gradient";
+  !bad
+
+(* ------------------------------------------------------------------ *)
+
+let eligible_blocks config blocks =
+  let acc = ref [] in
+  Array.iteri
+    (fun i b ->
+      if Dt_x86.Block.length b <= config.max_train_block_len then
+        acc := (i, b) :: !acc)
+    blocks;
+  Array.of_list (List.rev !acc)
+
+let dataset_fp config (spec : Spec.t) ~eligible =
+  Printf.sprintf "dataset|%s|seed=%d|mult=%d|eligible=%d" spec.name config.seed
+    config.sim_multiplier eligible
+
+let collect ?checkpoint_dir ?health config (spec : Spec.t) blocks =
+  let health = match health with Some h -> h | None -> Fault.create_health () in
+  let eligible = eligible_blocks config blocks in
   if Array.length eligible = 0 then
-    invalid_arg "Engine.collect: no training blocks within length limit";
+    Fault.error
+      (Fault.No_training_blocks
+         {
+           phase = Fault.Collect;
+           detail =
+             Printf.sprintf "all %d blocks exceed max_train_block_len %d"
+               (Array.length blocks) config.max_train_block_len;
+         });
   let n = config.sim_multiplier * Array.length eligible in
-  let out =
-    Array.make n { block_idx = 0; per = [||]; global = [||]; target = 0.0 }
+  let fp = dataset_fp config spec ~eligible:(Array.length eligible) in
+  let cached =
+    match checkpoint_dir with
+    | None -> Fresh
+    | Some dir ->
+        try_load ~dir ~name:"dataset" ~fp ~health ~log:config.log (fun d ->
+            Dec.array d (fun d ->
+                let block_idx = Dec.int d in
+                let per = Dec.array d Dec.float_array in
+                let global = Dec.float_array d in
+                let target = Dec.float d in
+                { block_idx; per; global; target }))
   in
-  (* One decorrelated RNG per sample (SplitMix-style seeding) makes each
-     sample independent of execution order. *)
-  let base = config.seed lxor 0x1d1f_f7 in
-  with_pool (fun pool ->
-      Pool.run pool n (fun i ->
-          let rng = Rng.create (base + i) in
-          let block_idx, block = eligible.(Rng.int rng (Array.length eligible)) in
-          let table = spec.sample rng in
-          let target = spec.timing table block in
-          let per, global = Spec.normalize_block spec table block in
-          out.(i) <- { block_idx; per; global; target }));
-  out
+  match cached with
+  | Loaded out when Array.length out = n ->
+      health.skipped_phases <- health.skipped_phases + 1;
+      config.log
+        (Printf.sprintf "collect phase restored from checkpoint (%d samples)" n);
+      out
+  | _ ->
+      let out =
+        Array.make n { block_idx = 0; per = [||]; global = [||]; target = 0.0 }
+      in
+      (* One decorrelated RNG per sample (SplitMix-style seeding) makes each
+         sample independent of execution order. *)
+      let base = config.seed lxor 0x1d1f_f7 in
+      with_pool (fun pool ->
+          Pool.run pool n (fun i ->
+              let rng = Rng.create (base + i) in
+              let block_idx, block =
+                eligible.(Rng.int rng (Array.length eligible))
+              in
+              let table = spec.sample rng in
+              let target = spec.timing table block in
+              let per, global = Spec.normalize_block spec table block in
+              out.(i) <- { block_idx; per; global; target }));
+      (match checkpoint_dir with
+      | None -> ()
+      | Some dir ->
+          save_ckpt ~dir ~name:"dataset" ~fp (fun b ->
+              Enc.array b
+                (fun b s ->
+                  Enc.int b s.block_idx;
+                  Enc.array b Enc.float_array s.per;
+                  Enc.float_array b s.global;
+                  Enc.float b s.target)
+                out));
+      out
 
 let make_model config (spec : Spec.t) rng =
   let mcfg =
@@ -170,65 +410,199 @@ let make_schedule rng ~n ~steps =
 let shard_range ~lo ~size k =
   (lo + (k * size / n_shards), lo + ((k + 1) * size / n_shards))
 
-let train_surrogate config spec model (data : sim_sample array) blocks =
+let surrogate_fp config (spec : Spec.t) ~n ~params =
+  Printf.sprintf "surrogate|%s|seed=%d|n=%d|passes=%g|lr=%g|batch=%d|params=%d"
+    spec.name config.seed n config.surrogate_passes config.surrogate_lr
+    config.batch params
+
+(* Decoded surrogate checkpoint: either the completed phase or a
+   mid-phase snapshot. *)
+let dec_surrogate_state d =
+  match Dec.int d with
+  | 0 -> `At (dec_snapshot d)
+  | 1 ->
+      let weights = dec_weights d in
+      let loss = Dec.float d in
+      `Done (weights, loss)
+  | n -> raise (Dec.Corrupt (Printf.sprintf "bad surrogate phase tag %d" n))
+
+let train_surrogate ?checkpoint_dir ?health config spec model
+    (data : sim_sample array) blocks =
+  let health = match health with Some h -> h | None -> Fault.create_health () in
   let rng = Rng.create (config.seed lxor 0x5e_ed) in
   let store = Model.store model in
   let opt = Nn.Optimizer.adam store ~lr:config.surrogate_lr in
   let n = Array.length data in
   let steps = int_of_float (config.surrogate_passes *. float_of_int n) in
-  let sched = make_schedule rng ~n ~steps in
-  let losses = Array.make (max steps 1) 0.0 in
-  let replicas = Array.init n_shards (fun _ -> replicate model) in
-  let ctxs = Array.init n_shards (fun _ -> Ad.new_ctx ()) in
-  let running = Dt_util.Stats.Welford.create () in
-  let last_avg = ref Float.nan in
-  let lr_drop_step = 2 * steps / 3 in
-  let lr_dropped = ref false in
-  with_pool (fun pool ->
-      let batch_start = ref 0 in
-      while !batch_start < steps do
-        let b0 = !batch_start in
-        let bsize = min config.batch (steps - b0) in
-        Pool.run pool n_shards (fun k ->
-            let lo, hi = shard_range ~lo:b0 ~size:bsize k in
-            let m = replicas.(k) and ctx = ctxs.(k) in
-            for step = lo to hi - 1 do
-              Ad.reset ctx;
-              let s = data.(sched.(step)) in
-              let loss = sample_loss m ctx spec blocks.(s.block_idx) s in
-              Ad.backward ctx loss;
-              losses.(step) <- Ad.scalar_value loss
-            done);
-        Array.iter
-          (fun m ->
-            let rs = Model.store m in
-            Nn.Store.accum_grads ~src:rs ~dst:store;
-            Nn.Store.zero_grads rs)
-          replicas;
-        Nn.Store.clip_grads store
-          ~max_norm:(config.grad_clip *. float_of_int bsize);
-        if (not !lr_dropped) && lr_drop_step < b0 + bsize then begin
-          Nn.Optimizer.set_lr opt (config.surrogate_lr *. 0.3);
-          lr_dropped := true
-        end;
-        Nn.Optimizer.step opt ~batch:bsize;
+  let fp = surrogate_fp config spec ~n ~params:(Nn.Store.size store) in
+  let resume =
+    match checkpoint_dir with
+    | None -> Fresh
+    | Some dir ->
+        try_load ~dir ~name:"surrogate" ~fp ~health ~log:config.log
+          dec_surrogate_state
+  in
+  match resume with
+  | Loaded (`Done (weights, loss)) ->
+      Nn.Store.import_values store weights;
+      health.skipped_phases <- health.skipped_phases + 1;
+      config.log
+        (Printf.sprintf "surrogate phase restored from checkpoint (loss %.4f)"
+           loss);
+      loss
+  | (Fresh | Loaded (`At _)) as resume ->
+      let sched = make_schedule rng ~n ~steps in
+      let losses = Array.make (max steps 1) 0.0 in
+      let replicas = Array.init n_shards (fun _ -> replicate model) in
+      let ctxs = Array.init n_shards (fun _ -> Ad.new_ctx ()) in
+      let running = Welford.create () in
+      let last_avg = ref Float.nan in
+      let lr_drop_step = 2 * steps / 3 in
+      let lr_dropped = ref false in
+      let base_lr = ref config.surrogate_lr in
+      let cursor = ref 0 in
+      let backoffs = ref 0 in
+      let set_effective_lr () =
+        Nn.Optimizer.set_lr opt
+          (!base_lr *. if !lr_dropped then 0.3 else 1.0)
+      in
+      let take_snapshot () =
+        {
+          ts_cursor = !cursor;
+          ts_weights = Nn.Store.export_values store;
+          ts_opt = Nn.Optimizer.export_state opt;
+          ts_lr = !base_lr;
+          ts_lr_dropped = !lr_dropped;
+          ts_welford = Welford.state running;
+          ts_best = None;
+          ts_rng = Rng.state rng;
+        }
+      in
+      let restore_snapshot s =
+        Nn.Store.import_values store s.ts_weights;
+        Nn.Optimizer.import_state opt s.ts_opt;
+        Welford.restore running s.ts_welford;
+        cursor := s.ts_cursor;
+        base_lr := s.ts_lr;
+        lr_dropped := s.ts_lr_dropped;
+        set_effective_lr ();
         Array.iter
           (fun m -> Nn.Store.copy_values ~src:store ~dst:(Model.store m))
-          replicas;
-        for step = b0 to b0 + bsize - 1 do
-          Dt_util.Stats.Welford.add running losses.(step);
-          if (step + 1) mod 2000 = 0 then begin
-            last_avg := Dt_util.Stats.Welford.mean running;
-            config.log
-              (Printf.sprintf "surrogate step %d/%d loss %.3f" (step + 1)
-                 steps !last_avg)
-          end
-        done;
-        batch_start := b0 + bsize
-      done);
-  if Dt_util.Stats.Welford.count running > 0 then
-    Dt_util.Stats.Welford.mean running
-  else Float.nan
+          replicas
+      in
+      (match resume with
+      | Loaded (`At snap) when snap.ts_rng <> Rng.state rng ->
+          (* The stored stream position disagrees with the rebuilt
+             schedule: written by incompatible scheduling code. *)
+          health.bad_checkpoints <- health.bad_checkpoints + 1;
+          config.log "ignoring checkpoint: RNG stream mismatch"
+      | Loaded (`At snap) ->
+          restore_snapshot snap;
+          health.resumed_steps <- health.resumed_steps + snap.ts_cursor;
+          config.log
+            (Printf.sprintf "surrogate phase resumed at step %d/%d"
+               snap.ts_cursor steps)
+      | _ -> ());
+      let good = ref (take_snapshot ()) in
+      let prev_good = ref !good in
+      let ckpt_every = max 1 (steps / checkpoint_segments) in
+      let rollback ~b0 detail =
+        health.nan_batches <- health.nan_batches + 1;
+        Nn.Store.zero_grads store;
+        if !backoffs >= max_backoffs then
+          Fault.error
+            (Fault.Numeric_divergence
+               {
+                 phase = Fault.Surrogate;
+                 step = b0;
+                 retries = !backoffs;
+                 detail;
+               });
+        (* A snapshot taken at the failing batch replays the identical
+           forward pass; fall back to the previous one so the replayed
+           optimizer steps (at the reduced rate) change the weights the
+           bad batch sees. *)
+        let target = if (!good).ts_cursor < b0 then !good else !prev_good in
+        good := target;
+        prev_good := target;
+        restore_snapshot target;
+        base_lr := !base_lr *. backoff_factor;
+        set_effective_lr ();
+        incr backoffs;
+        health.rollbacks <- health.rollbacks + 1;
+        health.lr_backoffs <- health.lr_backoffs + 1;
+        config.log
+          (Printf.sprintf
+             "surrogate: %s at step %d; rolled back to step %d, lr -> %g \
+              (retry %d/%d)"
+             detail b0 target.ts_cursor (Nn.Optimizer.get_lr opt) !backoffs
+             max_backoffs)
+      in
+      with_pool (fun pool ->
+          while !cursor < steps do
+            let b0 = !cursor in
+            let bsize = min config.batch (steps - b0) in
+            Pool.run pool n_shards (fun k ->
+                let lo, hi = shard_range ~lo:b0 ~size:bsize k in
+                let m = replicas.(k) and ctx = ctxs.(k) in
+                for step = lo to hi - 1 do
+                  Ad.reset ctx;
+                  let s = data.(sched.(step)) in
+                  let loss = sample_loss m ctx spec blocks.(s.block_idx) s in
+                  Ad.backward ctx loss;
+                  losses.(step) <- Ad.scalar_value loss
+                done);
+            Array.iter
+              (fun m ->
+                let rs = Model.store m in
+                Nn.Store.accum_grads ~src:rs ~dst:store;
+                Nn.Store.zero_grads rs)
+              replicas;
+            if Faultsim.fire "grad.nan" then poison_grads store;
+            match batch_problem losses ~b0 ~bsize ~running store with
+            | Some detail -> rollback ~b0 detail
+            | None ->
+                Nn.Store.clip_grads store
+                  ~max_norm:(config.grad_clip *. float_of_int bsize);
+                if (not !lr_dropped) && lr_drop_step < b0 + bsize then begin
+                  lr_dropped := true;
+                  set_effective_lr ()
+                end;
+                Nn.Optimizer.step opt ~batch:bsize;
+                Array.iter
+                  (fun m ->
+                    Nn.Store.copy_values ~src:store ~dst:(Model.store m))
+                  replicas;
+                for step = b0 to b0 + bsize - 1 do
+                  Welford.add running losses.(step);
+                  if (step + 1) mod 2000 = 0 then begin
+                    last_avg := Welford.mean running;
+                    config.log
+                      (Printf.sprintf "surrogate step %d/%d loss %.3f"
+                         (step + 1) steps !last_avg)
+                  end
+                done;
+                cursor := b0 + bsize;
+                prev_good := !good;
+                good := take_snapshot ();
+                (match checkpoint_dir with
+                | Some dir when (b0 + bsize) / ckpt_every > b0 / ckpt_every ->
+                    save_ckpt ~dir ~name:"surrogate" ~fp (fun b ->
+                        Enc.int b 0;
+                        enc_snapshot b !good)
+                | _ -> ())
+          done);
+      let loss =
+        if Welford.count running > 0 then Welford.mean running else Float.nan
+      in
+      (match checkpoint_dir with
+      | None -> ()
+      | Some dir ->
+          save_ckpt ~dir ~name:"surrogate" ~fp (fun b ->
+              Enc.int b 1;
+              enc_weights b (Nn.Store.export_values store);
+              Enc.float b loss));
+      loss
 
 (* Extract the current relaxed table into raw integer space. *)
 let extract_table (spec : Spec.t) theta_per theta_global =
@@ -263,7 +637,20 @@ type theta_replica = {
   tctx : Ad.ctx;
 }
 
-let optimize_table ?init ?(valid = [||]) config (spec : Spec.t) model ~train =
+let table_fp config (spec : Spec.t) ~n ~init ~n_valid =
+  Printf.sprintf "table|%s|seed=%d|n=%d|passes=%g|lr=%g|batch=%d|init=%s|valid=%d"
+    spec.name config.seed n config.table_passes config.table_lr
+    config.table_batch (table_digest init) n_valid
+
+let dec_table_state d =
+  match Dec.int d with
+  | 0 -> `At (dec_snapshot d)
+  | 1 -> `Done (dec_table d)
+  | n -> raise (Dec.Corrupt (Printf.sprintf "bad table phase tag %d" n))
+
+let optimize_table ?init ?(valid = [||]) ?checkpoint_dir ?health config
+    (spec : Spec.t) model ~train =
+  let health = match health with Some h -> h | None -> Fault.create_health () in
   let rng = Rng.create (config.seed lxor 0x7ab1e) in
   (* Initialize the relaxed table in offset space (value - lower bound):
      a random draw from the sampling distribution, per the paper, unless
@@ -313,143 +700,298 @@ let optimize_table ?init ?(valid = [||]) config (spec : Spec.t) model ~train =
          (Array.to_list train))
   in
   let n = Array.length eligible in
-  if n = 0 then invalid_arg "Engine.optimize_table: no usable training blocks";
+  if n = 0 then
+    Fault.error
+      (Fault.No_training_blocks
+         {
+           phase = Fault.Table;
+           detail =
+             Printf.sprintf "all %d blocks exceed max_train_block_len %d"
+               (Array.length train) config.max_train_block_len;
+         });
   let steps = int_of_float (config.table_passes *. float_of_int n) in
-  let sched = make_schedule rng ~n ~steps in
-  (* Validation-gated extraction: periodically extract the integer table
-     and keep the snapshot with the lowest true-simulator error on the
-     validation split (the split the paper reserves for development
-     decisions).  Gradient descent through an imperfect surrogate can
-     wander; selection on the *original* simulator is cheap and unbiased
-     with respect to the test set. *)
-  let valid =
-    if Array.length valid > 256 then Array.sub valid 0 256 else valid
+  let fp = table_fp config spec ~n ~init ~n_valid:(Array.length valid) in
+  let resume =
+    match checkpoint_dir with
+    | None -> Fresh
+    | Some dir ->
+        try_load ~dir ~name:"table" ~fp ~health ~log:config.log dec_table_state
   in
-  let best_table = ref None in
-  let consider () =
-    if Array.length valid > 0 then begin
-      let candidate = extract_table spec theta_per theta_global in
-      let err = validation_error spec candidate valid in
-      match !best_table with
-      | Some (_, best_err) when best_err <= err -> ()
-      | _ -> best_table := Some (candidate, err)
-    end
-  in
-  let snapshot_every = max 500 (steps / 12) in
-  let shard_task r lo hi =
-    let ctx = r.tctx in
-    for step = lo to hi - 1 do
-      Ad.reset ctx;
-      let block, y = eligible.(sched.(step)) in
-      let scale_node v = Ad.constant ctx v in
-      let per_inputs =
-        Array.map
-          (fun (instr : Dt_x86.Instruction.t) ->
-            let row = Ad.row ctx ~m:r.pnode instr.opcode.index in
-            let row = Ad.abs_ ctx row in
-            let row =
-              if spec.per_width = T.size (Ad.value row) then row
-              else Ad.slice ctx row ~pos:0 ~len:spec.per_width
-            in
-            Ad.mul ctx row (scale_node per_scale))
-          block.instrs
+  match resume with
+  | Loaded (`Done table) ->
+      health.skipped_phases <- health.skipped_phases + 1;
+      config.log "table phase restored from checkpoint";
+      table
+  | (Fresh | Loaded (`At _)) as resume ->
+      let sched = make_schedule rng ~n ~steps in
+      let losses = Array.make (max steps 1) 0.0 in
+      (* Validation-gated extraction: periodically extract the integer table
+         and keep the snapshot with the lowest true-simulator error on the
+         validation split (the split the paper reserves for development
+         decisions).  Gradient descent through an imperfect surrogate can
+         wander; selection on the *original* simulator is cheap and unbiased
+         with respect to the test set. *)
+      let valid =
+        if Array.length valid > 256 then Array.sub valid 0 256 else valid
       in
-      let global_input =
-        if spec.global_width = 0 then None
-        else
-          let gview = Ad.row ctx ~m:r.gnode 0 in
-          let g = Ad.abs_ ctx gview in
-          Some (Ad.mul ctx g (scale_node global_scale))
+      let best_table = ref None in
+      let consider () =
+        if Array.length valid > 0 then begin
+          let candidate = extract_table spec theta_per theta_global in
+          let err = validation_error spec candidate valid in
+          match !best_table with
+          | Some (_, best_err) when best_err <= err -> ()
+          | _ -> best_table := Some (candidate, err)
+        end
       in
-      let params = { Model.per_instr = per_inputs; global = global_input } in
-      let features =
-        if (Model.config r.smodel).feature_width = 0 then None
-        else
-          match spec.bounds with
-          | Some f -> Some (f ctx block ~per:per_inputs ~global:global_input)
-          | None -> None
+      let snapshot_every = max 500 (steps / 12) in
+      let running = Welford.create () in
+      let base_lr = ref config.table_lr in
+      let cursor = ref 0 in
+      let backoffs = ref 0 in
+      let take_snapshot () =
+        {
+          ts_cursor = !cursor;
+          ts_weights = Nn.Store.export_values theta_store;
+          ts_opt = Nn.Optimizer.export_state opt;
+          ts_lr = !base_lr;
+          ts_lr_dropped = false;
+          ts_welford = Welford.state running;
+          ts_best = !best_table;
+          ts_rng = Rng.state rng;
+        }
       in
-      let pred =
-        Model.predict r.smodel ctx block ~params:(Some params) ~features
+      let restore_snapshot s =
+        Nn.Store.import_values theta_store s.ts_weights;
+        Nn.Optimizer.import_state opt s.ts_opt;
+        Welford.restore running s.ts_welford;
+        cursor := s.ts_cursor;
+        base_lr := s.ts_lr;
+        best_table := s.ts_best;
+        Nn.Optimizer.set_lr opt !base_lr
       in
-      let loss = Ad.mape ctx pred ~target:(Float.max y 1e-3) in
-      Ad.backward ctx loss
-    done
-  in
-  with_pool (fun pool ->
-      let batch_start = ref 0 in
-      while !batch_start < steps do
-        let b0 = !batch_start in
-        let bsize = min config.table_batch (steps - b0) in
-        Array.iter
-          (fun r -> Nn.Store.copy_values ~src:theta_store ~dst:r.tstore)
-          replicas;
-        Pool.run pool n_shards (fun k ->
-            let lo, hi = shard_range ~lo:b0 ~size:bsize k in
-            shard_task replicas.(k) lo hi);
-        Array.iter
-          (fun r ->
-            Nn.Store.accum_grads ~src:r.tstore ~dst:theta_store;
-            Nn.Store.zero_grads r.tstore;
-            (* The surrogate is frozen: its accumulated gradients are
-               simply discarded. *)
-            Nn.Store.zero_grads (Model.store r.smodel))
-          replicas;
-        Nn.Optimizer.step opt ~batch:bsize;
-        (* Keep |theta| inside the sampling distribution's support: the
-           surrogate cannot be trusted to extrapolate outside the region
-           it was trained on (paper Section VII, "Sampling
-           distributions"). *)
-        for i = 0 to n_opc - 1 do
-          for j = 0 to spec.per_width - 1 do
-            let hi = spec.per_upper.(j) -. spec.per_lower.(j) in
-            let v = T.get theta_per i j in
-            if Float.abs v > hi then
-              T.set theta_per i j (if v < 0.0 then -.hi else hi)
-          done
-        done;
-        for j = 0 to spec.global_width - 1 do
-          let hi = spec.global_upper.(j) -. spec.global_lower.(j) in
-          let v = T.get theta_global 0 j in
-          if Float.abs v > hi then
-            T.set theta_global 0 j (if v < 0.0 then -.hi else hi)
-        done;
-        if (b0 + bsize) / snapshot_every > b0 / snapshot_every then
-          consider ();
-        if (b0 + bsize) / 2000 > b0 / 2000 then
-          config.log (Printf.sprintf "table step %d/%d" (b0 + bsize) steps);
-        batch_start := b0 + bsize
-      done);
-  (* Extraction: |theta| + lower bound, rounded; prefer the best
-     validation snapshot when a validation split was provided. *)
-  let final = extract_table spec theta_per theta_global in
-  match !best_table with
-  | None -> final
-  | Some (best, best_err) ->
-      let final_err = validation_error spec final valid in
-      if final_err <= best_err then final else best
+      (match resume with
+      | Loaded (`At snap) when snap.ts_rng <> Rng.state rng ->
+          health.bad_checkpoints <- health.bad_checkpoints + 1;
+          config.log "ignoring checkpoint: RNG stream mismatch"
+      | Loaded (`At snap) ->
+          restore_snapshot snap;
+          health.resumed_steps <- health.resumed_steps + snap.ts_cursor;
+          config.log
+            (Printf.sprintf "table phase resumed at step %d/%d" snap.ts_cursor
+               steps)
+      | _ -> ());
+      let good = ref (take_snapshot ()) in
+      let prev_good = ref !good in
+      let ckpt_every = max 1 (steps / checkpoint_segments) in
+      let rollback ~b0 detail =
+        health.nan_batches <- health.nan_batches + 1;
+        Nn.Store.zero_grads theta_store;
+        if !backoffs >= max_backoffs then
+          Fault.error
+            (Fault.Numeric_divergence
+               { phase = Fault.Table; step = b0; retries = !backoffs; detail });
+        let target = if (!good).ts_cursor < b0 then !good else !prev_good in
+        good := target;
+        prev_good := target;
+        restore_snapshot target;
+        base_lr := !base_lr *. backoff_factor;
+        Nn.Optimizer.set_lr opt !base_lr;
+        incr backoffs;
+        health.rollbacks <- health.rollbacks + 1;
+        health.lr_backoffs <- health.lr_backoffs + 1;
+        config.log
+          (Printf.sprintf
+             "table: %s at step %d; rolled back to step %d, lr -> %g (retry \
+              %d/%d)"
+             detail b0 target.ts_cursor !base_lr !backoffs max_backoffs)
+      in
+      let shard_task r lo hi =
+        let ctx = r.tctx in
+        for step = lo to hi - 1 do
+          Ad.reset ctx;
+          let block, y = eligible.(sched.(step)) in
+          let scale_node v = Ad.constant ctx v in
+          let per_inputs =
+            Array.map
+              (fun (instr : Dt_x86.Instruction.t) ->
+                let row = Ad.row ctx ~m:r.pnode instr.opcode.index in
+                let row = Ad.abs_ ctx row in
+                let row =
+                  if spec.per_width = T.size (Ad.value row) then row
+                  else Ad.slice ctx row ~pos:0 ~len:spec.per_width
+                in
+                Ad.mul ctx row (scale_node per_scale))
+              block.instrs
+          in
+          let global_input =
+            if spec.global_width = 0 then None
+            else
+              let gview = Ad.row ctx ~m:r.gnode 0 in
+              let g = Ad.abs_ ctx gview in
+              Some (Ad.mul ctx g (scale_node global_scale))
+          in
+          let params = { Model.per_instr = per_inputs; global = global_input } in
+          let features =
+            if (Model.config r.smodel).feature_width = 0 then None
+            else
+              match spec.bounds with
+              | Some f -> Some (f ctx block ~per:per_inputs ~global:global_input)
+              | None -> None
+          in
+          let pred =
+            Model.predict r.smodel ctx block ~params:(Some params) ~features
+          in
+          let loss = Ad.mape ctx pred ~target:(Float.max y 1e-3) in
+          Ad.backward ctx loss;
+          losses.(step) <- Ad.scalar_value loss
+        done
+      in
+      with_pool (fun pool ->
+          while !cursor < steps do
+            let b0 = !cursor in
+            let bsize = min config.table_batch (steps - b0) in
+            Array.iter
+              (fun r -> Nn.Store.copy_values ~src:theta_store ~dst:r.tstore)
+              replicas;
+            Pool.run pool n_shards (fun k ->
+                let lo, hi = shard_range ~lo:b0 ~size:bsize k in
+                shard_task replicas.(k) lo hi);
+            Array.iter
+              (fun r ->
+                Nn.Store.accum_grads ~src:r.tstore ~dst:theta_store;
+                Nn.Store.zero_grads r.tstore;
+                (* The surrogate is frozen: its accumulated gradients are
+                   simply discarded. *)
+                Nn.Store.zero_grads (Model.store r.smodel))
+              replicas;
+            if Faultsim.fire "grad.nan" then poison_grads theta_store;
+            match batch_problem losses ~b0 ~bsize ~running theta_store with
+            | Some detail -> rollback ~b0 detail
+            | None ->
+                Nn.Optimizer.step opt ~batch:bsize;
+                (* Keep |theta| inside the sampling distribution's support: the
+                   surrogate cannot be trusted to extrapolate outside the region
+                   it was trained on (paper Section VII, "Sampling
+                   distributions"). *)
+                for i = 0 to n_opc - 1 do
+                  for j = 0 to spec.per_width - 1 do
+                    let hi = spec.per_upper.(j) -. spec.per_lower.(j) in
+                    let v = T.get theta_per i j in
+                    if Float.abs v > hi then
+                      T.set theta_per i j (if v < 0.0 then -.hi else hi)
+                  done
+                done;
+                for j = 0 to spec.global_width - 1 do
+                  let hi = spec.global_upper.(j) -. spec.global_lower.(j) in
+                  let v = T.get theta_global 0 j in
+                  if Float.abs v > hi then
+                    T.set theta_global 0 j (if v < 0.0 then -.hi else hi)
+                done;
+                for step = b0 to b0 + bsize - 1 do
+                  Welford.add running losses.(step)
+                done;
+                if (b0 + bsize) / snapshot_every > b0 / snapshot_every then
+                  consider ();
+                if (b0 + bsize) / 2000 > b0 / 2000 then
+                  config.log
+                    (Printf.sprintf "table step %d/%d" (b0 + bsize) steps);
+                cursor := b0 + bsize;
+                prev_good := !good;
+                good := take_snapshot ();
+                (match checkpoint_dir with
+                | Some dir when (b0 + bsize) / ckpt_every > b0 / ckpt_every ->
+                    save_ckpt ~dir ~name:"table" ~fp (fun b ->
+                        Enc.int b 0;
+                        enc_snapshot b !good)
+                | _ -> ())
+          done);
+      (* Extraction: |theta| + lower bound, rounded; prefer the best
+         validation snapshot when a validation split was provided. *)
+      let final = extract_table spec theta_per theta_global in
+      let chosen =
+        match !best_table with
+        | None -> final
+        | Some (best, best_err) ->
+            let final_err = validation_error spec final valid in
+            if final_err <= best_err then final else best
+      in
+      (match checkpoint_dir with
+      | None -> ()
+      | Some dir ->
+          save_ckpt ~dir ~name:"table" ~fp (fun b ->
+              Enc.int b 1;
+              enc_table b chosen));
+      chosen
 
 type result = {
   table : Spec.table;
   model : Model.t;
   surrogate_loss : float;
+  health : Fault.health;
 }
 
-let learn ?(valid = [||]) config (spec : Spec.t) ~train =
+(* Completed-surrogate probe used by [learn] to skip dataset collection
+   when the checkpoint already covers the whole phase. *)
+let probe_surrogate_done ~dir ~fp =
+  match
+    Checkpoint.load ~dir ~name:"surrogate" (fun d ->
+        if Dec.string d <> fp then None
+        else
+          match Dec.int d with
+          | 1 ->
+              let weights = dec_weights d in
+              let loss = Dec.float d in
+              Some (weights, loss)
+          | _ -> None)
+  with
+  | Ok (Some done_) -> Some done_
+  | Ok None | Error _ -> None
+
+let learn ?(valid = [||]) ?checkpoint_dir config (spec : Spec.t) ~train =
+  let health = Fault.create_health () in
   let rng = Rng.create config.seed in
-  config.log
-    (Printf.sprintf "difftune[%s]: collecting simulated dataset" spec.name);
   let blocks = Array.map fst train in
-  let data = collect config spec blocks in
-  config.log
-    (Printf.sprintf "difftune[%s]: training surrogate on %d samples" spec.name
-       (Array.length data));
   let model = make_model config spec rng in
-  let surrogate_loss = train_surrogate config spec model data blocks in
+  let surrogate_skip =
+    match checkpoint_dir with
+    | None -> None
+    | Some dir ->
+        let n =
+          config.sim_multiplier * Array.length (eligible_blocks config blocks)
+        in
+        let fp =
+          surrogate_fp config spec ~n ~params:(Nn.Store.size (Model.store model))
+        in
+        probe_surrogate_done ~dir ~fp
+  in
+  let surrogate_loss =
+    match surrogate_skip with
+    | Some (weights, loss) ->
+        Nn.Store.import_values (Model.store model) weights;
+        health.skipped_phases <- health.skipped_phases + 2;
+        config.log
+          (Printf.sprintf
+             "difftune[%s]: collect + surrogate phases restored from \
+              checkpoint (loss %.4f)"
+             spec.name loss);
+        loss
+    | None ->
+        config.log
+          (Printf.sprintf "difftune[%s]: collecting simulated dataset"
+             spec.name);
+        let data = collect ?checkpoint_dir ~health config spec blocks in
+        config.log
+          (Printf.sprintf "difftune[%s]: training surrogate on %d samples"
+             spec.name (Array.length data));
+        train_surrogate ?checkpoint_dir ~health config spec model data blocks
+  in
   config.log
     (Printf.sprintf "difftune[%s]: optimizing parameter table" spec.name);
-  let table = optimize_table ~valid config spec model ~train in
-  { table; model; surrogate_loss }
+  let table =
+    optimize_table ~valid ?checkpoint_dir ~health config spec model ~train
+  in
+  { table; model; surrogate_loss; health }
 
 (* ------------------------------------------------------------------ *)
 (* Iterative refinement (paper Section VII, after Shirobokov et al.):   *)
@@ -484,9 +1026,10 @@ let local_sample (spec : Spec.t) ~center ~radius rng =
           center.Spec.global;
     }
 
-let learn_iterative ?(valid = [||]) config ?(rounds = 3) (spec : Spec.t)
-    ~train =
+let learn_iterative ?(valid = [||]) ?checkpoint_dir config ?(rounds = 3)
+    (spec : Spec.t) ~train =
   if rounds < 1 then invalid_arg "Engine.learn_iterative: rounds must be >= 1";
+  let health = Fault.create_health () in
   let rng = Rng.create config.seed in
   let blocks = Array.map fst train in
   let model = make_model config spec rng in
@@ -502,6 +1045,11 @@ let learn_iterative ?(valid = [||]) config ?(rounds = 3) (spec : Spec.t)
   let center = ref (spec.sample (Rng.create (config.seed lxor 0xce11e))) in
   let loss = ref Float.nan in
   for round = 1 to rounds do
+    let round_dir =
+      Option.map
+        (fun d -> Filename.concat d (Printf.sprintf "round%d" round))
+        checkpoint_dir
+    in
     let radius = 0.5 /. float_of_int round in
     let local_spec =
       if round = 1 then spec
@@ -511,17 +1059,40 @@ let learn_iterative ?(valid = [||]) config ?(rounds = 3) (spec : Spec.t)
     config.log
       (Printf.sprintf "difftune[%s]: refinement round %d/%d (radius %.2f)"
          spec.name round rounds radius);
-    let data = collect { per_round with seed = config.seed + round } local_spec blocks in
-    loss := train_surrogate { per_round with seed = config.seed + round }
-        local_spec model data blocks;
+    let round_cfg = { per_round with seed = config.seed + round } in
+    let surrogate_skip =
+      match round_dir with
+      | None -> None
+      | Some dir ->
+          let n =
+            round_cfg.sim_multiplier
+            * Array.length (eligible_blocks round_cfg blocks)
+          in
+          let fp =
+            surrogate_fp round_cfg local_spec ~n
+              ~params:(Nn.Store.size (Model.store model))
+          in
+          probe_surrogate_done ~dir ~fp
+    in
+    (match surrogate_skip with
+    | Some (weights, round_loss) ->
+        Nn.Store.import_values (Model.store model) weights;
+        health.skipped_phases <- health.skipped_phases + 2;
+        loss := round_loss
+    | None ->
+        let data =
+          collect ?checkpoint_dir:round_dir ~health round_cfg local_spec blocks
+        in
+        loss :=
+          train_surrogate ?checkpoint_dir:round_dir ~health round_cfg
+            local_spec model data blocks);
     let table =
-      optimize_table ~init:!center ~valid
-        { per_round with seed = config.seed + round }
-        spec model ~train
+      optimize_table ~init:!center ~valid ?checkpoint_dir:round_dir ~health
+        round_cfg spec model ~train
     in
     center := table
   done;
-  { table = !center; model; surrogate_loss = !loss }
+  { table = !center; model; surrogate_loss = !loss; health }
 
 (* ------------------------------------------------------------------ *)
 (* Ithemal baseline: no parameter inputs, trained on ground truth.      *)

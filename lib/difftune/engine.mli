@@ -11,7 +11,26 @@
     4. extract integer parameters (abs + lower bound + round) and plug
        them back into the original simulator ({!Spec.round_table}).
 
-    {!learn} runs the full pipeline. *)
+    {!learn} runs the full pipeline.
+
+    {2 Fault tolerance}
+
+    Every phase accepts [?checkpoint_dir].  When given, phase state is
+    periodically persisted through {!Checkpoint} (atomic rename +
+    CRC-32), and a re-run with the same configuration resumes from the
+    last installed checkpoint — skipping completed phases outright and
+    re-entering an interrupted phase mid-epoch — with {e bit-identical}
+    results to an uninterrupted run.  Checkpoints embed a fingerprint of
+    the run configuration; stale or corrupt files are ignored (counted
+    in {!Fault.health}) and the phase restarts cleanly.
+
+    The two training loops also carry numeric-health guards: a
+    minibatch producing non-finite or exploding losses/gradients is
+    rejected, the weights/optimizer roll back to the last good
+    in-memory snapshot, and the learning rate is halved — at most a
+    bounded number of times before the run fails with
+    [Fault.Error (Numeric_divergence _)].  All incidents are counted in
+    the {!Fault.health} record returned in {!result}. *)
 
 module Model = Dt_surrogate.Model
 
@@ -56,16 +75,25 @@ type sim_sample = {
 
 (** [collect config spec blocks] builds the simulated dataset: for each
     sample, a fresh table from [spec.sample] and a block drawn from
-    [blocks]. *)
+    [blocks].  With [?checkpoint_dir] the dataset is persisted after
+    collection and restored wholesale on a matching re-run.  Raises
+    [Fault.Error (No_training_blocks _)] when every block exceeds
+    [max_train_block_len]. *)
 val collect :
+  ?checkpoint_dir:string ->
+  ?health:Fault.health ->
   config -> Spec.t -> Dt_x86.Block.t array -> sim_sample array
 
 (** [make_model config spec rng] builds a surrogate sized for the spec. *)
 val make_model : config -> Spec.t -> Dt_util.Rng.t -> Model.t
 
 (** [train_surrogate config spec model data blocks] — SGD/Adam over the
-    simulated dataset; returns the final average training loss. *)
+    simulated dataset; returns the final average training loss.  With
+    [?checkpoint_dir] the phase checkpoints periodically and resumes
+    mid-epoch; numeric-health incidents are counted in [?health]. *)
 val train_surrogate :
+  ?checkpoint_dir:string ->
+  ?health:Fault.health ->
   config -> Spec.t -> Model.t -> sim_sample array -> Dt_x86.Block.t array ->
   float
 
@@ -81,6 +109,8 @@ val train_surrogate :
 val optimize_table :
   ?init:Spec.table ->
   ?valid:(Dt_x86.Block.t * float) array ->
+  ?checkpoint_dir:string ->
+  ?health:Fault.health ->
   config -> Spec.t -> Model.t -> train:(Dt_x86.Block.t * float) array ->
   Spec.table
 
@@ -88,19 +118,25 @@ type result = {
   table : Spec.table;     (** extracted parameters, pluggable into [spec.timing] *)
   model : Model.t;        (** the trained surrogate *)
   surrogate_loss : float; (** final surrogate training loss *)
+  health : Fault.health;  (** recoverable incidents survived by the run *)
 }
 
 val learn :
   ?valid:(Dt_x86.Block.t * float) array ->
+  ?checkpoint_dir:string ->
   config -> Spec.t -> train:(Dt_x86.Block.t * float) array -> result
 
 (** Iterative local refinement (paper Section VII, after Shirobokov et
     al. [16]): alternates re-collecting the simulated dataset in a
     shrinking neighbourhood of the current parameter estimate with
     continued surrogate training and warm-started parameter descent.
-    Removes the reliance on a well-chosen global sampling distribution. *)
+    Removes the reliance on a well-chosen global sampling distribution.
+    With [?checkpoint_dir], each round checkpoints into its own
+    [round<k>] subdirectory, so a killed run resumes inside the round it
+    was interrupted in. *)
 val learn_iterative :
   ?valid:(Dt_x86.Block.t * float) array ->
+  ?checkpoint_dir:string ->
   config -> ?rounds:int -> Spec.t -> train:(Dt_x86.Block.t * float) array ->
   result
 

@@ -1,0 +1,79 @@
+type phase = Collect | Surrogate | Table
+
+type t =
+  | Checkpoint_missing of { path : string }
+  | Checkpoint_corrupt of { path : string; reason : string }
+  | Checkpoint_version of { path : string; found : int; expected : int }
+  | Checkpoint_mismatch of { path : string; expected : string; found : string }
+  | Numeric_divergence of {
+      phase : phase;
+      step : int;
+      retries : int;
+      detail : string;
+    }
+  | No_training_blocks of { phase : phase; detail : string }
+
+exception Error of t
+
+let phase_name = function
+  | Collect -> "collect"
+  | Surrogate -> "surrogate"
+  | Table -> "table"
+
+let to_string = function
+  | Checkpoint_missing { path } -> Printf.sprintf "no checkpoint at %s" path
+  | Checkpoint_corrupt { path; reason } ->
+      Printf.sprintf "corrupt checkpoint %s: %s" path reason
+  | Checkpoint_version { path; found; expected } ->
+      Printf.sprintf "checkpoint %s has format version %d, expected %d" path
+        found expected
+  | Checkpoint_mismatch { path; expected; found } ->
+      Printf.sprintf
+        "checkpoint %s belongs to a different run (fingerprint %S, expected %S)"
+        path found expected
+  | Numeric_divergence { phase; step; retries; detail } ->
+      Printf.sprintf
+        "numeric divergence in %s phase at step %d (%s) after %d rollback \
+         retries"
+        (phase_name phase) step detail retries
+  | No_training_blocks { phase; detail } ->
+      Printf.sprintf "%s phase has no usable training blocks: %s"
+        (phase_name phase) detail
+
+let error t = raise (Error t)
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some ("Dt_difftune.Fault.Error: " ^ to_string t)
+    | _ -> None)
+
+type health = {
+  mutable nan_batches : int;
+  mutable rollbacks : int;
+  mutable lr_backoffs : int;
+  mutable resumed_steps : int;
+  mutable skipped_phases : int;
+  mutable bad_checkpoints : int;
+}
+
+let create_health () =
+  {
+    nan_batches = 0;
+    rollbacks = 0;
+    lr_backoffs = 0;
+    resumed_steps = 0;
+    skipped_phases = 0;
+    bad_checkpoints = 0;
+  }
+
+let health_summary h =
+  if
+    h.nan_batches = 0 && h.rollbacks = 0 && h.lr_backoffs = 0
+    && h.resumed_steps = 0 && h.skipped_phases = 0 && h.bad_checkpoints = 0
+  then "clean"
+  else
+    Printf.sprintf
+      "nan-batches %d, rollbacks %d, lr-backoffs %d, resumed-steps %d, \
+       skipped-phases %d, bad-checkpoints %d"
+      h.nan_batches h.rollbacks h.lr_backoffs h.resumed_steps h.skipped_phases
+      h.bad_checkpoints

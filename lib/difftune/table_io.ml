@@ -18,11 +18,15 @@ let to_string (spec : Spec.t) (table : Spec.table) =
     table.per;
   Buffer.contents buf
 
+(* Write-to-temp + rename: a crash mid-write leaves the previous table
+   intact instead of a truncated file. *)
 let save spec table path =
-  let oc = open_out path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string spec table))
+    (fun () -> output_string oc (to_string spec table));
+  Sys.rename tmp path
 
 let of_string (spec : Spec.t) ~fallback text =
   let table = Spec.copy_table fallback in
@@ -35,10 +39,13 @@ let of_string (spec : Spec.t) ~fallback text =
       (List.map
          (fun s ->
            match float_of_string_opt s with
-           | Some v -> v
+           | Some v when Float.is_finite v -> v
+           | Some _ -> fail line (Printf.sprintf "non-finite value %S" s)
            | None -> fail line (Printf.sprintf "bad number %S" s))
          fields)
   in
+  let seen_global = ref false in
+  let seen_opcodes = Hashtbl.create 64 in
   String.split_on_char '\n' text
   |> List.iteri (fun idx raw ->
          let line = idx + 1 in
@@ -53,12 +60,17 @@ let of_string (spec : Spec.t) ~fallback text =
                    (Printf.sprintf "table is for spec %S, expected %S" name
                       spec.name)
            | "global" :: fields ->
+               if !seen_global then fail line "duplicate global line";
+               seen_global := true;
                let values = parse_floats line fields spec.global_width in
                Array.blit values 0 table.global 0 spec.global_width
            | "opcode" :: name :: fields -> (
                match Dt_x86.Opcode.by_name name with
                | None -> fail line (Printf.sprintf "unknown opcode %S" name)
                | Some op ->
+                   if Hashtbl.mem seen_opcodes op.index then
+                     fail line (Printf.sprintf "duplicate opcode %S" name);
+                   Hashtbl.add seen_opcodes op.index ();
                    let values = parse_floats line fields spec.per_width in
                    Array.blit values 0 table.per.(op.index) 0 spec.per_width)
            | _ -> fail line (Printf.sprintf "unrecognized line %S" s));

@@ -15,7 +15,8 @@
     missing opcodes keep the values of the [fallback] table (the paper
     keeps randomly initialized values for opcodes unseen in training). *)
 
-(** [save spec table path] writes the table. *)
+(** [save spec table path] writes the table atomically (temp file +
+    rename), so a crash mid-write never clobbers an existing table. *)
 val save : Spec.t -> Spec.table -> string -> unit
 
 (** [to_string spec table] renders the table. *)
@@ -23,7 +24,8 @@ val to_string : Spec.t -> Spec.table -> string
 
 (** [load spec ~fallback path] reads a table saved by {!save}.
     Raises [Failure] with a line diagnostic on malformed input,
-    mismatched spec name, or wrong row widths. *)
+    mismatched spec name, wrong row widths, non-finite (NaN/Inf)
+    values, or duplicate [global]/[opcode] lines. *)
 val load : Spec.t -> fallback:Spec.table -> string -> Spec.table
 
 (** [of_string spec ~fallback text] — as {!load}, from memory. *)

@@ -1,10 +1,12 @@
 module Uarch = Dt_refcpu.Uarch
 module Spec = Dt_difftune.Spec
 module Engine = Dt_difftune.Engine
+module Fault = Dt_difftune.Fault
 module Rng = Dt_util.Rng
 
 type t = {
   scale : Scale.t;
+  checkpoint_dir : string option;
   mutable corpus : Dt_bhive.Dataset.corpus option;
   datasets : (Uarch.uarch, Dt_bhive.Dataset.t) Hashtbl.t;
   difftune_runs : (Uarch.uarch, Engine.result list) Hashtbl.t;
@@ -14,9 +16,10 @@ type t = {
   opentuner_tables : (Uarch.uarch, Spec.table) Hashtbl.t;
 }
 
-let create scale =
+let create ?checkpoint_dir scale =
   {
     scale;
+    checkpoint_dir;
     corpus = None;
     datasets = Hashtbl.create 4;
     difftune_runs = Hashtbl.create 4;
@@ -27,6 +30,17 @@ let create scale =
   }
 
 let scale t = t.scale
+
+(* Progress goes through the engine's log hook, not straight to stderr,
+   so embedders (and tests) control where it lands — and so messages
+   about skipped/resumed phases on a checkpointed re-run are visible
+   wherever the engine's own messages go. *)
+let log t msg = t.scale.engine.log msg
+
+(* Per-run checkpoint directory: [<dir>/<experiment>/<uarch>[/seed<k>]],
+   one leaf per learned artifact so independent runs never share files. *)
+let run_dir t parts =
+  Option.map (fun d -> List.fold_left Filename.concat d parts) t.checkpoint_dir
 
 let memo tbl key build =
   match Hashtbl.find_opt tbl key with
@@ -40,14 +54,14 @@ let corpus t =
   match t.corpus with
   | Some c -> c
   | None ->
-      Printf.eprintf "  [corpus: %d blocks]\n%!" t.scale.corpus_size;
+      log t (Printf.sprintf "[corpus: %d blocks]" t.scale.corpus_size);
       let c = Dt_bhive.Dataset.corpus ~seed:42 ~size:t.scale.corpus_size in
       t.corpus <- Some c;
       c
 
 let dataset t uarch =
   memo t.datasets uarch (fun () ->
-      Printf.eprintf "  [labeling %s]\n%!" (Uarch.uarch_name uarch);
+      log t (Printf.sprintf "[labeling %s]" (Uarch.uarch_name uarch));
       Dt_bhive.Dataset.label (corpus t) ~seed:1 ~uarch ~noise:t.scale.noise)
 
 let default_params = Dt_mca.Params.default
@@ -62,31 +76,52 @@ let valid_pairs t uarch =
     (fun (l : Dt_bhive.Dataset.labeled) -> (l.entry.block, l.timing))
     (dataset t uarch).valid
 
+let report_health t label (r : Engine.result) =
+  let summary = Fault.health_summary r.health in
+  if summary <> "clean" then
+    log t (Printf.sprintf "[%s: health %s]" label summary);
+  r
+
 let difftune t uarch =
   memo t.difftune_runs uarch (fun () ->
       let train = train_pairs t uarch in
       let valid = valid_pairs t uarch in
       let spec = Spec.mca_full uarch in
+      let uname = Uarch.uarch_name uarch in
       List.map
         (fun seed ->
-          Printf.eprintf "  [difftune %s seed %d]\n%!" (Uarch.uarch_name uarch)
-            seed;
-          Engine.learn ~valid { t.scale.engine with seed } spec ~train)
+          log t (Printf.sprintf "[difftune %s seed %d]" uname seed);
+          let dir =
+            run_dir t [ "difftune"; uname; Printf.sprintf "seed%d" seed ]
+          in
+          Engine.learn ~valid ?checkpoint_dir:dir { t.scale.engine with seed }
+            spec ~train
+          |> report_health t (Printf.sprintf "difftune %s seed %d" uname seed))
         t.scale.seeds)
 
 let difftune_wl t uarch =
   memo t.wl_runs uarch (fun () ->
-      Printf.eprintf "  [difftune-wl %s]\n%!" (Uarch.uarch_name uarch);
+      let uname = Uarch.uarch_name uarch in
+      log t (Printf.sprintf "[difftune-wl %s]" uname);
       let train = train_pairs t uarch in
       let valid = valid_pairs t uarch in
-      Engine.learn ~valid t.scale.engine (Spec.mca_write_latency uarch) ~train)
+      Engine.learn ~valid
+        ?checkpoint_dir:(run_dir t [ "difftune-wl"; uname ])
+        t.scale.engine
+        (Spec.mca_write_latency uarch)
+        ~train
+      |> report_health t (Printf.sprintf "difftune-wl %s" uname))
 
 let difftune_usim t uarch =
   memo t.usim_runs uarch (fun () ->
-      Printf.eprintf "  [difftune-usim %s]\n%!" (Uarch.uarch_name uarch);
+      let uname = Uarch.uarch_name uarch in
+      log t (Printf.sprintf "[difftune-usim %s]" uname);
       let train = train_pairs t uarch in
       let valid = valid_pairs t uarch in
-      Engine.learn ~valid t.scale.engine (Spec.usim_spec uarch) ~train)
+      Engine.learn ~valid
+        ?checkpoint_dir:(run_dir t [ "difftune-usim"; uname ])
+        t.scale.engine (Spec.usim_spec uarch) ~train
+      |> report_health t (Printf.sprintf "difftune-usim %s" uname))
 
 (* The Ithemal baseline: the same network family trained directly on
    measurements, given the IACA bound decomposition as static analytic
@@ -97,7 +132,7 @@ let iaca_features uarch block =
 
 let ithemal t uarch =
   memo t.ithemal_models uarch (fun () ->
-      Printf.eprintf "  [ithemal %s]\n%!" (Uarch.uarch_name uarch);
+      log t (Printf.sprintf "[ithemal %s]" (Uarch.uarch_name uarch));
       let train = Array.to_list (train_pairs t uarch) in
       let features = Some (iaca_features uarch) in
       let model = Engine.train_ithemal t.scale.engine ~features ~train in
@@ -105,7 +140,7 @@ let ithemal t uarch =
 
 let opentuner t uarch =
   memo t.opentuner_tables uarch (fun () ->
-      Printf.eprintf "  [opentuner %s]\n%!" (Uarch.uarch_name uarch);
+      log t (Printf.sprintf "[opentuner %s]" (Uarch.uarch_name uarch));
       let train = train_pairs t uarch in
       let spec = Spec.mca_full uarch in
       (* Budget parity (Section V-C): the same number of block evaluations

@@ -10,7 +10,13 @@ module Engine = Dt_difftune.Engine
 
 type t
 
-val create : Scale.t -> t
+(** [create ?checkpoint_dir scale] — with [?checkpoint_dir], every
+    DiffTune run checkpoints into its own subdirectory
+    ([<dir>/<experiment>/<uarch>[/seed<k>]]) and a repeated invocation
+    resumes (or skips) interrupted work; see {!Engine.learn}.  All
+    progress reporting goes through [scale.engine.log]. *)
+val create : ?checkpoint_dir:string -> Scale.t -> t
+
 val scale : t -> Scale.t
 
 val dataset : t -> Uarch.uarch -> Dt_bhive.Dataset.t

@@ -51,6 +51,24 @@ module Store = struct
 
   let accum_grads ~src ~dst =
     iter2 src dst (fun a b -> T.axpy ~alpha:1.0 ~x:a.grad ~y:b.grad)
+
+  let export_values t =
+    List.map
+      (fun e -> (e.name, e.value.T.rows, e.value.T.cols, T.to_array e.value))
+      t.entries
+
+  let import_values t dump =
+    if List.length dump <> List.length t.entries then
+      invalid_arg "Store.import_values: entry count mismatch";
+    List.iter2
+      (fun e (name, rows, cols, data) ->
+        if e.name <> name then
+          invalid_arg
+            ("Store.import_values: parameter mismatch " ^ e.name ^ " / " ^ name);
+        if e.value.T.rows <> rows || e.value.T.cols <> cols then
+          invalid_arg ("Store.import_values: shape mismatch for " ^ name);
+        T.blit ~src:(T.of_array ~rows ~cols data) ~dst:e.value)
+      t.entries dump
 end
 
 let xavier rng ~rows ~cols =
@@ -162,6 +180,49 @@ module Optimizer = struct
     { store; lr; algo = Adam { t = 0; m = Hashtbl.create 32; v = Hashtbl.create 32 } }
 
   let set_lr t lr = t.lr <- lr
+  let get_lr t = t.lr
+
+  type state = {
+    algo_step : int; (* Adam timestep; 0 for SGD *)
+    moments : (string * float array * float array) list; (* name, m, v *)
+  }
+
+  (* Moments are exported in store order (not hashtbl order) so the dump
+     is deterministic; parameters never yet stepped are skipped. *)
+  let export_state t =
+    match t.algo with
+    | Sgd -> { algo_step = 0; moments = [] }
+    | Adam a ->
+        let moments = ref [] in
+        Store.iter t.store (fun name ~value:_ ~grad:_ ->
+            match (Hashtbl.find_opt a.m name, Hashtbl.find_opt a.v name) with
+            | Some m, Some v ->
+                moments := (name, T.to_array m, T.to_array v) :: !moments
+            | _ -> ());
+        { algo_step = a.t; moments = List.rev !moments }
+
+  let import_state t (s : state) =
+    match t.algo with
+    | Sgd -> ()
+    | Adam a ->
+        a.t <- s.algo_step;
+        Hashtbl.reset a.m;
+        Hashtbl.reset a.v;
+        List.iter
+          (fun (name, mdata, vdata) ->
+            let dims =
+              let found = ref None in
+              Store.iter t.store (fun n ~value ~grad:_ ->
+                  if n = name then found := Some (value.T.rows, value.T.cols));
+              !found
+            in
+            match dims with
+            | None ->
+                invalid_arg ("Optimizer.import_state: unknown parameter " ^ name)
+            | Some (rows, cols) ->
+                Hashtbl.replace a.m name (T.of_array ~rows ~cols mdata);
+                Hashtbl.replace a.v name (T.of_array ~rows ~cols vdata))
+          s.moments
 
   let step t ~batch =
     if batch <= 0 then invalid_arg "Optimizer.step: batch must be positive";

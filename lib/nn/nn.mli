@@ -43,6 +43,16 @@ module Store : sig
       Reduction of per-domain replica gradients; same pairing rules as
       {!copy_values}. *)
   val accum_grads : src:t -> dst:t -> unit
+
+  (** Parameter values as [(name, rows, cols, row-major data)] in store
+      order — the checkpoint serialization of a model.  Round-tripping
+      through {!import_values} is bit-exact. *)
+  val export_values : t -> (string * int * int * float array) list
+
+  (** Overwrite this store's parameter values with an {!export_values}
+      dump from an identically-constructed store.  Raises
+      [Invalid_argument] on a name, shape, or count mismatch. *)
+  val import_values : t -> (string * int * int * float array) list -> unit
 end
 
 (** Fully connected layer [y = W x + b]. *)
@@ -94,4 +104,22 @@ module Optimizer : sig
 
   (** Change the learning rate (schedules). *)
   val set_lr : t -> float -> unit
+
+  val get_lr : t -> float
+
+  (** Optimizer state beyond the parameters themselves: the Adam
+      timestep and first/second-moment estimates (empty for SGD), in
+      store order.  Together with [Store.export_values] this is a
+      complete mid-training snapshot: restoring both and replaying the
+      same minibatches is bit-identical to never having stopped. *)
+  type state = {
+    algo_step : int;
+    moments : (string * float array * float array) list;
+  }
+
+  val export_state : t -> state
+
+  (** Restore an {!export_state} snapshot (no-op for SGD).  Raises
+      [Invalid_argument] if a moment names an unknown parameter. *)
+  val import_state : t -> state -> unit
 end

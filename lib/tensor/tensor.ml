@@ -145,9 +145,12 @@ let gemv ~m ~x ~y ~beta =
   let xd = x.data and yd = y.data and md = m.data in
   let xo = x.off and yo = y.off in
   let cols = m.cols and rows = m.rows in
+  (* beta = 0 must overwrite without reading y: the destination may be an
+     uninitialized arena slot, and 0 * NaN would poison the result. *)
   let out i acc =
     Bigarray.Array1.unsafe_set yd (yo + i)
-      (acc +. (beta *. Bigarray.Array1.unsafe_get yd (yo + i)))
+      (if beta = 0.0 then acc
+       else acc +. (beta *. Bigarray.Array1.unsafe_get yd (yo + i)))
   in
   for i = 0 to rows - 1 do
     let b0 = m.off + (i * m.rs) in

@@ -1,0 +1,60 @@
+(** Deterministic fault injection for exercising recovery paths.
+
+    Long training runs must survive worker crashes, NaN gradients, and
+    torn checkpoint files; those paths are worthless if they are only
+    executed in production.  This module lets tests (and a [make verify]
+    smoke matrix) *force* each failure at a precise, reproducible point.
+
+    Code under test declares named {e sites} by calling {!fire} (or
+    {!fire_exn}) at the place where a fault could occur; each call counts
+    one {e hit} of that site.  A site is {e armed} at hit number [k]
+    (1-based) either programmatically ({!arm}) or via the
+    [DIFFTUNE_FAULTS] environment variable, a [;]- or [,]-separated list
+    of [site\@k] entries (bare [site] means [site\@1]):
+
+    {v DIFFTUNE_FAULTS="pool.worker@2;grad.nan@3" v}
+
+    Sites used by this repository:
+    - [pool.worker] — raise {!Injected} inside a {!Pool.run} task;
+    - [grad.nan] — poison a minibatch gradient to NaN
+      (checked in [Engine.train_surrogate] / [Engine.optimize_table]);
+    - [ckpt.truncate] — truncate a checkpoint file just after it is
+      atomically written ([Checkpoint.save]);
+    - [engine.abort] — raise {!Injected} right after a periodic
+      checkpoint write: a SIGKILL-style interruption at a resumable
+      boundary.
+
+    Hit counters are shared across domains (mutex-protected) so a spec
+    like [pool.worker\@5] fires exactly once regardless of how the pool
+    schedules tasks.  When nothing is armed, {!fire} is a single atomic
+    load. *)
+
+(** Raised by {!fire_exn} at an armed hit; the payload is the site. *)
+exception Injected of string
+
+(** [configure spec] replaces the armed set with the parse of [spec]
+    (same syntax as [DIFFTUNE_FAULTS]) and resets all hit counters.
+    Raises [Invalid_argument] on a malformed spec. *)
+val configure : string -> unit
+
+(** Disarms every site and resets hit counters.  Also suppresses any
+    later implicit re-read of [DIFFTUNE_FAULTS]. *)
+val clear : unit -> unit
+
+(** [arm site ~at] additionally arms [site] at hit [at] (1-based). *)
+val arm : string -> at:int -> unit
+
+(** [fire site] counts one hit of [site] and reports whether a fault is
+    armed at exactly this hit.  The first call in a process loads
+    [DIFFTUNE_FAULTS] if no explicit {!configure}/{!clear}/{!arm} came
+    first. *)
+val fire : string -> bool
+
+(** [fire_exn site] — [if fire site then raise (Injected site)]. *)
+val fire_exn : string -> unit
+
+(** Hits of [site] counted since the last {!configure}/{!clear}. *)
+val hits : string -> int
+
+(** Whether any site is currently armed. *)
+val active : unit -> bool

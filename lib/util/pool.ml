@@ -2,7 +2,8 @@ type job = {
   n : int;
   f : int -> unit;
   next : int Atomic.t;
-  err : exn option Atomic.t;
+  err : (exn * Printexc.raw_backtrace) option Atomic.t;
+  suppressed : int Atomic.t; (* worker exceptions after the first *)
 }
 
 type t = {
@@ -14,6 +15,7 @@ type t = {
   mutable generation : int;
   mutable active : int; (* workers still on the current job *)
   mutable stop : bool;
+  mutable suppressed : int; (* cumulative, updated by [run] after join *)
   size : int;
 }
 
@@ -26,13 +28,19 @@ let default_domains () =
   | None -> Domain.recommended_domain_count ()
 
 (* Pull tasks off the shared counter until exhausted.  The first
-   exception is kept; later tasks still run so [run] always joins. *)
+   exception is kept with its backtrace; later tasks still run (so [run]
+   always joins) and their failures are only counted. *)
 let exec job =
   let rec loop () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.n then begin
-      (try job.f i
-       with e -> ignore (Atomic.compare_and_set job.err None (Some e)));
+      (try
+         Faultsim.fire_exn "pool.worker";
+         job.f i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         if not (Atomic.compare_and_set job.err None (Some (e, bt))) then
+           Atomic.incr job.suppressed);
       loop ()
     end
   in
@@ -73,6 +81,7 @@ let create ?domains () =
       generation = 0;
       active = 0;
       stop = false;
+      suppressed = 0;
       size;
     }
   in
@@ -83,32 +92,47 @@ let size t = t.size
 
 let run t n f =
   if n <= 0 then ()
-  else if Array.length t.workers = 0 then
-    for i = 0 to n - 1 do
-      f i
-    done
   else begin
-    let job = { n; f; next = Atomic.make 0; err = Atomic.make None } in
-    Mutex.lock t.m;
-    t.job <- Some job;
-    t.generation <- t.generation + 1;
-    t.active <- Array.length t.workers;
-    Condition.broadcast t.work_ready;
-    Mutex.unlock t.m;
-    exec job;
-    Mutex.lock t.m;
-    while t.active > 0 do
-      Condition.wait t.work_done t.m
-    done;
-    t.job <- None;
-    Mutex.unlock t.m;
-    match Atomic.get job.err with Some e -> raise e | None -> ()
+    let job =
+      {
+        n;
+        f;
+        next = Atomic.make 0;
+        err = Atomic.make None;
+        suppressed = Atomic.make 0;
+      }
+    in
+    if Array.length t.workers = 0 then exec job
+    else begin
+      Mutex.lock t.m;
+      t.job <- Some job;
+      t.generation <- t.generation + 1;
+      t.active <- Array.length t.workers;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.m;
+      exec job;
+      Mutex.lock t.m;
+      while t.active > 0 do
+        Condition.wait t.work_done t.m
+      done;
+      t.job <- None;
+      Mutex.unlock t.m
+    end;
+    t.suppressed <- t.suppressed + Atomic.get job.suppressed;
+    match Atomic.get job.err with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end
+
+let suppressed_errors t = t.suppressed
 
 let shutdown t =
   Mutex.lock t.m;
+  let fresh = not t.stop in
   t.stop <- true;
   Condition.broadcast t.work_ready;
   Mutex.unlock t.m;
-  Array.iter Domain.join t.workers;
-  t.workers <- [||]
+  if fresh then begin
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end

@@ -24,12 +24,21 @@ val create : ?domains:int -> unit -> t
 val size : t -> int
 
 (** [run t n f] evaluates [f i] for every [i] in [0, n); returns when all
-    are done.  If any task raises, one of the exceptions is re-raised
-    after the job completes.  Not reentrant: [f] must not call {!run} on
-    the same pool. *)
+    are done.  If any task raises, the {e first} exception (in completion
+    order) is re-raised with the failing worker's backtrace
+    ([Printexc.raise_with_backtrace]) after the job completes; later
+    failures are only counted (see {!suppressed_errors}).  The
+    [pool.worker] {!Faultsim} site fires once per task, before [f].
+    Not reentrant: [f] must not call {!run} on the same pool. *)
 val run : t -> int -> (int -> unit) -> unit
 
-(** Joins the workers.  The pool must not be used afterwards. *)
+(** Cumulative count of worker exceptions beyond the first of each
+    failing job — failures whose details were dropped in favour of the
+    job's primary error. *)
+val suppressed_errors : t -> int
+
+(** Joins the workers.  Idempotent: later calls are no-ops.  The pool
+    must not be used for {!run} afterwards. *)
 val shutdown : t -> unit
 
 (** The pool size {!create} would pick with no [?domains] argument:

@@ -22,6 +22,8 @@ let split t =
   { state = mix64 (Int64.logxor seed (Int64.mul salt 0xD6E8FEB86659FD93L)) }
 
 let copy t = { state = t.state }
+let state t = t.state
+let of_state state = { state }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

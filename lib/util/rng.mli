@@ -20,6 +20,13 @@ val split : t -> t
 (** [copy t] duplicates the current state (same future stream). *)
 val copy : t -> t
 
+(** [state t] — the raw 64-bit generator state, for checkpointing. *)
+val state : t -> int64
+
+(** [of_state s] rebuilds the generator captured by {!state}: the new
+    generator's stream continues exactly where the captured one was. *)
+val of_state : int64 -> t
+
 (** [bits64 t] returns the next raw 64-bit output as a native [int64]. *)
 val bits64 : t -> int64
 

@@ -55,6 +55,14 @@ module Welford = struct
   let stddev t =
     if t.n = 0 then invalid_arg "Welford.stddev: empty"
     else sqrt (t.m2 /. float_of_int t.n)
+
+  let state t = (t.n, t.mean, t.m2)
+
+  let restore t (n, mean, m2) =
+    if n < 0 then invalid_arg "Welford.restore: negative count";
+    t.n <- n;
+    t.mean <- mean;
+    t.m2 <- m2
 end
 
 let histogram ~lo ~hi ~bins xs =

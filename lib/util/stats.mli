@@ -26,6 +26,13 @@ module Welford : sig
 
   (** Population standard deviation of the values seen so far. *)
   val stddev : t -> float
+
+  (** [(count, mean, m2)] — the full accumulator state, for
+      checkpointing.  Round-tripping through {!restore} is exact. *)
+  val state : t -> int * float * float
+
+  (** Overwrite the accumulator with a {!state} snapshot. *)
+  val restore : t -> int * float * float -> unit
 end
 
 (** [histogram ~lo ~hi ~bins xs] counts values in [bins] equal-width buckets
