@@ -1,6 +1,6 @@
 # Convenience targets for the DiffTune reproduction.
 
-.PHONY: all build test verify bench bench-full bench-json clean doc quickstart
+.PHONY: all build test lint verify bench bench-full bench-json clean doc quickstart
 
 all: build
 
@@ -10,14 +10,22 @@ build:
 test:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 
-# Full verification: build, the regular test suite, then the fault
-# smoke matrix — every injection site crossed with serial and parallel
-# pools.  Each cell kills/corrupts a checkpointed training run and
-# requires it to converge (bit-identically, unless the fault was
-# numeric).
+# Repo lint: dt_lint walks lib/ and bin/ with the Dt_analysis.Lint AST
+# rules and fails on any non-whitelisted finding.
+lint:
+	dune build @lint
+
+# Full verification: build, repo lint, the regular test suite, then the
+# fault smoke matrix — every injection site crossed with serial and
+# parallel pools.  Each cell kills/corrupts a checkpointed training run
+# and requires it to converge (bit-identically, unless the fault was
+# numeric).  One extra cell re-runs the combined fault spec with the
+# graph sanitizer armed: arena poisoning and generation stamps must stay
+# quiet on correct code even while faults fire.
 FAULT_SPECS = pool.worker@2 grad.nan@2 ckpt.truncate@1 engine.abort@2 \
               "engine.abort@2;grad.nan@3"
 verify: build
+	dune build @lint
 	dune runtest --force
 	@for faults in $(FAULT_SPECS); do \
 	  for domains in 1 4; do \
@@ -26,6 +34,9 @@ verify: build
 	      dune exec test/fault_smoke.exe || exit 1; \
 	  done; \
 	done
+	@echo "== faults=engine.abort@2;grad.nan@3 domains=4 sanitize=1 =="
+	@DIFFTUNE_SANITIZE=1 DIFFTUNE_FAULTS="engine.abort@2;grad.nan@3" \
+	  DIFFTUNE_DOMAINS=4 dune exec test/fault_smoke.exe || exit 1
 	@echo "verify: all fault combinations passed"
 
 bench:
@@ -34,7 +45,8 @@ bench:
 bench-full:
 	DIFFTUNE_SCALE=full dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
-# Machine-readable perf snapshot (ns/op + domain-scaling samples/sec).
+# Machine-readable perf snapshot (ns/op + domain-scaling samples/sec;
+# includes the sanitizer forward+backward overhead measurement).
 bench-json:
 	dune exec bench/main.exe -- perf-json
 

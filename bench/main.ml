@@ -189,21 +189,86 @@ let scaling () =
         (Printf.sprintf "train.samples_per_sec.domains_%d" n_default, tn);
       ]
 
+(* ---- Sanitizer overhead: surrogate forward+backward, off vs on ---- *)
+
+(* The graph sanitizer (DIFFTUNE_SANITIZE) adds per-op stamp checks,
+   shape inference, a poison scan of each output, and a post-backward
+   flow audit.  This measures the full train step both ways so the
+   overhead is tracked release over release. *)
+let sanitize_overhead () =
+  let block =
+    Dt_x86.Block.parse
+      "movq 8(%rbp), %rax\n\
+       addq %rax, %rcx\n\
+       imulq %rcx, %rdx\n\
+       movq %rdx, 16(%rbp)\n\
+       xorl %r8d, %r8d"
+  in
+  let rng = Dt_util.Rng.create 1 in
+  let model_cfg =
+    {
+      Dt_surrogate.Model.default_config with
+      token_layers = 2;
+      instr_layers = 2;
+    }
+  in
+  let model = Dt_surrogate.Model.create ~config:model_cfg rng in
+  let per = Array.init 5 (fun _ -> Array.make 15 0.2) in
+  let glob = [| 0.6; 1.4 |] in
+  let store = Model.store model in
+  let ctx = Ad.new_ctx () in
+  let train_step () =
+    Ad.reset ctx;
+    let params =
+      {
+        Model.per_instr = Array.map (fun v -> Ad.constant ctx (T.vector v)) per;
+        global = Some (Ad.constant ctx (T.vector glob));
+      }
+    in
+    let pred =
+      Model.predict model ctx block ~params:(Some params) ~features:None
+    in
+    let loss = Ad.mape ctx pred ~target:2.0 in
+    Ad.backward ctx loss;
+    Dt_nn.Nn.Store.zero_grads store
+  in
+  let time_ns n =
+    for _ = 1 to 20 do train_step () done;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do train_step () done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9
+  in
+  let iters = 300 in
+  Ad.set_sanitize false;
+  let off = time_ns iters in
+  Ad.set_sanitize true;
+  let on = time_ns iters in
+  Ad.set_sanitize false;
+  [
+    ("surrogate.forward_backward_ns.sanitize_off", off);
+    ("surrogate.forward_backward_ns.sanitize_on", on);
+    ("sanitize.overhead_pct", (on -. off) /. off *. 100.0);
+  ]
+
 (* ---- machine-readable perf snapshot for the PR trajectory ---- *)
 
 let perf_json () =
   let ns = estimates () in
   let sc = scaling () in
-  let oc = open_out "BENCH_PR1.json" in
+  let sa = sanitize_overhead () in
+  let oc = open_out "BENCH_PR3.json" in
   let field (name, v) = Printf.sprintf "    %S: %.1f" name v in
   Printf.fprintf oc
-    "{\n  \"pr\": 1,\n  \"ns_per_call\": {\n%s\n  },\n  \"scaling\": \
-     {\n%s\n  }\n}\n"
+    "{\n  \"pr\": 3,\n  \"ns_per_call\": {\n%s\n  },\n  \"scaling\": \
+     {\n%s\n  },\n  \"sanitize\": {\n%s\n  }\n}\n"
     (String.concat ",\n" (List.map field ns))
-    (String.concat ",\n" (List.map field sc));
+    (String.concat ",\n" (List.map field sc))
+    (String.concat ",\n" (List.map field sa));
   close_out oc;
-  print_endline "wrote BENCH_PR1.json";
-  List.iter (fun (n, v) -> Printf.printf "%-48s %12.1f\n%!" n v) (ns @ sc)
+  print_endline "wrote BENCH_PR3.json";
+  List.iter
+    (fun (n, v) -> Printf.printf "%-48s %12.1f\n%!" n v)
+    (ns @ sc @ sa)
 
 (* ---- Surrogate-depth ablation (design decision in DESIGN.md) ---- *)
 

@@ -76,7 +76,7 @@ let predict_cmd =
   let run uarch text =
     match Dt_x86.Block.parse text with
     | exception Dt_x86.Parser.Parse_error msg ->
-        Printf.eprintf "parse error: %s\n" msg;
+        Dt_util.Log.error "parse error: %s" msg;
         exit 1
     | block ->
         let cfg = Uarch.config uarch in
@@ -101,7 +101,7 @@ let report_cmd =
   let run uarch text iterations =
     match Dt_x86.Block.parse text with
     | exception Dt_x86.Parser.Parse_error msg ->
-        Printf.eprintf "parse error: %s\n" msg;
+        Dt_util.Log.error "parse error: %s" msg;
         exit 1
     | block ->
         let params = Dt_mca.Params.default uarch in
@@ -127,7 +127,7 @@ let measure_cmd =
   let run uarch name =
     match Dt_x86.Opcode.by_name name with
     | None ->
-        Printf.eprintf "unknown opcode %S\n" name;
+        Dt_util.Log.error "unknown opcode %S" name;
         exit 1
     | Some op ->
         let cfg = Uarch.config uarch in
@@ -274,7 +274,7 @@ let experiment_cmd =
   let run name checkpoint_dir =
     match List.assoc_opt name Dt_exp.Experiments.all with
     | None ->
-        Printf.eprintf "unknown experiment %S\n" name;
+        Dt_util.Log.error "unknown experiment %S" name;
         exit 1
     | Some f ->
         let runner =

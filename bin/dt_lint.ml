@@ -1,0 +1,61 @@
+(* dt_lint: repo lint driver over Dt_analysis.Lint.
+
+   Usage:
+     dt_lint [--rules] [ROOT ...]
+
+   Walks every .ml file under the given roots (default: lib bin),
+   prints non-whitelisted findings, and exits 1 if there are any.
+   Wired into `dune build @lint` and `make verify`. *)
+
+module Lint = Dt_analysis.Lint
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if String.length entry > 0 && (entry.[0] = '.' || entry.[0] = '_')
+           then acc
+           else collect acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let print_rules () =
+  List.iter
+    (fun (r : Lint.rule) ->
+      Printf.printf "%-14s %s\n" r.name r.summary;
+      List.iter
+        (fun (frag, why) -> Printf.printf "%14s   whitelisted %s: %s\n" "" frag why)
+        r.whitelist)
+    Lint.rules
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--rules" args then begin
+    print_rules ();
+    exit 0
+  end;
+  let roots = match args with [] -> [ "lib"; "bin" ] | roots -> roots in
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Printf.printf "dt_lint: no such path %S\n" root;
+        exit 2
+      end)
+    roots;
+  let files = List.rev (List.fold_left collect [] roots) in
+  let total = ref 0 and whitelisted = ref 0 in
+  List.iter
+    (fun file ->
+      let findings, suppressed = Lint.lint_file file in
+      whitelisted := !whitelisted + suppressed;
+      List.iter
+        (fun (f : Lint.finding) ->
+          incr total;
+          Printf.printf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.rule f.msg)
+        findings)
+    files;
+  Printf.printf "dt_lint: %d files, %d findings, %d whitelisted\n"
+    (List.length files) !total !whitelisted;
+  exit (if !total = 0 then 0 else 1)

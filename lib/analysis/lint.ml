@@ -1,0 +1,277 @@
+(* AST-level repo lint for the DiffTune numeric substrate.
+
+   Built directly on compiler-libs.common (Parse + Ast_iterator), no
+   external dependencies.  The rules are repo-specific: each encodes a
+   defect class that has bitten (or nearly bitten) this codebase — see
+   DESIGN.md "Correctness tooling" for the catalogue and the whitelist
+   policy.  The [bin/dt_lint] driver walks lib/ and bin/ and fails the
+   @lint alias on any non-whitelisted finding. *)
+
+open Parsetree
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+}
+
+type rule = {
+  name : string;
+  summary : string;
+  in_scope : string -> bool; (* normalized repo-relative path *)
+  whitelist : (string * string) list; (* path fragment, justification *)
+}
+
+(* [contains hay needle] — plain substring test, so whitelist entries can
+   be directory prefixes ("lib/util/") or file suffixes alike. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let everywhere _ = true
+
+(* The paths where iteration order feeds gradient reduction, pooled
+   work distribution, or checkpoint contents — nondeterminism there
+   breaks the bit-identical-across-domain-counts guarantee from PR 1. *)
+let substrate_paths path =
+  List.exists
+    (fun p -> contains path p)
+    [
+      "lib/util/";
+      "lib/tensor/";
+      "lib/autodiff/";
+      "lib/nn/";
+      "lib/surrogate/";
+      "lib/difftune/";
+    ]
+
+let float_eq_rule =
+  {
+    name = "float-eq";
+    summary =
+      "polymorphic =/<> against a float expression; exact float equality \
+       is almost always a rounding bug — use Float.equal or an epsilon";
+    in_scope = everywhere;
+    whitelist =
+      [
+        ( "lib/tensor/tensor.ml",
+          "beta = 0.0 / x <> 0.0 dispatch in the gemv/gemv_t/ger kernels is \
+           an intentional exact-value fast path (skip-zero, \
+           overwrite-vs-accumulate), not a tolerance comparison" );
+      ];
+  }
+
+let catch_all_rule =
+  {
+    name = "catch-all";
+    summary =
+      "try ... with _ -> swallows every exception, including \
+       Out_of_memory, Stack_overflow and injected faults; match the \
+       exceptions you expect, or bind and reraise";
+    in_scope = everywhere;
+    whitelist = [];
+  }
+
+let hashtbl_order_rule =
+  {
+    name = "hashtbl-order";
+    summary =
+      "Hashtbl.iter/fold enumerate in unspecified hash order; in \
+       gradient-reduction / pool / checkpoint paths this breaks the \
+       deterministic ordered reduction — iterate a sorted or insertion- \
+       ordered structure instead";
+    in_scope = substrate_paths;
+    whitelist = [];
+  }
+
+let unsafe_index_rule =
+  {
+    name = "unsafe-index";
+    summary =
+      "unsafe_get/unsafe_set skip bounds checks; outside the audited \
+       kernel files an index bug corrupts arena memory silently (the \
+       PR 2 gemv class) — use checked accessors";
+    in_scope = everywhere;
+    whitelist =
+      [
+        ("lib/tensor/tensor.ml", "audited kernel file (gemv/ger/axpy loops)");
+        ("lib/autodiff/ad.ml", "audited kernel file (tape op forward/backward)");
+        ("lib/nn/nn.ml",
+         "audited kernel file (Adam update; checked path under sanitize)");
+      ];
+  }
+
+let bare_eprintf_rule =
+  {
+    name = "bare-eprintf";
+    summary =
+      "direct eprintf scatters diagnostics; route library messages \
+       through Dt_util.Log (or an explicit config.log callback) so \
+       output stays controllable";
+    in_scope = everywhere;
+    whitelist =
+      [ ("lib/util/", "Dt_util.Log owns the actual stderr writes") ];
+  }
+
+let rules =
+  [
+    float_eq_rule;
+    catch_all_rule;
+    hashtbl_order_rule;
+    unsafe_index_rule;
+    bare_eprintf_rule;
+  ]
+
+(* ---- detection helpers ---- *)
+
+let last_of = function
+  | Longident.Lident s | Longident.Ldot (_, s) -> Some s
+  | Longident.Lapply _ -> None
+
+let ident_of e =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some txt | _ -> None
+
+(* Syntactic "this expression is a float": literal, float operator
+   application, or a Float.* call.  Conservative on purpose — type
+   information is not available at the AST level. *)
+let rec floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply (f, args) -> (
+      match ident_of f with
+      | Some (Longident.Lident ("~-." | "~+.")) -> (
+          match args with [ (_, a) ] -> floatish a | _ -> false)
+      | Some (Longident.Lident ("+." | "-." | "*." | "/." | "**")) -> true
+      | Some (Longident.Lident ("float_of_int" | "sqrt" | "exp" | "log")) ->
+          true
+      | Some (Longident.Ldot (Longident.Lident "Float", _)) -> true
+      | _ -> false)
+  | _ -> false
+
+let is_poly_eq li =
+  match li with
+  | Longident.Lident ("=" | "<>")
+  | Longident.Ldot (Longident.Lident "Stdlib", ("=" | "<>")) ->
+      true
+  | _ -> false
+
+let rec pattern_catches_all p =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_or (a, b) -> pattern_catches_all a || pattern_catches_all b
+  | _ -> false
+
+(* ---- the walk ---- *)
+
+let lint_ast ~path ast =
+  let findings = ref [] and suppressed = ref 0 in
+  let add rule loc msg =
+    if rule.in_scope path then
+      if List.exists (fun (frag, _) -> contains path frag) rule.whitelist then
+        incr suppressed
+      else
+        let pos = loc.Location.loc_start in
+        findings :=
+          {
+            rule = rule.name;
+            file = path;
+            line = pos.Lexing.pos_lnum;
+            col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+            msg;
+          }
+          :: !findings
+  in
+  let expr sub e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, [ (_, a); (_, b) ])
+      when (match ident_of f with
+           | Some li -> is_poly_eq li
+           | None -> false)
+           && (floatish a || floatish b) ->
+        add float_eq_rule e.pexp_loc
+          "float compared with polymorphic =/<>; use Float.equal, an \
+           epsilon, or classify with Float.classify_float"
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            if pattern_catches_all c.pc_lhs then
+              add catch_all_rule c.pc_lhs.ppat_loc
+                "catch-all exception handler ('with _ ->') swallows \
+                 unexpected failures; name the exceptions this code can \
+                 actually recover from")
+          cases
+    | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Hashtbl", fn); loc }
+      when fn = "iter" || fn = "fold" ->
+        add hashtbl_order_rule loc
+          (Printf.sprintf
+             "Hashtbl.%s iterates in unspecified order inside the \
+              deterministic numeric substrate; sort keys first or use an \
+              ordered container"
+             fn)
+    | Pexp_ident { txt; loc } -> (
+        (match last_of txt with
+        | Some
+            (("unsafe_get" | "unsafe_set" | "unsafe_get1" | "unsafe_set1"
+             | "unsafe_blit" | "unsafe_fill") as fn) ->
+            add unsafe_index_rule loc
+              (Printf.sprintf
+                 "%s outside the audited kernel whitelist; a bad index \
+                  silently corrupts shared arena memory"
+                 fn)
+        | _ -> ());
+        match txt with
+        | Longident.Ldot (Longident.Lident ("Printf" | "Format"), "eprintf")
+        | Longident.Lident "eprintf" ->
+            add bare_eprintf_rule loc
+              "bare eprintf; route diagnostics through Dt_util.Log or a \
+               config.log callback"
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr sub e
+  in
+  let iterator = { Ast_iterator.default_iterator with expr } in
+  iterator.structure iterator ast;
+  let ordered =
+    List.sort
+      (fun a b -> compare (a.line, a.col, a.rule) (b.line, b.col, b.rule))
+      !findings
+  in
+  (ordered, !suppressed)
+
+let lint_string ~path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast -> lint_ast ~path ast
+  | exception Syntaxerr.Error _ ->
+      ( [
+          {
+            rule = "parse-error";
+            file = path;
+            line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum;
+            col = 0;
+            msg = "file does not parse as OCaml; dt_lint cannot analyse it";
+          };
+        ],
+        0 )
+  | exception e ->
+      ( [
+          {
+            rule = "parse-error";
+            file = path;
+            line = 1;
+            col = 0;
+            msg = Printf.sprintf "parser failed: %s" (Printexc.to_string e);
+          };
+        ],
+        0 )
+
+let lint_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  lint_string ~path src

@@ -1,0 +1,40 @@
+(** AST-level repo lint (the static half of the PR 3 analysis suite).
+
+    Parses OCaml sources with compiler-libs and walks them with
+    {!Ast_iterator}, applying repo-specific rules: float [=]/[<>]
+    comparisons, catch-all exception handlers, order-dependent
+    [Hashtbl.iter]/[fold] in the deterministic numeric substrate,
+    [unsafe_get]/[unsafe_set] outside the audited kernel files, and bare
+    [eprintf] outside [lib/util].  Whitelists are part of the rule
+    definitions and carry a written justification; see DESIGN.md
+    "Correctness tooling". *)
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int; (* 1-based *)
+  col : int; (* 0-based *)
+  msg : string;
+}
+
+type rule = {
+  name : string;
+  summary : string;
+  in_scope : string -> bool;
+      (** whether the rule applies to a repo-relative path *)
+  whitelist : (string * string) list;
+      (** (path fragment, justification); matching files suppress
+          findings of this rule, counted separately *)
+}
+
+(** The rule catalogue, in reporting order. *)
+val rules : rule list
+
+(** [lint_string ~path src] lints source text as though it lived at
+    [path] (scoping and whitelists key off the path).  Returns findings
+    ordered by position plus the count of whitelisted (suppressed)
+    findings.  Unparseable input yields a single [parse-error] finding. *)
+val lint_string : path:string -> string -> finding list * int
+
+(** [lint_file path] reads and lints one file; see {!lint_string}. *)
+val lint_file : string -> finding list * int

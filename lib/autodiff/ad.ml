@@ -4,7 +4,19 @@ module T = Dt_tensor.Tensor
    the kind with direct loops (no per-element closure calls). *)
 type ukind = Sigmoid | Tanh | Relu | Abs | Expc | Affine of float * float
 
-type node = { value : T.t; grad : T.t; op : op }
+(* [ctx_id]/[gen] stamp where and when a node was built so sanitize mode
+   can reject stale nodes ([gen] older than the context's) and nodes fed
+   to a foreign context.  Leaves carry [ctx_id = -1]: they own external
+   buffers and survive resets.  [mark] is scratch for the gradient-flow
+   audit (tape nodes are context-private, so marking is race-free). *)
+type node = {
+  value : T.t;
+  grad : T.t;
+  op : op;
+  ctx_id : int;
+  gen : int;
+  mutable mark : int;
+}
 
 and op =
   | Leaf
@@ -27,31 +39,165 @@ type ctx = {
   mutable used : int; (* floats handed out from [buf] *)
   mutable tape : node array;
   mutable count : int;
+  id : int;
+  mutable gen : int; (* bumped by [reset]; stamped onto new nodes *)
+  mutable audit_token : int; (* distinct mark per gradient-flow audit *)
+  mutable last_flow : flow_report option;
 }
 
+and flow_report = {
+  tape_nodes : int;
+  live : int;
+  dead : int;
+  dead_ops : (string * int) list;
+}
+
+(* ---- sanitize mode ----
+
+   Off by default; enabled by DIFFTUNE_SANITIZE=1 or [set_sanitize].
+   Correct code behaves identically with it on — it only adds checks:
+   operand generation/context validation, shape inference with
+   op-qualified messages, arena poisoning on reset plus a post-op poison
+   scan, and a gradient-flow audit after every [backward]. *)
+
+exception Shape_error of string
+exception Use_after_reset of string
+exception Uninitialized_read of string
+
+let sanitize =
+  ref
+    (match Sys.getenv_opt "DIFFTUNE_SANITIZE" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | _ -> false)
+
+let set_sanitize b = sanitize := b
+let sanitize_enabled () = !sanitize
+
 let initial_arena = 8192
+let ctx_counter = Atomic.make 0
 
 let dummy =
   let z = T.scalar 0.0 in
-  { value = z; grad = z; op = Leaf }
+  { value = z; grad = z; op = Leaf; ctx_id = -1; gen = 0; mark = 0 }
 
 let new_ctx () =
+  let buf =
+    Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout initial_arena
+  in
+  if !sanitize then T.fill_poison_buf buf ~pos:0 ~len:initial_arena;
   {
-    buf = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout initial_arena;
+    buf;
     used = 0;
     tape = Array.make 256 dummy;
     count = 0;
+    id = Atomic.fetch_and_add ctx_counter 1;
+    gen = 0;
+    audit_token = 0;
+    last_flow = None;
   }
 
 let reset ctx =
+  (* Poison the high-water region first so any node that survives the
+     reset reads NaN payloads instead of plausible stale values. *)
+  if !sanitize then T.fill_poison_buf ctx.buf ~pos:0 ~len:ctx.used;
   ctx.used <- 0;
-  ctx.count <- 0
+  ctx.count <- 0;
+  ctx.gen <- ctx.gen + 1
 
 let tape_size ctx = ctx.count
 let arena_capacity ctx = Bigarray.Array1.dim ctx.buf
 
 let value n = n.value
 let grad n = n.grad
+
+(* ---- sanitize checks ---- *)
+
+let op_name = function
+  | Leaf -> "leaf"
+  | Const -> "const"
+  | Matvec _ -> "matvec"
+  | Row _ -> "row"
+  | Add _ -> "add"
+  | Mul _ -> "mul"
+  | Concat _ -> "concat"
+  | Slice _ -> "slice"
+  | Unary (_, Sigmoid) -> "sigmoid"
+  | Unary (_, Tanh) -> "tanh"
+  | Unary (_, Relu) -> "relu"
+  | Unary (_, Abs) -> "abs"
+  | Unary (_, Expc) -> "exp"
+  | Unary (_, Affine _) -> "affine"
+  | Max2 _ -> "max2"
+  | Div _ -> "div"
+  | SumAll _ -> "sum_all"
+  | ReduceMax _ -> "reduce_max"
+  | Mape _ -> "mape"
+
+let operands = function
+  | Leaf | Const -> []
+  | Matvec (a, b) | Add (a, b) | Mul (a, b) | Max2 (a, b) | Div (a, b) ->
+      [ a; b ]
+  | Row (a, _)
+  | Slice (a, _)
+  | Unary (a, _)
+  | SumAll a
+  | ReduceMax (a, _)
+  | Mape (a, _) ->
+      [ a ]
+  | Concat parts -> Array.to_list parts
+
+let shape_str (t : T.t) = Printf.sprintf "%dx%d" t.T.rows t.T.cols
+
+let san_operand ctx name n =
+  if n.ctx_id >= 0 then
+    if n.ctx_id <> ctx.id then
+      raise
+        (Use_after_reset
+           (Printf.sprintf
+              "Ad.%s: %s operand (shape %s) belongs to context %d, not this \
+               context (%d); nodes must not cross workspaces"
+              name (op_name n.op) (shape_str n.value) n.ctx_id ctx.id))
+    else if n.gen <> ctx.gen then
+      raise
+        (Use_after_reset
+           (Printf.sprintf
+              "Ad.%s: %s operand (shape %s) was built in generation %d but \
+               the context is at generation %d; its arena slot has been \
+               recycled by Ad.reset"
+              name (op_name n.op) (shape_str n.value) n.gen ctx.gen))
+
+let san_vector name what n =
+  if n.value.T.rows <> 1 then
+    raise
+      (Shape_error
+         (Printf.sprintf
+            "Ad.%s: %s is %s (a %s node), expected a row vector 1xN" name what
+            (shape_str n.value) (op_name n.op)))
+
+let san_same ctx name a b =
+  san_operand ctx name a;
+  san_operand ctx name b;
+  if not (T.same_shape a.value b.value) then
+    raise
+      (Shape_error
+         (Printf.sprintf "Ad.%s: operand shapes %s and %s differ" name
+            (shape_str a.value) (shape_str b.value)))
+
+(* Post-op poison scan: an output element holding the poison payload
+   means the op read memory never written since the last reset. *)
+let san_output name n =
+  (match T.find_poison n.value with
+  | Some k ->
+      raise
+        (Uninitialized_read
+           (Printf.sprintf
+              "Ad.%s: output element %d of %s holds the arena poison \
+               pattern; the op read uninitialized or recycled workspace \
+               memory (use-before-write, e.g. a beta-accumulating gemv \
+               into a fresh slot)"
+              name k (shape_str n.value)))
+  | None -> ());
+  n
 
 let scalar_value n =
   if T.size n.value <> 1 then invalid_arg "Ad.scalar_value: not a scalar";
@@ -66,6 +212,7 @@ let alloc ctx ~rows ~cols =
   if ctx.used + size > Bigarray.Array1.dim ctx.buf then begin
     let cap = max (2 * Bigarray.Array1.dim ctx.buf) (max size initial_arena) in
     ctx.buf <- Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout cap;
+    if !sanitize then T.fill_poison_buf ctx.buf ~pos:0 ~len:cap;
     ctx.used <- 0
   end;
   let off = ctx.used in
@@ -90,32 +237,78 @@ let record ctx n =
 let leaf ~value ~grad =
   if not (T.same_shape value grad) then
     invalid_arg "Ad.leaf: value/grad shape mismatch";
-  { value; grad; op = Leaf }
+  { value; grad; op = Leaf; ctx_id = -1; gen = 0; mark = 0 }
 
 let constant ctx t =
   let value = alloc ctx ~rows:t.T.rows ~cols:t.T.cols in
   T.blit ~src:t ~dst:value;
   record ctx
-    { value; grad = alloc_grad ctx ~rows:t.T.rows ~cols:t.T.cols; op = Const }
+    {
+      value;
+      grad = alloc_grad ctx ~rows:t.T.rows ~cols:t.T.cols;
+      op = Const;
+      ctx_id = ctx.id;
+      gen = ctx.gen;
+      mark = 0;
+    }
 
 let scalar ctx v =
   let value = alloc ctx ~rows:1 ~cols:1 in
   T.unsafe_set1 value 0 v;
-  record ctx { value; grad = alloc_grad ctx ~rows:1 ~cols:1; op = Const }
-
-(* Fresh value+grad slots for an op producing a rows x cols output. *)
-let make ctx ~rows ~cols op =
   record ctx
-    { value = alloc ctx ~rows ~cols; grad = alloc_grad ctx ~rows ~cols; op }
+    {
+      value;
+      grad = alloc_grad ctx ~rows:1 ~cols:1;
+      op = Const;
+      ctx_id = ctx.id;
+      gen = ctx.gen;
+      mark = 0;
+    }
+
+(* Fresh value+grad slots for an op producing a rows x cols output.  In
+   sanitize mode every operand's context/generation stamp is validated
+   here, so no op can consume a stale or foreign node. *)
+let make ctx ~rows ~cols op =
+  if !sanitize then List.iter (san_operand ctx (op_name op)) (operands op);
+  record ctx
+    {
+      value = alloc ctx ~rows ~cols;
+      grad = alloc_grad ctx ~rows ~cols;
+      op;
+      ctx_id = ctx.id;
+      gen = ctx.gen;
+      mark = 0;
+    }
 
 (* Ops whose value is a zero-copy view into the operand's value. *)
 let make_view ctx ~view ~rows ~cols op =
-  record ctx { value = view; grad = alloc_grad ctx ~rows ~cols; op }
+  if !sanitize then List.iter (san_operand ctx (op_name op)) (operands op);
+  record ctx
+    {
+      value = view;
+      grad = alloc_grad ctx ~rows ~cols;
+      op;
+      ctx_id = ctx.id;
+      gen = ctx.gen;
+      mark = 0;
+    }
 
 let matvec ctx ~m ~x =
+  if !sanitize then begin
+    san_vector "matvec" "x" x;
+    if x.value.T.cols <> m.value.T.cols then
+      raise
+        (Shape_error
+           (Printf.sprintf "Ad.matvec: m is %s, x is %s (expected 1x%d)"
+              (shape_str m.value) (shape_str x.value) m.value.T.cols))
+  end;
   let out_dim = m.value.T.rows in
   let n = make ctx ~rows:1 ~cols:out_dim (Matvec (m, x)) in
-  T.gemv ~m:m.value ~x:x.value ~y:n.value ~beta:0.0;
+  (* Fault site: reintroduces the PR 2 gemv bug (accumulate into a fresh
+     arena slot) so the fault matrix can exercise the poison detector. *)
+  let beta = if Dt_util.Faultsim.fire "ad.gemv_beta" then 1.0 else 0.0 in
+  T.gemv ~m:m.value ~x:x.value ~y:n.value ~beta;
+  if !sanitize then ignore (san_output "matvec" n);
   n
 
 let row ctx ~m i =
@@ -124,20 +317,30 @@ let row ctx ~m i =
   make_view ctx ~view:(T.row_view m.value i) ~rows:1 ~cols (Row (m, i))
 
 let add ctx a b =
+  if !sanitize then san_same ctx "add" a b;
   if not (T.same_shape a.value b.value) then invalid_arg "Ad.add: shape mismatch";
   let n = make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (Add (a, b)) in
   T.add_ ~dst:n.value ~a:a.value ~b:b.value;
+  if !sanitize then ignore (san_output "add" n);
   n
 
 let mul ctx a b =
+  if !sanitize then san_same ctx "mul" a b;
   if not (T.same_shape a.value b.value) then invalid_arg "Ad.mul: shape mismatch";
   let n = make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (Mul (a, b)) in
   T.mul_ ~dst:n.value ~a:a.value ~b:b.value;
+  if !sanitize then ignore (san_output "mul" n);
   n
 
 let concat ctx parts =
   if parts = [] then invalid_arg "Ad.concat: empty";
   let parts = Array.of_list parts in
+  (* Concatenating a matrix silently flattens it row-major — almost
+     always a bug in calling code; only sanitize mode rejects it. *)
+  if !sanitize then
+    Array.iteri
+      (fun i p -> san_vector "concat" (Printf.sprintf "part %d" i) p)
+      parts;
   let total = Array.fold_left (fun acc p -> acc + T.size p.value) 0 parts in
   let n = make ctx ~rows:1 ~cols:total (Concat parts) in
   let off = ref 0 in
@@ -147,9 +350,21 @@ let concat ctx parts =
       T.blit_sub ~src:p.value ~spos:0 ~dst:n.value ~dpos:!off ~len:k;
       off := !off + k)
     parts;
+  if !sanitize then ignore (san_output "concat" n);
   n
 
 let slice ctx v ~pos ~len =
+  (* Slicing a matrix treats it as a flat vector and can span rows;
+     sanitize mode insists on a row-vector operand. *)
+  if !sanitize then begin
+    san_vector "slice" "operand" v;
+    if pos < 0 || len <= 0 || pos + len > T.size v.value then
+      raise
+        (Shape_error
+           (Printf.sprintf
+              "Ad.slice: window [%d, %d) out of range for operand %s" pos
+              (pos + len) (shape_str v.value)))
+  end;
   if pos < 0 || len <= 0 || pos + len > T.size v.value then
     invalid_arg "Ad.slice: out of range";
   make_view ctx ~view:(T.sub v.value ~pos ~len) ~rows:1 ~cols:len
@@ -263,6 +478,7 @@ let unary ctx v kind =
     make ctx ~rows:v.value.T.rows ~cols:v.value.T.cols (Unary (v, kind))
   in
   unary_forward kind ~src:v.value ~dst:n.value;
+  if !sanitize then ignore (san_output (op_name n.op) n);
   n
 
 let sigmoid ctx v = unary ctx v Sigmoid
@@ -274,6 +490,7 @@ let affine ctx v ~mul ~add = unary ctx v (Affine (mul, add))
 let scale ctx v alpha = unary ctx v (Affine (alpha, 0.0))
 
 let max2 ctx a b =
+  if !sanitize then san_same ctx "max2" a b;
   if not (T.same_shape a.value b.value) then
     invalid_arg "Ad.max2: shape mismatch";
   let n = make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (Max2 (a, b)) in
@@ -281,19 +498,23 @@ let max2 ctx a b =
     T.unsafe_set1 n.value i
       (Float.max (T.unsafe_get1 a.value i) (T.unsafe_get1 b.value i))
   done;
+  if !sanitize then ignore (san_output "max2" n);
   n
 
 let div ctx a b =
+  if !sanitize then san_same ctx "div" a b;
   if not (T.same_shape a.value b.value) then invalid_arg "Ad.div: shape mismatch";
   let n = make ctx ~rows:a.value.T.rows ~cols:a.value.T.cols (Div (a, b)) in
   for i = 0 to T.size a.value - 1 do
     T.unsafe_set1 n.value i (T.unsafe_get1 a.value i /. T.unsafe_get1 b.value i)
   done;
+  if !sanitize then ignore (san_output "div" n);
   n
 
 let sum_all ctx v =
   let n = make ctx ~rows:1 ~cols:1 (SumAll v) in
   T.unsafe_set1 n.value 0 (T.sum v.value);
+  if !sanitize then ignore (san_output "sum_all" n);
   n
 
 let reduce_max ctx v =
@@ -306,11 +527,17 @@ let reduce_max ctx v =
   n
 
 let mape ctx pred ~target =
+  if !sanitize && T.size pred.value <> 1 then
+    raise
+      (Shape_error
+         (Printf.sprintf "Ad.mape: prediction is %s, expected a 1x1 scalar"
+            (shape_str pred.value)));
   if T.size pred.value <> 1 then invalid_arg "Ad.mape: prediction not scalar";
   if target <= 0.0 then invalid_arg "Ad.mape: target must be positive";
   let n = make ctx ~rows:1 ~cols:1 (Mape (pred, target)) in
   T.unsafe_set1 n.value 0
     (Float.abs (T.unsafe_get1 pred.value 0 -. target) /. target);
+  if !sanitize then ignore (san_output "mape" n);
   n
 
 (* ---- reverse pass ---- *)
@@ -381,9 +608,62 @@ let backprop n =
       T.unsafe_set1 pred.grad 0
         (T.unsafe_get1 pred.grad 0 +. (T.unsafe_get1 n.grad 0 *. sign /. target))
 
+(* ---- gradient-flow audit ----
+
+   Marks every node reachable from [root] through operand edges, then
+   scans the tape for unmarked ("dead") nodes: work that was recorded
+   but cannot receive gradient from this loss — typically a detached
+   subgraph from a bug in graph construction.  Reporting only; correct
+   programs may legitimately build side computations. *)
+
+let flow_audit ctx root =
+  ctx.audit_token <- ctx.audit_token + 1;
+  let tok = ctx.audit_token in
+  let stack = ref [ root ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+        stack := rest;
+        if n.mark <> tok then begin
+          n.mark <- tok;
+          List.iter
+            (fun o ->
+              (* Leaves are shared across contexts; skip marking them. *)
+              if o.ctx_id >= 0 && o.mark <> tok then stack := o :: !stack)
+            (operands n.op)
+        end
+  done;
+  let live = ref 0 in
+  let dead = ref [] in
+  let dead_total = ref 0 in
+  for i = 0 to ctx.count - 1 do
+    let n = ctx.tape.(i) in
+    if n.mark = tok then incr live
+    else begin
+      incr dead_total;
+      let name = op_name n.op in
+      dead :=
+        (match List.assoc_opt name !dead with
+        | Some count -> (name, count + 1) :: List.remove_assoc name !dead
+        | None -> (name, 1) :: !dead)
+    end
+  done;
+  let dead_ops = List.sort compare !dead in
+  {
+    tape_nodes = ctx.count;
+    live = !live;
+    dead = !dead_total;
+    dead_ops;
+  }
+
+let last_flow_report ctx = ctx.last_flow
+
 let backward ctx loss =
+  if !sanitize then san_operand ctx "backward" loss;
   if T.size loss.value <> 1 then invalid_arg "Ad.backward: loss not scalar";
   T.unsafe_set1 loss.grad 0 1.0;
   for i = ctx.count - 1 downto 0 do
     backprop ctx.tape.(i)
-  done
+  done;
+  if !sanitize then ctx.last_flow <- Some (flow_audit ctx loss)

@@ -18,6 +18,57 @@
 type ctx
 type node
 
+(* ---- sanitize mode ----
+
+   A debug mode (off by default) that turns silent workspace-corruption
+   bugs into immediate exceptions.  Enabled by [DIFFTUNE_SANITIZE=1] in
+   the environment or {!set_sanitize}.  When on:
+
+   - every op validates operand shapes and raises {!Shape_error} with
+     the op name and the offending shapes — including cases the fast
+     path accepts silently (e.g. concatenating or slicing a matrix,
+     which flattens it row-major);
+   - every node carries a context/generation stamp; feeding a node
+     created before the last {!reset} (or belonging to another context)
+     to any op raises {!Use_after_reset} instead of silently reading
+     recycled arena memory;
+   - {!reset} fills the arena's high-water region with a recognizable
+     quiet-NaN payload ({!Dt_tensor.Tensor.poison}) and every op scans
+     its output for it, so reads of never-written workspace memory (the
+     gemv beta-accumulate class) raise {!Uninitialized_read} at the op
+     that performed them;
+   - {!backward} runs a gradient-flow audit afterwards, recording tape
+     nodes that cannot receive gradient from the loss (detached
+     subgraphs); see {!last_flow_report}.
+
+   Correct programs behave identically with sanitize on or off, just
+   slower; see BENCH_PR3.json for the measured overhead. *)
+
+exception Shape_error of string
+exception Use_after_reset of string
+exception Uninitialized_read of string
+
+val set_sanitize : bool -> unit
+val sanitize_enabled : unit -> bool
+
+(** Result of a gradient-flow audit: [dead] tape nodes are recorded ops
+    that gradient from the audited loss can never reach, aggregated per
+    op name in [dead_ops] (sorted, deterministic). *)
+type flow_report = {
+  tape_nodes : int;
+  live : int;
+  dead : int;
+  dead_ops : (string * int) list;
+}
+
+(** [flow_audit ctx root] audits reachability of every tape node from
+    [root] through operand edges.  Pure reporting; never raises. *)
+val flow_audit : ctx -> node -> flow_report
+
+(** Report stored by the last {!backward} run with sanitize mode on;
+    [None] before any such run or with sanitize off. *)
+val last_flow_report : ctx -> flow_report option
+
 val new_ctx : unit -> ctx
 
 (** [reset ctx] rewinds the workspace: the tape empties and the arena's

@@ -113,7 +113,8 @@ let kendall_tau xs ys =
   let denom =
     sqrt ((to_f n_pairs -. to_f tx) *. (to_f n_pairs -. to_f ty))
   in
-  if denom = 0.0 then 0.0 else (concordant -. to_f discordant) /. denom
+  if Float.equal denom 0.0 then 0.0
+  else (concordant -. to_f discordant) /. denom
 
 let kendall_tau_naive xs ys =
   check_pair "Metrics.kendall_tau_naive" xs ys;
@@ -134,7 +135,7 @@ let kendall_tau_naive xs ys =
   let denom =
     sqrt ((c +. d +. float_of_int !tx) *. (c +. d +. float_of_int !ty))
   in
-  if denom = 0.0 then 0.0 else (c -. d) /. denom
+  if Float.equal denom 0.0 then 0.0 else (c -. d) /. denom
 
 let bootstrap_ci rng ~resamples values =
   if Array.length values = 0 then invalid_arg "Metrics.bootstrap_ci: empty";

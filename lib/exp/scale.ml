@@ -7,8 +7,7 @@ type t = {
   seeds : int list;
 }
 
-let log_progress msg =
-  Printf.eprintf "    [%s]\n%!" msg
+let log_progress msg = Dt_util.Log.status "    [%s]" msg
 
 let smoke =
   {
@@ -90,5 +89,5 @@ let from_env () =
   | Some "smoke" -> smoke
   | Some "quick" | None -> quick
   | Some other ->
-      Printf.eprintf "unknown DIFFTUNE_SCALE %S, using quick\n%!" other;
+      Dt_util.Log.warn "unknown DIFFTUNE_SCALE %S, using quick" other;
       quick

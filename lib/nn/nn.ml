@@ -246,18 +246,34 @@ module Optimizer = struct
                   m
             in
             let m = find a.m and v = find a.v in
-            for i = 0 to T.size value - 1 do
-              let g = T.unsafe_get1 grad i *. scale in
-              let mi = (beta1 *. T.unsafe_get1 m i) +. ((1.0 -. beta1) *. g) in
-              let vi =
-                (beta2 *. T.unsafe_get1 v i) +. ((1.0 -. beta2) *. g *. g)
-              in
-              T.unsafe_set1 m i mi;
-              T.unsafe_set1 v i vi;
-              let mhat = mi /. bc1 in
-              let vhat = vi /. bc2 in
-              T.unsafe_set1 value i
-                (T.unsafe_get1 value i -. (t.lr *. mhat /. (sqrt vhat +. eps)))
-            done));
+            if Ad.sanitize_enabled () then
+              (* Bounds- and contiguity-checked debug path: same update,
+                 but a moment tensor whose shape drifted out of sync with
+                 its parameter raises instead of corrupting memory. *)
+              for i = 0 to T.size value - 1 do
+                let g = T.get1 grad i *. scale in
+                let mi = (beta1 *. T.get1 m i) +. ((1.0 -. beta1) *. g) in
+                let vi = (beta2 *. T.get1 v i) +. ((1.0 -. beta2) *. g *. g) in
+                T.set1 m i mi;
+                T.set1 v i vi;
+                let mhat = mi /. bc1 in
+                let vhat = vi /. bc2 in
+                T.set1 value i
+                  (T.get1 value i -. (t.lr *. mhat /. (sqrt vhat +. eps)))
+              done
+            else
+              for i = 0 to T.size value - 1 do
+                let g = T.unsafe_get1 grad i *. scale in
+                let mi = (beta1 *. T.unsafe_get1 m i) +. ((1.0 -. beta1) *. g) in
+                let vi =
+                  (beta2 *. T.unsafe_get1 v i) +. ((1.0 -. beta2) *. g *. g)
+                in
+                T.unsafe_set1 m i mi;
+                T.unsafe_set1 v i vi;
+                let mhat = mi /. bc1 in
+                let vhat = vi /. bc2 in
+                T.unsafe_set1 value i
+                  (T.unsafe_get1 value i -. (t.lr *. mhat /. (sqrt vhat +. eps)))
+              done));
     Store.zero_grads t.store
 end

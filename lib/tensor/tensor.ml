@@ -375,6 +375,40 @@ let sum t =
   done;
   !acc
 
+(* ---- debug poison (sanitize mode support) ----
+
+   A quiet NaN with a recognizable payload.  The autodiff arena fills
+   recycled memory with this value on reset; any kernel that reads an
+   uninitialized slot (the gemv beta-accumulate class) propagates the
+   payload into its output, where the sanitizer's post-op scan catches
+   it.  The bit-exact payload check keeps the detector from firing on
+   NaNs produced by legitimate arithmetic (e.g. injected fault NaNs or
+   divergent training), whose payloads differ. *)
+
+let poison_bits = 0x7FF8DEADDEADDEADL
+let poison = Int64.float_of_bits poison_bits
+let is_poison x = Int64.equal (Int64.bits_of_float x) poison_bits
+
+let fill_poison_buf (b : buf) ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim b then
+    invalid_arg "Tensor.fill_poison_buf: range";
+  for k = pos to pos + len - 1 do
+    Bigarray.Array1.unsafe_set b k poison
+  done
+
+let find_poison t =
+  let n = size t in
+  let rec go k =
+    if k >= n then None
+    else
+      let v =
+        Bigarray.Array1.unsafe_get t.data
+          (t.off + ((k / t.cols) * t.rs) + (k mod t.cols))
+      in
+      if is_poison v then Some k else go (k + 1)
+  in
+  go 0
+
 let to_string t =
   let b = Buffer.create 64 in
   Buffer.add_string b (Printf.sprintf "[%dx%d:" t.rows t.cols);

@@ -132,3 +132,22 @@ val map_ : (float -> float) -> t -> unit
 
 val sum : t -> float
 val to_string : t -> string
+
+(* ---- debug poison (sanitize mode support) ---- *)
+
+(** A quiet NaN with a recognizable bit payload.  The autodiff sanitizer
+    fills recycled arena memory with it so use-before-write bugs trip a
+    post-op scan instead of silently corrupting results. *)
+val poison : float
+
+(** [is_poison x] — bit-exact test against {!poison}.  Legitimate NaNs
+    (injected faults, divergent arithmetic) have different payloads and
+    do not match. *)
+val is_poison : float -> bool
+
+(** [fill_poison_buf b ~pos ~len] fills a raw buffer window with
+    {!poison}; used by the autodiff arena on reset. *)
+val fill_poison_buf : buf -> pos:int -> len:int -> unit
+
+(** [find_poison t] — flat index of the first poisoned element, if any. *)
+val find_poison : t -> int option

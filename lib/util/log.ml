@@ -1,0 +1,8 @@
+(* Central stderr logging.  The dt_lint "bare-eprintf" rule forbids
+   direct Printf.eprintf outside lib/util so diagnostics stay routable:
+   every library message funnels through here (or through an explicit
+   config.log callback, as in Engine/Runner). *)
+
+let warn fmt = Printf.eprintf ("warning: " ^^ fmt ^^ "\n%!")
+let error fmt = Printf.eprintf ("error: " ^^ fmt ^^ "\n%!")
+let status fmt = Printf.eprintf (fmt ^^ "\n%!")

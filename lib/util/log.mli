@@ -1,0 +1,14 @@
+(** Central stderr logging for libraries and executables.
+
+    The repo lint (`dt_lint`, rule [bare-eprintf]) rejects direct
+    [Printf.eprintf] outside [lib/util]; route diagnostics through these
+    instead so output conventions (prefix, flushing) stay in one place. *)
+
+(** [warn fmt ...] — "warning: ..." on stderr, newline + flush appended. *)
+val warn : ('a, out_channel, unit) format -> 'a
+
+(** [error fmt ...] — "error: ..." on stderr, newline + flush appended. *)
+val error : ('a, out_channel, unit) format -> 'a
+
+(** [status fmt ...] — bare message on stderr, newline + flush appended. *)
+val status : ('a, out_channel, unit) format -> 'a

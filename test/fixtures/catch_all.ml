@@ -1,0 +1,4 @@
+(* dt_lint fixture: catch-all should fire twice (plain and or-pattern). *)
+let plain f = try f () with _ -> 0
+let orpat f = try f () with Not_found -> 1 | _ -> 0
+let fine f = try f () with Invalid_argument _ -> 2 | e -> raise e

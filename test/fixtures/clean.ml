@@ -1,0 +1,3 @@
+(* dt_lint fixture: no findings in any rule. *)
+let close a b = Float.abs (a -. b) < 1e-9
+let guarded f = try f () with Failure m -> failwith m

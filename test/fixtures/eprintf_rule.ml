@@ -1,0 +1,3 @@
+(* dt_lint fixture: bare-eprintf fires outside lib/util. *)
+let scream msg = Printf.eprintf "boom: %s\n" msg
+let fine msg = print_endline msg

@@ -1,0 +1,4 @@
+(* dt_lint fixture: float-eq should fire on lines 2 and 3, not line 4. *)
+let direct x = x = 0.0
+let expr x = (x *. 2.0) <> sqrt x
+let fine x = Float.equal x 0.0 && compare x 1.0 > 0

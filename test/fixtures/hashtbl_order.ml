@@ -1,0 +1,4 @@
+(* dt_lint fixture: hashtbl-order fires in substrate paths only. *)
+let sum tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+let touch tbl = Hashtbl.iter (fun _ _ -> ()) tbl
+let fine tbl = Hashtbl.find_opt tbl "key"

@@ -1,0 +1,4 @@
+(* dt_lint fixture: unsafe-index fires outside the kernel whitelist. *)
+let read (a : float array) i = Array.unsafe_get a i
+let write (a : float array) i v = Array.unsafe_set a i v
+let fine (a : float array) i = a.(i)
