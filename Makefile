@@ -1,6 +1,6 @@
 # Convenience targets for the DiffTune reproduction.
 
-.PHONY: all build test lint verify bench bench-full bench-json clean doc quickstart
+.PHONY: all build test lint verify serve-smoke bench bench-full bench-json clean doc quickstart
 
 all: build
 
@@ -14,6 +14,14 @@ test:
 # rules and fails on any non-whitelisted finding.
 lint:
 	dune build @lint
+
+# End-to-end serving smoke: drives the real `difftune_cli serve` daemon
+# over stdio and a Unix socket with worker crashes, a pathologically
+# slow block, and input corruption armed, asserting that every request
+# is answered exactly once (success, labeled fallback, or structured
+# error) and the daemon exits cleanly.
+serve-smoke: build
+	dune build @serve-smoke --force
 
 # Full verification: build, repo lint, the regular test suite, then the
 # fault smoke matrix — every injection site crossed with serial and
@@ -37,6 +45,8 @@ verify: build
 	@echo "== faults=engine.abort@2;grad.nan@3 domains=4 sanitize=1 =="
 	@DIFFTUNE_SANITIZE=1 DIFFTUNE_FAULTS="engine.abort@2;grad.nan@3" \
 	  DIFFTUNE_DOMAINS=4 dune exec test/fault_smoke.exe || exit 1
+	@echo "== serve smoke =="
+	dune build @serve-smoke --force
 	@echo "verify: all fault combinations passed"
 
 bench:

@@ -4,13 +4,49 @@
      dataset    generate and summarize the synthetic BHive corpus
      predict    predict a block's timing with every predictor
      learn      run DiffTune on a simulator spec and report errors
-     experiment run one of the paper's tables/figures (see bench/) *)
+     experiment run one of the paper's tables/figures (see bench/)
+     serve      run the resilient prediction service (stdio or socket)
+
+   Exit-code discipline: structured failures map to distinct nonzero
+   codes with a one-line stderr message — no uncaught-exception
+   backtraces.
+     1  unexpected internal error
+     3  parse error (assembly or CSV input)
+     4  structured pipeline/serving fault (Dt_difftune.Fault)
+     5  validation error (bad arguments or parameter tables)
+   (cmdliner itself reserves 124/125 for CLI usage/internal errors.) *)
 
 open Cmdliner
 
 module Uarch = Dt_refcpu.Uarch
 module Spec = Dt_difftune.Spec
 module Engine = Dt_difftune.Engine
+
+let exit_internal = 1
+let exit_parse = 3
+let exit_fault = 4
+let exit_validation = 5
+
+(* Wraps every subcommand body: one line on stderr, deterministic exit
+   code.  Binds (never wildcards) the final handler so injected faults
+   and genuine crashes still surface with their constructor name. *)
+let guarded f =
+  try f () with
+  | Dt_x86.Parser.Parse_error msg ->
+      Dt_util.Log.error "parse error: %s" msg;
+      exit exit_parse
+  | Dt_difftune.Fault.Error fault ->
+      Dt_util.Log.error "%s" (Dt_difftune.Fault.to_string fault);
+      exit exit_fault
+  | Invalid_argument msg | Failure msg ->
+      Dt_util.Log.error "%s" msg;
+      exit exit_validation
+  | Sys_error msg ->
+      Dt_util.Log.error "%s" msg;
+      exit exit_internal
+  | e ->
+      Dt_util.Log.error "unexpected failure: %s" (Printexc.to_string e);
+      exit exit_internal
 
 let uarch_conv =
   let parse s =
@@ -43,7 +79,7 @@ let dataset_cmd =
          & info [ "export" ] ~docv:"PATH"
              ~doc:"Also write the labeled dataset as BHive-style CSV.")
   in
-  let run uarch size seed export =
+  let run uarch size seed export = guarded @@ fun () ->
     let corpus = Dt_bhive.Dataset.corpus ~seed ~size in
     let ds = Dt_bhive.Dataset.label corpus ~seed:1 ~uarch ~noise:0.01 in
     let s = Dt_bhive.Dataset.summarize ds in
@@ -72,12 +108,21 @@ let block_arg =
        & info [] ~docv:"BLOCK"
            ~doc:"Basic block in AT&T syntax; instructions separated by ';'.")
 
+(* Shared by predict/report: position-carrying parse failure, distinct
+   exit code. *)
+let parse_block_or_exit text =
+  match Dt_x86.Parser.block_result text with
+  | Ok [] ->
+      Dt_util.Log.error "empty block";
+      exit exit_parse
+  | Ok instrs -> Dt_x86.Block.of_list instrs
+  | Error e ->
+      Dt_util.Log.error "parse error at %s" (Dt_x86.Parser.error_to_string e);
+      exit exit_parse
+
 let predict_cmd =
-  let run uarch text =
-    match Dt_x86.Block.parse text with
-    | exception Dt_x86.Parser.Parse_error msg ->
-        Dt_util.Log.error "parse error: %s" msg;
-        exit 1
+  let run uarch text = guarded @@ fun () ->
+    match parse_block_or_exit text with
     | block ->
         let cfg = Uarch.config uarch in
         Printf.printf "block:\n%s\n\n" (Dt_x86.Block.to_string block);
@@ -98,14 +143,10 @@ let predict_cmd =
 (* ---- report ---- *)
 
 let report_cmd =
-  let run uarch text iterations =
-    match Dt_x86.Block.parse text with
-    | exception Dt_x86.Parser.Parse_error msg ->
-        Dt_util.Log.error "parse error: %s" msg;
-        exit 1
-    | block ->
-        let params = Dt_mca.Params.default uarch in
-        print_string (Dt_mca.Report.full params ~iterations block)
+  let run uarch text iterations = guarded @@ fun () ->
+    let block = parse_block_or_exit text in
+    let params = Dt_mca.Params.default uarch in
+    print_string (Dt_mca.Report.full params ~iterations block)
   in
   let iterations_arg =
     Arg.(value & opt int 100
@@ -124,11 +165,11 @@ let measure_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"OPCODE" ~doc:"LLVM-style opcode name, e.g. ADD64rr.")
   in
-  let run uarch name =
+  let run uarch name = guarded @@ fun () ->
     match Dt_x86.Opcode.by_name name with
     | None ->
         Dt_util.Log.error "unknown opcode %S" name;
-        exit 1
+        exit exit_validation
     | Some op ->
         let cfg = Uarch.config uarch in
         let observations = Dt_measure.Measure.latency_observations cfg op in
@@ -197,6 +238,7 @@ let learn_cmd =
                    from the last checkpoint with identical results.")
   in
   let run uarch size seed spec_kind full save checkpoint_dir =
+    guarded @@ fun () ->
     let scale = if full then Dt_exp.Scale.full else Dt_exp.Scale.quick in
     let scale = { scale with corpus_size = size } in
     let corpus = Dt_bhive.Dataset.corpus ~seed ~size in
@@ -271,11 +313,11 @@ let experiment_cmd =
              ~doc:"Checkpoint every DiffTune run under $(docv) so an \
                    interrupted experiment resumes instead of restarting.")
   in
-  let run name checkpoint_dir =
+  let run name checkpoint_dir = guarded @@ fun () ->
     match List.assoc_opt name Dt_exp.Experiments.all with
     | None ->
         Dt_util.Log.error "unknown experiment %S" name;
-        exit 1
+        exit exit_validation
     | Some f ->
         let runner =
           Dt_exp.Runner.create ?checkpoint_dir (Dt_exp.Scale.from_env ())
@@ -287,6 +329,121 @@ let experiment_cmd =
        ~doc:"Reproduce one of the paper's tables or figures")
     Term.(const run $ name_arg $ ckpt_arg)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Serve on a Unix-domain socket at $(docv) instead of \
+                   stdin/stdout.")
+  in
+  let queue_arg =
+    Arg.(value & opt int Dt_serve.Runtime.default_config.queue_capacity
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission-queue capacity; requests beyond it are shed \
+                   with an overloaded response.")
+  in
+  let batch_arg =
+    Arg.(value & opt int Dt_serve.Runtime.default_config.batch
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Requests evaluated per drain across the domain pool.")
+  in
+  let budget_arg =
+    Arg.(value & opt int Dt_serve.Runtime.default_config.cycle_budget
+         & info [ "cycle-budget" ] ~docv:"CYCLES"
+             ~doc:"Per-request simulated-cycle deadline for the mca backend.")
+  in
+  let retries_arg =
+    Arg.(value & opt int Dt_serve.Runtime.default_config.max_retries
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retries (with exponential backoff + jitter) after a \
+                   transient worker fault.")
+  in
+  let threshold_arg =
+    Arg.(value & opt int Dt_serve.Runtime.default_config.breaker_threshold
+         & info [ "breaker-threshold" ] ~docv:"N"
+             ~doc:"Consecutive failures that open a backend's circuit \
+                   breaker.")
+  in
+  let cooldown_arg =
+    Arg.(value & opt float Dt_serve.Runtime.default_config.breaker_cooldown
+         & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+             ~doc:"Open-breaker cooldown before a half-open probe.")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker-domain count (default: DIFFTUNE_DOMAINS or the \
+                   recommended count).")
+  in
+  let surrogate_arg =
+    Arg.(value & flag
+         & info [ "train-surrogate" ]
+             ~doc:"Train a quick Ithemal-style surrogate at startup and \
+                   serve the full surrogate -> mca -> bound degradation \
+                   chain (default chain: mca -> bound).")
+  in
+  let run uarch seed socket queue batch cycle_budget max_retries
+      breaker_threshold breaker_cooldown domains train_surrogate =
+    guarded @@ fun () ->
+    let mca = Dt_serve.Backend.mca uarch in
+    let bound = Dt_serve.Backend.bound uarch in
+    let backends =
+      if not train_surrogate then [ mca; bound ]
+      else begin
+        Dt_util.Log.status "serve: training quick surrogate...";
+        let scale = Dt_exp.Scale.quick in
+        let corpus = Dt_bhive.Dataset.corpus ~seed ~size:120 in
+        let ds = Dt_bhive.Dataset.label corpus ~seed:1 ~uarch ~noise:0.0 in
+        let train =
+          Array.to_list
+            (Array.map
+               (fun (l : Dt_bhive.Dataset.labeled) -> (l.entry.block, l.timing))
+               ds.train)
+        in
+        let cfg = { scale.engine with log = (fun _ -> ()) } in
+        let model = Engine.train_ithemal cfg ~features:None ~train in
+        Dt_util.Log.status "serve: surrogate ready";
+        [ Dt_serve.Backend.surrogate ~features:None model; mca; bound ]
+      end
+    in
+    let cfg =
+      {
+        Dt_serve.Runtime.default_config with
+        queue_capacity = queue;
+        batch;
+        cycle_budget;
+        max_retries;
+        breaker_threshold;
+        breaker_cooldown;
+        seed;
+      }
+    in
+    let pool = Dt_util.Pool.create ?domains () in
+    let rt = Dt_serve.Runtime.create ~pool cfg backends in
+    Fun.protect
+      ~finally:(fun () ->
+        Dt_serve.Runtime.shutdown rt;
+        Dt_util.Pool.shutdown pool)
+      (fun () ->
+        match socket with
+        | Some path ->
+            Dt_util.Log.status "serve: listening on %s (%s)" path
+              (Uarch.uarch_name uarch);
+            Dt_serve.Server.serve_socket rt ~path
+        | None -> Dt_serve.Server.serve_channels rt stdin stdout)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resilient prediction service (newline-delimited \
+             protocol on stdio or a Unix socket): bounded admission \
+             queue, per-request deadlines, retries, circuit breakers \
+             and a labeled degradation chain")
+    Term.(const run $ uarch_arg $ seed_arg $ socket_arg $ queue_arg
+          $ batch_arg $ budget_arg $ retries_arg $ threshold_arg
+          $ cooldown_arg $ domains_arg $ surrogate_arg)
+
 let () =
   let doc = "DiffTune: learning CPU-simulator parameters (MICRO 2020) in OCaml" in
   let info = Cmd.info "difftune" ~version:"1.0.0" ~doc in
@@ -294,4 +451,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ dataset_cmd; predict_cmd; report_cmd; measure_cmd; learn_cmd;
-            experiment_cmd ]))
+            experiment_cmd; serve_cmd ]))

@@ -54,10 +54,40 @@ let parse_csv text =
   |> List.mapi (fun i line -> parse_line (i + 1) line)
   |> Array.of_list
 
-let load path =
+type bad_row = { line : int; reason : string }
+
+(* Quarantining import: a malformed row is recorded, not fatal.  Line
+   numbers are positions in the original text (blank lines counted), so
+   a report points at the actual file line. *)
+let parse_csv_lenient text =
+  let good = ref [] and bad = ref [] in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then
+        match parse_line (i + 1) line with
+        | row -> good := row :: !good
+        | exception Failure reason -> bad := { line = i + 1; reason } :: !bad)
+    (String.split_on_char '\n' text);
+  (Array.of_list (List.rev !good), List.rev !bad)
+
+let read_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      parse_csv (really_input_string ic n))
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  let rows, bad = parse_csv_lenient (read_file path) in
+  if bad <> [] then begin
+    Dt_util.Log.warn "%s: quarantined %d malformed row%s (%d loaded)" path
+      (List.length bad)
+      (if List.length bad = 1 then "" else "s")
+      (Array.length rows);
+    List.iteri
+      (fun i { line; reason } ->
+        if i < 5 then Dt_util.Log.warn "  %s:%d: %s" path line reason)
+      bad
+  end;
+  rows
+
+let load_strict path = parse_csv (read_file path)

@@ -19,5 +19,21 @@ val save : Dataset.t -> string -> unit
     Raises [Failure] with a line diagnostic on malformed records. *)
 val parse_csv : string -> Dataset.labeled array
 
-(** [load path] — {!parse_csv} on a file. *)
+(** A quarantined import row: 1-based line in the original text and the
+    reason it was rejected (bad quoting, bad timing, unparsable asm…). *)
+type bad_row = { line : int; reason : string }
+
+(** [parse_csv_lenient text] reads every well-formed record and
+    quarantines the malformed ones instead of failing the whole file.
+    Never raises on malformed rows. *)
+val parse_csv_lenient : string -> Dataset.labeled array * bad_row list
+
+(** [load path] — lenient file import: malformed rows are quarantined,
+    counted and reported through [Dt_util.Log.warn] (first few with
+    line context), and the well-formed remainder is returned.  A
+    corrupted line no longer loses the dataset. *)
 val load : string -> Dataset.labeled array
+
+(** [load_strict path] — {!parse_csv} on a file: first malformed row
+    raises [Failure]. *)
+val load_strict : string -> Dataset.labeled array

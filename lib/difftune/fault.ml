@@ -12,6 +12,13 @@ type t =
       detail : string;
     }
   | No_training_blocks of { phase : phase; detail : string }
+  (* ---- serving-side taxonomy (Dt_serve) ---- *)
+  | Request_malformed of { detail : string }
+  | Block_unparsable of { line : int; col : int; detail : string }
+  | Deadline_exceeded of { backend : string; cycle_budget : int }
+  | Backend_unavailable of { backend : string; reason : string }
+  | All_backends_failed of { chain : (string * string) list }
+  | Service_overloaded of { capacity : int }
 
 exception Error of t
 
@@ -39,6 +46,21 @@ let to_string = function
   | No_training_blocks { phase; detail } ->
       Printf.sprintf "%s phase has no usable training blocks: %s"
         (phase_name phase) detail
+  | Request_malformed { detail } -> Printf.sprintf "malformed request: %s" detail
+  | Block_unparsable { line; col; detail } ->
+      Printf.sprintf "unparsable block at line %d, column %d: %s" line col
+        detail
+  | Deadline_exceeded { backend; cycle_budget } ->
+      Printf.sprintf "backend %s exceeded its %d-cycle budget" backend
+        cycle_budget
+  | Backend_unavailable { backend; reason } ->
+      Printf.sprintf "backend %s unavailable: %s" backend reason
+  | All_backends_failed { chain } ->
+      Printf.sprintf "all backends failed: %s"
+        (String.concat "; "
+           (List.map (fun (b, r) -> Printf.sprintf "%s: %s" b r) chain))
+  | Service_overloaded { capacity } ->
+      Printf.sprintf "admission queue full (capacity %d)" capacity
 
 let error t = raise (Error t)
 

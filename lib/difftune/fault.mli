@@ -33,6 +33,25 @@ type t =
   | No_training_blocks of { phase : phase; detail : string }
       (** Every candidate block was filtered out (e.g. by the length
           limit); training cannot proceed. *)
+  | Request_malformed of { detail : string }
+      (** Serving: the request line failed protocol decoding (missing
+          id/verb, unknown verb, bad argument). *)
+  | Block_unparsable of { line : int; col : int; detail : string }
+      (** Serving: the submitted assembly failed
+          [Dt_x86.Parser.block_result]; positions are relative to the
+          submitted text. *)
+  | Deadline_exceeded of { backend : string; cycle_budget : int }
+      (** Serving: a predictor hit its per-request cycle budget
+          ([Dt_mca.Pipeline.Budget_exceeded] mapped to a value). *)
+  | Backend_unavailable of { backend : string; reason : string }
+      (** Serving: a backend was skipped (open circuit breaker) or
+          exhausted its retry budget. *)
+  | All_backends_failed of { chain : (string * string) list }
+      (** Serving: every backend in the degradation chain failed;
+          [(backend, reason)] in chain order. *)
+  | Service_overloaded of { capacity : int }
+      (** Serving: the bounded admission queue was full; the request was
+          shed, not queued. *)
 
 (** Carrier for {!t} values crossing code that predates [result] types. *)
 exception Error of t

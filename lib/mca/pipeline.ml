@@ -77,7 +77,17 @@ type events = {
   retire_at : int array;
 }
 
-let run ?events (p : Params.t) ~iterations (block : Block.t) =
+exception Budget_exceeded of { budget : int; retired : int; total : int }
+
+(* [budget] is the serving-side watchdog: a cap on simulated cycles.  A
+   learned table with pathological latencies or port reservations makes
+   the simulation arbitrarily slow (each simulated cycle is one loop
+   iteration), so a caller that must answer within a deadline bounds the
+   walk and receives a structured {!Budget_exceeded} carrying how far
+   retirement got.  [max_int] (the default) means unbounded; the check is
+   a single integer compare per simulated cycle. *)
+let run ?events ?(budget = max_int) (p : Params.t) ~iterations
+    (block : Block.t) =
   let len = Array.length block.instrs in
   let static = analyze ~idiom_enabled:p.zero_idiom_enabled block in
   let n = iterations * len in
@@ -96,6 +106,8 @@ let run ?events (p : Params.t) ~iterations (block : Block.t) =
   let cycle = ref 0 in
   let uops i = p.num_micro_ops.(static.(i mod len).opcode) in
   while !retire_head < n do
+    if !cycle >= budget then
+      raise (Budget_exceeded { budget; retired = !retire_head; total = n });
     let now = !cycle in
     (* ---- Retire: in order, executed instructions, DispatchWidth
        micro-ops per cycle (llvm-mca's retire-control-unit default). ---- *)
@@ -204,10 +216,15 @@ let run ?events (p : Params.t) ~iterations (block : Block.t) =
   done;
   !cycle
 
-let timing_unchecked p ?(iterations = 100) block =
+let timing_unchecked p ?(iterations = 100) ?cycle_budget block =
   if iterations <= 0 then
     invalid_arg "Mca.Pipeline.timing: iterations must be positive";
-  float_of_int (run p ~iterations block) /. float_of_int iterations
+  (match cycle_budget with
+  | Some b when b <= 0 ->
+      invalid_arg "Mca.Pipeline.timing: cycle_budget must be positive"
+  | _ -> ());
+  float_of_int (run ?budget:cycle_budget p ~iterations block)
+  /. float_of_int iterations
 
 let trace p ?(iterations = 4) block =
   Params.validate p;
@@ -225,9 +242,9 @@ let trace p ?(iterations = 4) block =
   let total = run ~events p ~iterations block in
   (events, total)
 
-let timing p ?iterations block =
+let timing p ?iterations ?cycle_budget block =
   Params.validate p;
-  timing_unchecked p ?iterations block
+  timing_unchecked p ?iterations ?cycle_budget block
 
 let dependency_edges block = Array.map (fun s -> s.deps) (analyze block)
 

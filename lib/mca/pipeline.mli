@@ -17,16 +17,32 @@
     dependencies — loads never wait for stores, which is precisely the
     model deficiency behind the paper's ADD32mr case study. *)
 
-(** [timing params ?iterations block] — predicted cycles per iteration of
-    the block, simulating [iterations] (default 100) back-to-back copies,
-    llvm-mca's definition of a block's timing.
+(** Raised when a [?cycle_budget] watchdog trips: the simulation consumed
+    [budget] cycles with only [retired] of [total] dynamic instructions
+    retired.  The fields give the serving layer enough structure to label
+    a deadline response without string matching. *)
+exception Budget_exceeded of { budget : int; retired : int; total : int }
 
-    Raises [Invalid_argument] if [params] fails {!Params.validate}. *)
-val timing : Params.t -> ?iterations:int -> Dt_x86.Block.t -> float
+(** [timing params ?iterations ?cycle_budget block] — predicted cycles
+    per iteration of the block, simulating [iterations] (default 100)
+    back-to-back copies, llvm-mca's definition of a block's timing.
+
+    [?cycle_budget] caps the number of {e simulated} cycles (and hence,
+    because every simulated cycle is one loop iteration, the wall-clock
+    work): a pathological parameter table — e.g. a learned
+    million-cycle port reservation — cannot wedge the caller.  When the
+    cap is reached {!Budget_exceeded} is raised in bounded time.  Default
+    is unbounded.
+
+    Raises [Invalid_argument] if [params] fails {!Params.validate} or if
+    [cycle_budget <= 0]. *)
+val timing :
+  Params.t -> ?iterations:int -> ?cycle_budget:int -> Dt_x86.Block.t -> float
 
 (** [timing_unchecked] skips parameter validation (hot path for the
     optimizers, which construct tables through validated samplers). *)
-val timing_unchecked : Params.t -> ?iterations:int -> Dt_x86.Block.t -> float
+val timing_unchecked :
+  Params.t -> ?iterations:int -> ?cycle_budget:int -> Dt_x86.Block.t -> float
 
 (** Per-dynamic-instruction pipeline event cycles (all arrays indexed by
     [iteration * block_length + position]; -1 = never happened). *)

@@ -1,0 +1,57 @@
+type t = {
+  name : string;
+  predict : cycle_budget:int -> Dt_x86.Block.t -> float;
+}
+
+(* A table that makes the mca simulation crawl: every opcode takes a
+   million cycles to produce its result and holds its ports as long.
+   Swapped in for one call when the [serve.slow_block] fault site is
+   armed, so the deadline watchdog is exercised by a genuinely slow
+   simulation rather than a synthetic raise. *)
+let pathological (p : Dt_mca.Params.t) =
+  {
+    p with
+    Dt_mca.Params.write_latency =
+      Array.map (fun _ -> 1_000_000) p.Dt_mca.Params.write_latency;
+    port_map =
+      Array.map
+        (Array.map (fun c -> if c > 0 then 1_000_000 else 0))
+        p.Dt_mca.Params.port_map;
+  }
+
+let mca ?params uarch =
+  let params =
+    match params with Some p -> p | None -> Dt_mca.Params.default uarch
+  in
+  Dt_mca.Params.validate params;
+  let slow = lazy (pathological params) in
+  {
+    name = "mca";
+    predict =
+      (fun ~cycle_budget block ->
+        let p =
+          if Dt_util.Faultsim.fire "serve.slow_block" then Lazy.force slow
+          else params
+        in
+        Dt_mca.Pipeline.timing_unchecked p ~cycle_budget block);
+  }
+
+let bound uarch =
+  {
+    name = "bound";
+    predict =
+      (fun ~cycle_budget:_ block ->
+        let b = Dt_iaca.Iaca.bounds uarch block in
+        Float.max b.Dt_iaca.Iaca.frontend
+          (Float.max b.Dt_iaca.Iaca.backend b.Dt_iaca.Iaca.latency));
+  }
+
+let surrogate ~features model =
+  {
+    name = "surrogate";
+    predict =
+      (fun ~cycle_budget:_ block ->
+        Dt_difftune.Engine.ithemal_predict ~features model block);
+  }
+
+let custom name predict = { name; predict }

@@ -1,0 +1,45 @@
+(** Prediction backends for the serving degradation chain.
+
+    A backend is a named timing predictor.  The canonical chain, in
+    decreasing fidelity and increasing robustness, is
+
+    {v surrogate -> mca -> bound v}
+
+    - {!surrogate}: a trained neural model (Ithemal-style); fixed
+      compute per instruction, never needs a cycle budget;
+    - {!mca}: the llvm-mca clone under a parameter table (possibly a
+      learned one — which is exactly when a pathological table can make
+      it pathologically slow, hence the enforced [cycle_budget]);
+    - {!bound}: the analytic max(frontend, port-pressure, dependency
+      chain) lower bound — microseconds per block, no simulation loop,
+      the always-available last resort.
+
+    The [serve.slow_block] {!Dt_util.Faultsim} site lives in {!mca}: an
+    armed hit swaps in a pathological million-cycle table for that one
+    call, so tests can force a genuine deadline overrun through the real
+    watchdog machinery. *)
+
+type t = {
+  name : string;
+  predict : cycle_budget:int -> Dt_x86.Block.t -> float;
+      (** May raise; the runtime treats
+          [Dt_mca.Pipeline.Budget_exceeded] as a deadline and any other
+          exception as a transient worker fault. *)
+}
+
+(** [mca ?params uarch] — the llvm-mca clone under [params] (default:
+    the expert table for [uarch]).  Validates [params] once, here. *)
+val mca : ?params:Dt_mca.Params.t -> Dt_refcpu.Uarch.uarch -> t
+
+(** Analytic bound backend (named ["bound"]); ignores the cycle
+    budget — its cost is O(block length). *)
+val bound : Dt_refcpu.Uarch.uarch -> t
+
+(** [surrogate ~features model] — a model trained by
+    [Dt_difftune.Engine.train_ithemal]; [features] must match training
+    time.  Named ["surrogate"]. *)
+val surrogate :
+  features:(Dt_x86.Block.t -> float array) option -> Dt_surrogate.Model.t -> t
+
+(** Arbitrary predictor, for tests and custom deployments. *)
+val custom : string -> (cycle_budget:int -> Dt_x86.Block.t -> float) -> t

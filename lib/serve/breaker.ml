@@ -1,0 +1,103 @@
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+type t = {
+  name : string;
+  clock : Clock.t;
+  threshold : int;
+  cooldown : float;
+  m : Mutex.t;
+  mutable st : state;
+  mutable consecutive_failures : int;
+  mutable opened_at : float;
+  mutable probe_inflight : bool;
+  mutable opened : int;
+  mutable half_opened : int;
+  mutable closed : int;
+  mutable rejected : int;
+}
+
+let create ~clock ~threshold ~cooldown name =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  if cooldown < 0.0 then invalid_arg "Breaker.create: negative cooldown";
+  {
+    name;
+    clock;
+    threshold;
+    cooldown;
+    m = Mutex.create ();
+    st = Closed;
+    consecutive_failures = 0;
+    opened_at = 0.0;
+    probe_inflight = false;
+    opened = 0;
+    half_opened = 0;
+    closed = 0;
+    rejected = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let name t = t.name
+
+let state t = locked t (fun () -> t.st)
+
+let acquire t =
+  locked t (fun () ->
+      match t.st with
+      | Closed -> true
+      | Open ->
+          if t.clock.now () -. t.opened_at >= t.cooldown then begin
+            t.st <- Half_open;
+            t.half_opened <- t.half_opened + 1;
+            t.probe_inflight <- true;
+            true
+          end
+          else begin
+            t.rejected <- t.rejected + 1;
+            false
+          end
+      | Half_open ->
+          if t.probe_inflight then begin
+            t.rejected <- t.rejected + 1;
+            false
+          end
+          else begin
+            t.probe_inflight <- true;
+            true
+          end)
+
+let success t =
+  locked t (fun () ->
+      (match t.st with
+      | Half_open ->
+          t.st <- Closed;
+          t.closed <- t.closed + 1
+      | Closed | Open -> ());
+      t.probe_inflight <- false;
+      t.consecutive_failures <- 0)
+
+let open_locked t =
+  t.st <- Open;
+  t.opened <- t.opened + 1;
+  t.opened_at <- t.clock.now ();
+  t.probe_inflight <- false;
+  t.consecutive_failures <- 0
+
+let failure t =
+  locked t (fun () ->
+      match t.st with
+      | Half_open -> open_locked t
+      | Closed ->
+          t.consecutive_failures <- t.consecutive_failures + 1;
+          if t.consecutive_failures >= t.threshold then open_locked t
+      | Open -> ())
+
+let counters t =
+  locked t (fun () -> (t.opened, t.half_opened, t.closed, t.rejected))

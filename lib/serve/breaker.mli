@@ -1,0 +1,40 @@
+(** Per-backend circuit breaker: closed → open → half-open → closed.
+
+    A breaker wraps one predictor.  While {e closed} it admits every
+    call and counts consecutive failures; at [threshold] it {e opens}
+    and fails fast (no call reaches the backend) until [cooldown]
+    seconds of the injected {!Clock.t} have passed; the first admission
+    after the cooldown moves it to {e half-open} and lets exactly one
+    probe through — a successful probe closes the breaker (failure
+    counter reset), a failed one re-opens it for another cooldown.
+
+    All transitions are driven by the injected clock, so tests exercise
+    the full cycle deterministically with {!Clock.manual}.  Thread-safe:
+    pool workers share one breaker per backend. *)
+
+type t
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+
+(** [create ~clock ~threshold ~cooldown name] — [threshold] consecutive
+    failures open the breaker; it stays open for [cooldown] seconds.
+    Raises [Invalid_argument] if [threshold < 1] or [cooldown < 0]. *)
+val create : clock:Clock.t -> threshold:int -> cooldown:float -> string -> t
+
+val name : t -> string
+val state : t -> state
+
+(** [acquire t] — permission to call the backend now.  [false] means
+    fail fast (open, or half-open with the probe slot taken).  A [true]
+    from a half-open breaker claims the probe slot; the caller must
+    report {!success} or {!failure}. *)
+val acquire : t -> bool
+
+val success : t -> unit
+val failure : t -> unit
+
+(** Cumulative transition / rejection counters, for the [stats]
+    response: [(opened, half_opened, closed, rejected)]. *)
+val counters : t -> int * int * int * int

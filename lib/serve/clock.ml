@@ -1,0 +1,16 @@
+type t = { now : unit -> float; sleep : float -> unit }
+
+let monotonic () = { now = Unix.gettimeofday; sleep = Unix.sleepf }
+
+let manual ?(start = 0.0) () =
+  let m = Mutex.create () in
+  let time = ref start in
+  let locked f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  in
+  let advance d =
+    if d < 0.0 then invalid_arg "Clock.manual: negative advance";
+    locked (fun () -> time := !time +. d)
+  in
+  ({ now = (fun () -> locked (fun () -> !time)); sleep = advance }, advance)

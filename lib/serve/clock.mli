@@ -1,0 +1,22 @@
+(** Injectable time source for the serving runtime.
+
+    Every time-dependent decision in [Dt_serve] — circuit-breaker
+    cooldowns, retry backoff sleeps — goes through a {!t} so tests can
+    drive the whole state machine with a deterministic virtual clock
+    instead of real sleeps.  Production code uses {!monotonic}; tests use
+    {!manual}, whose [sleep] advances virtual time instantly. *)
+
+type t = {
+  now : unit -> float;  (** seconds; monotonic within one clock *)
+  sleep : float -> unit;
+}
+
+(** Wall-clock time and real sleeping ([Unix.gettimeofday] /
+    [Unix.sleepf]). *)
+val monotonic : unit -> t
+
+(** [manual ?start ()] — a virtual clock starting at [start] (default 0).
+    [sleep d] advances the clock by [d] and returns immediately; the
+    returned function advances it explicitly (e.g. to step past a breaker
+    cooldown).  Thread-safe. *)
+val manual : ?start:float -> unit -> t * (float -> unit)

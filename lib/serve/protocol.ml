@@ -1,0 +1,118 @@
+module Fault = Dt_difftune.Fault
+
+type request =
+  | Predict of string
+  | Stats
+  | Ping
+  | Flush
+  | Shutdown
+
+let is_space c = c = ' ' || c = '\t'
+
+(* [token s i] — next whitespace-delimited token starting at or after
+   [i], with the index one past its end. *)
+let token s i =
+  let n = String.length s in
+  let start = ref i in
+  while !start < n && is_space s.[!start] do
+    incr start
+  done;
+  let stop = ref !start in
+  while !stop < n && not (is_space s.[!stop]) do
+    incr stop
+  done;
+  if !start = !stop then None
+  else Some (String.sub s !start (!stop - !start), !stop)
+
+let rest_after s i =
+  let n = String.length s in
+  let start = ref i in
+  while !start < n && is_space s.[!start] do
+    incr start
+  done;
+  String.trim (String.sub s !start (n - !start))
+
+let malformed id detail = Error (id, Fault.Request_malformed { detail })
+
+let decode line =
+  match token line 0 with
+  | None -> malformed "-" "empty request"
+  | Some (id, after_id) -> (
+      match token line after_id with
+      | None -> malformed id "missing verb (predict|stats|ping|flush|shutdown)"
+      | Some (verb, after_verb) -> (
+          let tail = rest_after line after_verb in
+          match verb with
+          | "predict" ->
+              if tail = "" then malformed id "predict needs a block"
+              else Ok (id, Predict tail)
+          | "stats" | "ping" | "flush" | "shutdown" ->
+              if tail <> "" then
+                malformed id
+                  (Printf.sprintf "unexpected trailing input after %S" verb)
+              else
+                Ok
+                  ( id,
+                    match verb with
+                    | "stats" -> Stats
+                    | "ping" -> Ping
+                    | "flush" -> Flush
+                    | _ -> Shutdown )
+          | verb -> malformed id (Printf.sprintf "unknown verb %S" verb)))
+
+type answer = {
+  cycles : float;
+  backend : string;
+  via : (string * string) list;
+}
+
+type response =
+  | Answer of answer
+  | Overloaded of { capacity : int }
+  | Failed of Fault.t
+  | Stat_report of (string * string) list
+  | Pong
+  | Flushed of int
+  | Bye
+
+let kind_of_fault = function
+  | Fault.Request_malformed _ -> "malformed"
+  | Fault.Block_unparsable _ -> "parse"
+  | Fault.Deadline_exceeded _ -> "deadline"
+  | Fault.Backend_unavailable _ | Fault.All_backends_failed _ -> "unavailable"
+  | Fault.Service_overloaded _ -> "overloaded"
+  | Fault.Checkpoint_missing _ | Fault.Checkpoint_corrupt _
+  | Fault.Checkpoint_version _ | Fault.Checkpoint_mismatch _
+  | Fault.Numeric_divergence _ | Fault.No_training_blocks _ ->
+      "internal"
+
+(* Field values live in a space-separated line: anything that would
+   break tokenization becomes '_' (reason slugs), and free text (msg=,
+   always last) only has line breaks flattened. *)
+let slug s =
+  String.map (fun c -> if is_space c || c = ',' || c = '=' || c = ':' then '_' else c) s
+
+let flatten s = String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let encode_response ~id resp =
+  let id = slug id in
+  match resp with
+  | Answer { cycles; backend; via = [] } ->
+      Printf.sprintf "%s ok cycles=%.4f backend=%s" id cycles (slug backend)
+  | Answer { cycles; backend; via } ->
+      Printf.sprintf "%s degraded cycles=%.4f backend=%s via=%s" id cycles
+        (slug backend)
+        (String.concat ","
+           (List.map (fun (b, r) -> slug b ^ ":" ^ slug r) via))
+  | Overloaded { capacity } ->
+      Printf.sprintf "%s overloaded capacity=%d" id capacity
+  | Failed fault ->
+      Printf.sprintf "%s error kind=%s msg=%s" id (kind_of_fault fault)
+        (flatten (Fault.to_string fault))
+  | Stat_report pairs ->
+      Printf.sprintf "%s stats %s" id
+        (String.concat " "
+           (List.map (fun (k, v) -> slug k ^ "=" ^ slug v) pairs))
+  | Pong -> id ^ " pong"
+  | Flushed n -> Printf.sprintf "%s ok flushed=%d" id n
+  | Bye -> id ^ " ok shutdown"

@@ -1,0 +1,68 @@
+(** Newline-delimited request/response protocol of the prediction
+    service.
+
+    One request per line, fields separated by single spaces:
+    {v
+      <id> predict <asm>        # asm: AT&T instructions, ';'-separated
+      <id> stats
+      <id> ping
+      <id> flush                # force-drain the admission queue
+      <id> shutdown             # drain, acknowledge, stop the server
+    v}
+    [<id>] is any client-chosen token without whitespace; every response
+    line starts with the same id, so a client can correlate answers
+    under pipelining.  Responses:
+    {v
+      <id> ok cycles=<c> backend=<b>
+      <id> degraded cycles=<c> backend=<b> via=<b1:reason1[,b2:reason2...]>
+      <id> overloaded capacity=<n>
+      <id> error kind=<kind> msg=<text to end of line>
+      <id> stats <k>=<v> ...
+      <id> pong
+      <id> ok flushed=<n>
+      <id> ok shutdown
+    v}
+    [degraded] labels exactly which fallback produced the answer
+    ([backend=]) and why every earlier backend in the chain did not
+    ([via=], reason slugs like [breaker_open], [deadline],
+    [worker_fault]).  [kind] is one of [malformed], [parse], [deadline],
+    [unavailable], [overloaded], [internal].
+
+    {!decode} is total: malformed bytes produce an [Error] carrying the
+    best-effort id and a structured {!Dt_difftune.Fault.t}, never an
+    exception. *)
+
+type request =
+  | Predict of string  (** the assembly text *)
+  | Stats
+  | Ping
+  | Flush
+  | Shutdown
+
+(** [decode line] → [Ok (id, request)] or [Error (id, fault)] where
+    [id] is ["-"] when none could be recovered.  Never raises. *)
+val decode : string -> (string * request, string * Dt_difftune.Fault.t) result
+
+type answer = {
+  cycles : float;
+  backend : string;
+  via : (string * string) list;
+      (** earlier (backend, reason) pairs; [[]] = primary served *)
+}
+
+type response =
+  | Answer of answer
+  | Overloaded of { capacity : int }
+  | Failed of Dt_difftune.Fault.t
+  | Stat_report of (string * string) list
+  | Pong
+  | Flushed of int
+  | Bye
+
+(** Response kind keyword for a fault ([malformed] | [parse] |
+    [deadline] | [unavailable] | [overloaded] | [internal]). *)
+val kind_of_fault : Dt_difftune.Fault.t -> string
+
+(** One response line (no trailing newline; embedded newlines are
+    flattened to spaces). *)
+val encode_response : id:string -> response -> string

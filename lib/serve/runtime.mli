@@ -1,0 +1,90 @@
+(** The in-process prediction-service runtime.
+
+    Composes the pieces of the resilience story around a degradation
+    chain of {!Backend.t}s:
+
+    - {b bounded admission queue}: {!submit} decodes a protocol line and
+      either answers immediately (control verbs, malformed input,
+      shedding) or queues the prediction; a full queue sheds with a
+      structured [overloaded] response — it never blocks and never
+      drops.
+    - {b batch scheduling}: {!drain} takes up to [batch] queued requests
+      and evaluates them across the existing {!Dt_util.Pool} domain
+      pool, answering in admission order (deterministic with a pool of
+      size 1).
+    - {b deadlines}: every mca-style backend call carries
+      [cycle_budget]; an overrun surfaces as
+      [Dt_mca.Pipeline.Budget_exceeded] and becomes a labeled
+      [deadline] reason — the worker is never wedged.
+    - {b retries}: transient worker faults (anything except a deadline)
+      are retried up to [max_retries] times with exponential backoff
+      and deterministic per-request jitter, sleeping on the injected
+      {!Clock.t}.
+    - {b circuit breakers}: one {!Breaker.t} per backend; an open
+      breaker skips the backend (reason [breaker_open]) instead of
+      burning its retry budget.
+    - {b graceful degradation}: the first backend to produce a finite
+      value serves the response; responses served by a later backend
+      are labeled [degraded] with the full (backend, reason) chain.
+
+    Fault sites ({!Dt_util.Faultsim}): [serve.malformed_input] corrupts
+    an incoming line at admission, [serve.worker_crash] raises inside a
+    backend attempt, [serve.slow_block] (in {!Backend.mca}) forces a
+    genuine deadline overrun.
+
+    Exactly-once accounting: every submitted line produces exactly one
+    call of its [respond] callback.  Callbacks run on the submitting
+    thread (inside {!submit} or {!drain}), never on pool workers. *)
+
+type config = {
+  queue_capacity : int;  (** admission bound; beyond it requests shed *)
+  batch : int;           (** max requests evaluated per {!drain} *)
+  cycle_budget : int;    (** per-request simulated-cycle deadline *)
+  max_retries : int;     (** extra attempts after a transient fault *)
+  backoff_base : float;  (** first retry delay, seconds *)
+  backoff_cap : float;   (** backoff ceiling, seconds *)
+  jitter : float;        (** uniform multiplicative jitter fraction *)
+  breaker_threshold : int;   (** consecutive failures to open *)
+  breaker_cooldown : float;  (** open duration before half-open, s *)
+  seed : int;            (** jitter randomness (deterministic) *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ?pool ?clock config backends] — [backends] is the
+    degradation chain, primary first (must be non-empty).  An explicit
+    [pool] is borrowed (caller keeps ownership); otherwise one is
+    created (honouring [DIFFTUNE_DOMAINS]) and owned.  Default clock:
+    {!Clock.monotonic}. *)
+val create :
+  ?pool:Dt_util.Pool.t -> ?clock:Clock.t -> config -> Backend.t list -> t
+
+val config : t -> config
+
+(** [submit t ~line ~respond] — admit one protocol line.  [respond]
+    receives exactly one response line, either immediately (control
+    verbs, malformed input, overload shedding, [flush]/[shutdown]
+    after a forced drain) or during a later {!drain}.  [`Shutdown]
+    tells the server loop to stop after this response. *)
+val submit :
+  t -> line:string -> respond:(string -> unit) -> [ `Ok | `Shutdown ]
+
+(** Queued (admitted, unanswered) predictions. *)
+val pending : t -> int
+
+(** Evaluate one batch; no-op on an empty queue. *)
+val drain : t -> unit
+
+(** Drain until the queue is empty; returns how many were answered. *)
+val drain_all : t -> int
+
+(** The [stats] key/value pairs (also available via a [stats] request). *)
+val stats_pairs : t -> (string * string) list
+
+(** Breaker of the named backend, for tests. *)
+val breaker : t -> string -> Breaker.t option
+
+(** Drains the queue and joins the pool if owned.  Idempotent. *)
+val shutdown : t -> unit

@@ -1,0 +1,131 @@
+(* ---- stdio ---- *)
+
+let serve_channels rt ic oc =
+  let respond line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let batch = (Runtime.config rt).Runtime.batch in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ignore (Runtime.drain_all rt)
+    | line ->
+        if String.trim line = "" then loop ()
+        else begin
+          match Runtime.submit rt ~line ~respond with
+          | `Shutdown -> ()
+          | `Ok ->
+              if Runtime.pending rt >= batch then Runtime.drain rt;
+              loop ()
+        end
+  in
+  loop ()
+
+(* ---- Unix-domain socket ---- *)
+
+type client = {
+  fd : Unix.file_descr;
+  buf : Buffer.t; (* bytes received, not yet terminated by '\n' *)
+  mutable alive : bool;
+}
+
+let write_line client line =
+  if client.alive then begin
+    let payload = Bytes.of_string (line ^ "\n") in
+    let len = Bytes.length payload in
+    let off = ref 0 in
+    try
+      while !off < len do
+        off := !off + Unix.write client.fd payload !off (len - !off)
+      done
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      (* Client went away; its remaining responses are discarded, which
+         is the only delivery semantics a dead peer can have. *)
+      client.alive <- false
+  end
+
+(* Split complete lines out of a client's receive buffer. *)
+let take_lines client =
+  let data = Buffer.contents client.buf in
+  match String.rindex_opt data '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear client.buf;
+      Buffer.add_substring client.buf data (last + 1)
+        (String.length data - last - 1);
+      String.split_on_char '\n' (String.sub data 0 last)
+
+let serve_socket rt ~path =
+  let prev_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None (* platform without sigpipe *)
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let clients = ref [] in
+  let stop = ref false in
+  let batch = (Runtime.config rt).Runtime.batch in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        !clients;
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      (try Sys.remove path with Sys_error _ -> ());
+      match prev_sigpipe with
+      | Some h -> Sys.set_signal Sys.sigpipe h
+      | None -> ())
+    (fun () ->
+      Unix.bind srv (Unix.ADDR_UNIX path);
+      Unix.listen srv 16;
+      let handle_line client line =
+        if String.trim line <> "" then
+          match Runtime.submit rt ~line ~respond:(write_line client) with
+          | `Shutdown -> stop := true
+          | `Ok -> ()
+      in
+      let read_client client =
+        let chunk = Bytes.create 4096 in
+        match Unix.read client.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> client.alive <- false
+        | n ->
+            Buffer.add_subbytes client.buf chunk 0 n;
+            List.iter (handle_line client) (take_lines client)
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            client.alive <- false
+      in
+      while not !stop do
+        let fds = srv :: List.map (fun c -> c.fd) !clients in
+        let ready =
+          match Unix.select fds [] [] 0.02 with
+          | ready, _, _ -> ready
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            if fd == srv then begin
+              let conn, _ = Unix.accept srv in
+              clients :=
+                { fd = conn; buf = Buffer.create 256; alive = true }
+                :: !clients
+            end
+            else
+              match List.find_opt (fun c -> c.fd == fd) !clients with
+              | Some c -> read_client c
+              | None -> ())
+          ready;
+        (* Evaluate when a batch is ready, or opportunistically when the
+           socket went idle with work queued. *)
+        if
+          Runtime.pending rt >= batch
+          || (ready = [] && Runtime.pending rt > 0)
+        then Runtime.drain rt;
+        List.iter
+          (fun c ->
+            if not c.alive then
+              try Unix.close c.fd with Unix.Unix_error _ -> ())
+          !clients;
+        clients := List.filter (fun c -> c.alive) !clients
+      done;
+      ignore (Runtime.drain_all rt))

@@ -1,0 +1,20 @@
+(** Transport front-ends for {!Runtime}: newline-delimited protocol over
+    stdin/stdout or a Unix-domain socket.
+
+    Both loops share the runtime's semantics: a line is admitted with
+    {!Runtime.submit} as soon as it arrives; queued predictions are
+    evaluated in admission order whenever a full batch has accumulated
+    (stdio) or the socket goes briefly idle, and always at end of input.
+    A [shutdown] request drains, acknowledges, and stops the loop. *)
+
+(** [serve_channels rt ic oc] — serve until EOF on [ic] or a [shutdown]
+    request.  Responses are written (and flushed) to [oc] one line
+    each. *)
+val serve_channels : Runtime.t -> in_channel -> out_channel -> unit
+
+(** [serve_socket rt ~path] — bind a Unix-domain socket at [path]
+    (replacing a stale file), accept any number of concurrent clients in
+    one select loop, and serve until some client sends [shutdown].
+    Responses go to the client that issued the request.  The socket file
+    is removed on exit; [SIGPIPE] is ignored for the duration. *)
+val serve_socket : Runtime.t -> path:string -> unit

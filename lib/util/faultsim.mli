@@ -22,7 +22,16 @@
       atomically written ([Checkpoint.save]);
     - [engine.abort] — raise {!Injected} right after a periodic
       checkpoint write: a SIGKILL-style interruption at a resumable
-      boundary.
+      boundary;
+    - [serve.worker_crash] — raise {!Injected} inside a serving backend
+      attempt ([Dt_serve.Runtime]): exercises retry with backoff,
+      breaker accounting, and the degradation chain;
+    - [serve.slow_block] — swap a pathological million-cycle table into
+      one [Dt_serve.Backend.mca] call, forcing a genuine
+      [Pipeline.Budget_exceeded] deadline through the real watchdog;
+    - [serve.malformed_input] — corrupt the tail of one request line at
+      admission ([Dt_serve.Runtime.submit]); the id survives, so the
+      structured parse error stays attributable to its sender.
 
     Hit counters are shared across domains (mutex-protected) so a spec
     like [pool.worker\@5] fires exactly once regardless of how the pool

@@ -122,15 +122,63 @@ let instruction line =
   | None -> fail "unknown instruction %S (form %s)" mnemonic
               (Opcode.form_to_string form)
 
-let block text =
-  let lines =
-    String.split_on_char '\n' text
-    |> List.concat_map (String.split_on_char ';')
-    |> List.map (fun line ->
-           match String.index_opt line '#' with
-           | Some i -> String.sub line 0 i
-           | None -> line)
-    |> List.map strip
-    |> List.filter (fun line -> line <> "")
+type error = { line : int; col : int; msg : string }
+
+let error_to_string e =
+  Printf.sprintf "line %d, column %d: %s" e.line e.col e.msg
+
+(* Non-raising block parser with positions.  Lines are 1-based, columns
+   0-based (the convention of Dt_analysis.Lint findings).  The column is
+   the first non-blank character of the offending [';']-separated
+   segment in the original line, so the error points into the text the
+   caller actually submitted. *)
+let block_result text =
+  let exception Stop of error in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    (* Walk the [';']-separated segments tracking their start offsets. *)
+    let n = String.length line in
+    let rec segments start acc =
+      if start > n then List.rev acc
+      else
+        let stop =
+          match String.index_from_opt line start ';' with
+          | Some i -> i
+          | None -> n
+        in
+        segments (stop + 1) ((start, String.sub line start (stop - start)) :: acc)
+    in
+    List.filter_map
+      (fun (off, seg) ->
+        let lead = ref 0 in
+        let len = String.length seg in
+        while
+          !lead < len && (seg.[!lead] = ' ' || seg.[!lead] = '\t')
+        do
+          incr lead
+        done;
+        let seg = strip seg in
+        if seg = "" then None
+        else
+          match instruction seg with
+          | instr -> Some instr
+          | exception Parse_error msg ->
+              raise (Stop { line = lineno; col = off + !lead; msg }))
+      (segments 0 [])
   in
-  List.map instruction lines
+  match
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> parse_line (i + 1) line)
+    |> List.concat
+  with
+  | instrs -> Ok instrs
+  | exception Stop e -> Error e
+
+let block text =
+  match block_result text with
+  | Ok instrs -> instrs
+  | Error e -> raise (Parse_error (error_to_string e))

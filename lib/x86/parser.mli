@@ -12,5 +12,18 @@ exception Parse_error of string
 val instruction : string -> Instruction.t
 
 (** [block s] parses a whole basic block (newline- or [';']-separated).
-    Empty lines and comments are skipped. *)
+    Empty lines and comments are skipped.  Raises {!Parse_error} with the
+    {!error_to_string} rendering of the first failure. *)
 val block : string -> Instruction.t list
+
+(** Position-carrying parse failure: [line] is 1-based, [col] 0-based
+    (first non-blank character of the offending [';']-segment). *)
+type error = { line : int; col : int; msg : string }
+
+val error_to_string : error -> string
+
+(** [block_result s] — {!block} as a total function: malformed input
+    (including untrusted bytes from the serving protocol) yields
+    [Error _] with position context instead of an exception.  Never
+    raises. *)
+val block_result : string -> (Instruction.t list, error) result
