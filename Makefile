@@ -1,6 +1,6 @@
 # Convenience targets for the DiffTune reproduction.
 
-.PHONY: all build test lint verify serve-smoke bench bench-full bench-json clean doc quickstart
+.PHONY: all build test lint verify serve-smoke bench bench-full bench-json bench-guard clean doc quickstart
 
 all: build
 
@@ -47,6 +47,8 @@ verify: build
 	  DIFFTUNE_DOMAINS=4 dune exec test/fault_smoke.exe || exit 1
 	@echo "== serve smoke =="
 	dune build @serve-smoke --force
+	@echo "== bench guard =="
+	dune exec bench/main.exe -- perf-guard
 	@echo "verify: all fault combinations passed"
 
 bench:
@@ -59,6 +61,12 @@ bench-full:
 # includes the sanitizer forward+backward overhead measurement).
 bench-json:
 	dune exec bench/main.exe -- perf-json
+
+# Perf regression guard: re-measures surrogate.forward, mca.timing and
+# the tokenizer and fails on a >15% regression against the newest
+# committed BENCH_PR*.json baseline.
+bench-guard: build
+	dune exec bench/main.exe -- perf-guard
 
 quickstart:
 	dune exec examples/quickstart.exe

@@ -20,8 +20,10 @@ module Ad = Dt_autodiff.Ad
 module Model = Dt_surrogate.Model
 module Engine = Dt_difftune.Engine
 
-(* Estimated ns/call for each named micro-benchmark. *)
-let estimates () =
+(* Estimated ns/call for each named micro-benchmark.  [?only] restricts
+   the run to a subset of names (the regression guard re-measures just
+   its guarded keys). *)
+let estimates ?only () =
   let open Bechamel in
   let open Toolkit in
   let uarch = Dt_refcpu.Uarch.Haswell in
@@ -68,31 +70,94 @@ let estimates () =
     Ad.backward ctx loss;
     Dt_nn.Nn.Store.zero_grads store
   in
+  (* Batched surrogate work at batch 1 / 8 / 32: the same blocks the
+     per-sequence rows use, replicated with their constant inputs. *)
+  let batch_templates =
+    [|
+      block;
+      Dt_x86.Block.parse "addq %rax, %rbx\nmovq 8(%rsp), %rcx";
+      Dt_x86.Block.parse "imulq %rcx, %rax\naddq %rdx, %rcx\nxorl %r8d, %r8d";
+      Dt_x86.Block.parse "shlq $2, %rax\norq %rbx, %rax";
+    |]
+  in
+  let mk_batch b =
+    Array.init b (fun i ->
+        let bl = batch_templates.(i mod Array.length batch_templates) in
+        {
+          Model.bblock = bl;
+          bparams =
+            Some
+              ( Array.init (Dt_x86.Block.length bl) (fun _ ->
+                    Array.make 15 0.2),
+                Array.copy glob );
+          bfeatures = None;
+        })
+  in
+  let batch_ctx = Ad.new_ctx () in
+  let train_batch_step samples targets () =
+    ignore (Model.train_batch model batch_ctx samples ~targets);
+    Dt_nn.Nn.Store.zero_grads store
+  in
+  let batched_tests =
+    List.concat_map
+      (fun b ->
+        let samples = mk_batch b in
+        let targets = Array.make b 2.0 in
+        [
+          ( Printf.sprintf "surrogate.forward_batch.b%d" b,
+            Test.make
+              ~name:(Printf.sprintf "surrogate.forward_batch.b%d" b)
+              (Staged.stage (fun () -> Model.predict_batch_value model samples))
+          );
+          ( Printf.sprintf "surrogate.train_batch.b%d" b,
+            Test.make
+              ~name:(Printf.sprintf "surrogate.train_batch.b%d" b)
+              (Staged.stage (train_batch_step samples targets)) );
+        ])
+      [ 1; 8; 32 ]
+  in
   let tests =
     [
-      Test.make ~name:"refcpu.timing"
-        (Staged.stage (fun () -> Dt_refcpu.Machine.timing cfg block));
-      Test.make ~name:"mca.timing"
-        (Staged.stage (fun () -> Dt_mca.Pipeline.timing params block));
-      Test.make ~name:"usim.timing"
-        (Staged.stage (fun () -> Dt_usim.Usim.timing usim block));
-      Test.make ~name:"iaca.predict"
-        (Staged.stage (fun () -> Dt_iaca.Iaca.predict uarch block));
-      Test.make ~name:"mca.timing_random_table"
-        (Staged.stage (fun () -> spec.timing staged_sample block));
-      Test.make ~name:"surrogate.forward"
-        (Staged.stage (fun () ->
-             Dt_surrogate.Model.predict_value model block
-               ~params:(Some (per, glob)) ()));
-      Test.make ~name:"surrogate.forward_backward"
-        (Staged.stage train_step);
-      Test.make ~name:"tokenizer"
-        (Staged.stage (fun () ->
-             Array.map Dt_surrogate.Tokenizer.tokens block.instrs));
-      Test.make ~name:"block.parse"
-        (Staged.stage (fun () ->
-             Dt_x86.Block.parse "addq %rax, %rbx\nmovq 8(%rsp), %rcx"));
+      ( "refcpu.timing",
+        Test.make ~name:"refcpu.timing"
+          (Staged.stage (fun () -> Dt_refcpu.Machine.timing cfg block)) );
+      ( "mca.timing",
+        Test.make ~name:"mca.timing"
+          (Staged.stage (fun () -> Dt_mca.Pipeline.timing params block)) );
+      ( "usim.timing",
+        Test.make ~name:"usim.timing"
+          (Staged.stage (fun () -> Dt_usim.Usim.timing usim block)) );
+      ( "iaca.predict",
+        Test.make ~name:"iaca.predict"
+          (Staged.stage (fun () -> Dt_iaca.Iaca.predict uarch block)) );
+      ( "mca.timing_random_table",
+        Test.make ~name:"mca.timing_random_table"
+          (Staged.stage (fun () -> spec.timing staged_sample block)) );
+      ( "surrogate.forward",
+        Test.make ~name:"surrogate.forward"
+          (Staged.stage (fun () ->
+               Dt_surrogate.Model.predict_value model block
+                 ~params:(Some (per, glob)) ())) );
+      ( "surrogate.forward_backward",
+        Test.make ~name:"surrogate.forward_backward" (Staged.stage train_step)
+      );
+      ( "tokenizer",
+        Test.make ~name:"tokenizer"
+          (Staged.stage (fun () ->
+               Array.map Dt_surrogate.Tokenizer.tokens block.instrs)) );
+      ( "block.parse",
+        Test.make ~name:"block.parse"
+          (Staged.stage (fun () ->
+               Dt_x86.Block.parse "addq %rax, %rbx\nmovq 8(%rsp), %rcx")) );
     ]
+    @ batched_tests
+  in
+  let tests =
+    match only with
+    | None -> List.map snd tests
+    | Some names -> List.filter_map
+        (fun (n, t) -> if List.mem n names then Some t else None)
+        tests
   in
   let benchmark test =
     let quota = Time.second 0.5 in
@@ -252,23 +317,127 @@ let sanitize_overhead () =
 
 (* ---- machine-readable perf snapshot for the PR trajectory ---- *)
 
+(* Aggregate per-sample speedups of the batched surrogate path over the
+   per-sequence rows: (per-sequence ns) / (batched ns / batch). *)
+let batch_speedups ns =
+  let get k = List.assoc_opt k ns in
+  let speedup ~scalar ~batched ~b out =
+    match (get scalar, get batched) with
+    | Some s, Some bt when bt > 0.0 -> [ (out, s /. (bt /. float_of_int b)) ]
+    | _ -> []
+  in
+  speedup ~scalar:"surrogate.forward" ~batched:"surrogate.forward_batch.b8"
+    ~b:8 "batch.speedup_forward_b8"
+  @ speedup ~scalar:"surrogate.forward" ~batched:"surrogate.forward_batch.b32"
+      ~b:32 "batch.speedup_forward_b32"
+  @ speedup ~scalar:"surrogate.forward_backward"
+      ~batched:"surrogate.train_batch.b8" ~b:8 "batch.speedup_train_b8"
+  @ speedup ~scalar:"surrogate.forward_backward"
+      ~batched:"surrogate.train_batch.b32" ~b:32 "batch.speedup_train_b32"
+
 let perf_json () =
   let ns = estimates () in
   let sc = scaling () in
   let sa = sanitize_overhead () in
-  let oc = open_out "BENCH_PR3.json" in
+  let sp = batch_speedups ns in
+  let oc = open_out "BENCH_PR5.json" in
   let field (name, v) = Printf.sprintf "    %S: %.1f" name v in
+  let field2 (name, v) = Printf.sprintf "    %S: %.2f" name v in
   Printf.fprintf oc
-    "{\n  \"pr\": 3,\n  \"ns_per_call\": {\n%s\n  },\n  \"scaling\": \
-     {\n%s\n  },\n  \"sanitize\": {\n%s\n  }\n}\n"
+    "{\n  \"pr\": 5,\n  \"ns_per_call\": {\n%s\n  },\n  \"batch\": \
+     {\n%s\n  },\n  \"scaling\": {\n%s\n  },\n  \"sanitize\": {\n%s\n  }\n}\n"
     (String.concat ",\n" (List.map field ns))
+    (String.concat ",\n" (List.map field2 sp))
     (String.concat ",\n" (List.map field sc))
     (String.concat ",\n" (List.map field sa));
   close_out oc;
-  print_endline "wrote BENCH_PR3.json";
+  print_endline "wrote BENCH_PR5.json";
   List.iter
     (fun (n, v) -> Printf.printf "%-48s %12.1f\n%!" n v)
-    (ns @ sc @ sa)
+    (ns @ sp @ sc @ sa)
+
+(* ---- perf regression guard (make bench-guard) ----
+
+   Re-measures a small set of guarded rows and fails when any of them
+   regresses more than [guard_threshold] against the newest committed
+   BENCH_PR*.json baseline.  The JSON "parser" is a literal key scan:
+   the files are machine-written by [perf_json] above, so the format is
+   fixed. *)
+
+let guard_keys = [ "surrogate.forward"; "mca.timing"; "tokenizer" ]
+let guard_threshold = 1.15
+
+let baseline_file () =
+  List.find_opt Sys.file_exists
+    [ "BENCH_PR5.json"; "BENCH_PR3.json"; "BENCH_PR1.json" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let json_number content key =
+  match find_sub content (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some i ->
+      let n = String.length content in
+      let j = ref (i + String.length key + 3) in
+      while !j < n && content.[!j] = ' ' do incr j done;
+      let k = ref !j in
+      while
+        !k < n
+        && (match content.[!k] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr k
+      done;
+      float_of_string_opt (String.sub content !j (!k - !j))
+
+let perf_guard () =
+  match baseline_file () with
+  | None ->
+      prerr_endline
+        "bench-guard: no committed BENCH_PR*.json baseline; run `make \
+         bench-json` and commit the result";
+      exit 1
+  | Some path ->
+      let content = read_file path in
+      Printf.printf "bench-guard: baseline %s, threshold +%.0f%%\n%!" path
+        ((guard_threshold -. 1.0) *. 100.0);
+      let current = estimates ~only:guard_keys () in
+      let failures = ref [] in
+      List.iter
+        (fun key ->
+          match (json_number content key, List.assoc_opt key current) with
+          | Some base, Some now ->
+              let ratio = now /. base in
+              Printf.printf "%-32s baseline %12.1f  now %12.1f  (%+.1f%%)\n%!"
+                key base now
+                ((ratio -. 1.0) *. 100.0);
+              if ratio > guard_threshold then failures := key :: !failures
+          | None, _ ->
+              Printf.printf "%-32s not in baseline; skipped\n%!" key
+          | _, None -> failures := (key ^ " (not measured)") :: !failures)
+        guard_keys;
+      match !failures with
+      | [] -> print_endline "bench-guard: ok"
+      | fs ->
+          Printf.eprintf
+            "bench-guard: regression beyond %.0f%% in: %s\n%!"
+            ((guard_threshold -. 1.0) *. 100.0)
+            (String.concat ", " (List.rev fs));
+          exit 1
 
 (* ---- Surrogate-depth ablation (design decision in DESIGN.md) ---- *)
 
@@ -312,6 +481,7 @@ let () =
     Experiments.all
     @ [ ("perf", fun _ -> perf ());
         ("perf-json", fun _ -> perf_json ());
+        ("perf-guard", fun _ -> perf_guard ());
         ("ablation_depth", fun _ -> ablation_depth ()) ]
   in
   let to_run =

@@ -61,6 +61,10 @@ let float_eq_rule =
           "beta = 0.0 / x <> 0.0 dispatch in the gemv/gemv_t/ger kernels is \
            an intentional exact-value fast path (skip-zero, \
            overwrite-vs-accumulate), not a tolerance comparison" );
+        ( "lib/tensor/gemm.ml",
+          "beta = 0.0 / beta <> 1.0 dispatch in the gemm front end is the \
+           same exact-value overwrite-vs-accumulate rule the gemv family \
+           uses, not a tolerance comparison" );
       ];
   }
 
@@ -98,6 +102,10 @@ let unsafe_index_rule =
     whitelist =
       [
         ("lib/tensor/tensor.ml", "audited kernel file (gemv/ger/axpy loops)");
+        ( "lib/tensor/gemm.ml",
+          "audited kernel file (gemm front end: beta prescale over \
+           shape-checked destinations; the inner loops live in \
+           gemm_stubs.c behind the same shape checks)" );
         ("lib/autodiff/ad.ml", "audited kernel file (tape op forward/backward)");
         ("lib/nn/nn.ml",
          "audited kernel file (Adam update; checked path under sanitize)");
@@ -116,6 +124,20 @@ let bare_eprintf_rule =
       [ ("lib/util/", "Dt_util.Log owns the actual stderr writes") ];
   }
 
+(* The batched compute path (PR 5) exists so per-sample work becomes
+   one gemm per timestep; a gemv/matvec issued from inside a loop is
+   the exact per-row pattern it replaces and costs the SIMD width. *)
+let gemv_batch_rule =
+  {
+    name = "gemv-batch-loop";
+    summary =
+      "per-row gemv/matvec issued from inside a for loop in the batched \
+       network code; batch the rows and make one gemm/matmul call per \
+       step instead";
+    in_scope = (fun path -> contains path "lib/nn/");
+    whitelist = [];
+  }
+
 let rules =
   [
     float_eq_rule;
@@ -123,6 +145,7 @@ let rules =
     hashtbl_order_rule;
     unsafe_index_rule;
     bare_eprintf_rule;
+    gemv_batch_rule;
   ]
 
 (* ---- detection helpers ---- *)
@@ -184,6 +207,7 @@ let lint_ast ~path ast =
           }
           :: !findings
   in
+  let for_depth = ref 0 in
   let expr sub e =
     (match e.pexp_desc with
     | Pexp_apply (f, [ (_, a); (_, b) ])
@@ -222,6 +246,14 @@ let lint_ast ~path ast =
                   silently corrupts shared arena memory"
                  fn)
         | _ -> ());
+        (match last_of txt with
+        | Some (("gemv" | "gemv_t" | "matvec") as fn) when !for_depth > 0 ->
+            add gemv_batch_rule loc
+              (Printf.sprintf
+                 "%s inside a for loop runs one row at a time; batch the \
+                  rows and call gemm/matmul once per step"
+                 fn)
+        | _ -> ());
         match txt with
         | Longident.Ldot (Longident.Lident ("Printf" | "Format"), "eprintf")
         | Longident.Lident "eprintf" ->
@@ -230,7 +262,12 @@ let lint_ast ~path ast =
                config.log callback"
         | _ -> ())
     | _ -> ());
-    Ast_iterator.default_iterator.expr sub e
+    match e.pexp_desc with
+    | Pexp_for _ ->
+        incr for_depth;
+        Ast_iterator.default_iterator.expr sub e;
+        decr for_depth
+    | _ -> Ast_iterator.default_iterator.expr sub e
   in
   let iterator = { Ast_iterator.default_iterator with expr } in
   iterator.structure iterator ast;

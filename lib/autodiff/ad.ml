@@ -1,4 +1,5 @@
 module T = Dt_tensor.Tensor
+module G = Dt_tensor.Gemm
 
 (* Unary op kinds share one tape constructor; forward/backward dispatch on
    the kind with direct loops (no per-element closure calls). *)
@@ -33,6 +34,14 @@ and op =
   | SumAll of node
   | ReduceMax of node * int (* v, argmax at forward time *)
   | Mape of node * float (* pred, target *)
+  (* ---- batched (matmul-class) ops ---- *)
+  | Matmul of node * node (* x [B x k], w [n x k]; out = x w^T *)
+  | AddRow of node * node (* a [B x n] + broadcast bias [1 x n] *)
+  | StackRows of (node * int) array (* out row r = row i of source r *)
+  | ColSlice of node * int (* v, pos; contiguous column window copy *)
+  | ConcatCols of node array (* horizontal concat of [B x *] blocks *)
+  | RowBlend of node * node * float array (* mask row-selects a / b *)
+  | MapeBatch of node * float array (* pred [B x 1], per-row targets *)
 
 type ctx = {
   mutable buf : T.buf; (* arena; abandoned (not copied) on growth *)
@@ -132,19 +141,36 @@ let op_name = function
   | SumAll _ -> "sum_all"
   | ReduceMax _ -> "reduce_max"
   | Mape _ -> "mape"
+  | Matmul _ -> "matmul"
+  | AddRow _ -> "add_row"
+  | StackRows _ -> "stack_rows"
+  | ColSlice _ -> "cols"
+  | ConcatCols _ -> "concat_cols"
+  | RowBlend _ -> "row_blend"
+  | MapeBatch _ -> "mape_batch"
 
 let operands = function
   | Leaf | Const -> []
-  | Matvec (a, b) | Add (a, b) | Mul (a, b) | Max2 (a, b) | Div (a, b) ->
+  | Matvec (a, b)
+  | Add (a, b)
+  | Mul (a, b)
+  | Max2 (a, b)
+  | Div (a, b)
+  | Matmul (a, b)
+  | AddRow (a, b)
+  | RowBlend (a, b, _) ->
       [ a; b ]
   | Row (a, _)
   | Slice (a, _)
   | Unary (a, _)
   | SumAll a
   | ReduceMax (a, _)
-  | Mape (a, _) ->
+  | Mape (a, _)
+  | ColSlice (a, _)
+  | MapeBatch (a, _) ->
       [ a ]
-  | Concat parts -> Array.to_list parts
+  | Concat parts | ConcatCols parts -> Array.to_list parts
+  | StackRows parts -> Array.to_list (Array.map fst parts)
 
 let shape_str (t : T.t) = Printf.sprintf "%dx%d" t.T.rows t.T.cols
 
@@ -540,6 +566,174 @@ let mape ctx pred ~target =
   if !sanitize then ignore (san_output "mape" n);
   n
 
+(* ---- batched (matmul-class) ops ----
+
+   The batched LSTM packs B sequences per timestep into [B x hidden]
+   matrices; these ops are the matrix analogues of matvec / add / slice
+   / concat / mape, with both gradient paths expressed as gemm calls. *)
+
+let matmul ctx ~x ~w =
+  if !sanitize && x.value.T.cols <> w.value.T.cols then
+    raise
+      (Shape_error
+         (Printf.sprintf
+            "Ad.matmul: x is %s, w is %s; inner dimensions (x cols, w cols) \
+             must match"
+            (shape_str x.value) (shape_str w.value)));
+  if x.value.T.cols <> w.value.T.cols then invalid_arg "Ad.matmul: shape mismatch";
+  let n = make ctx ~rows:x.value.T.rows ~cols:w.value.T.rows (Matmul (x, w)) in
+  (* Fault site: the beta-accumulate class for the gemm family —
+     accumulating into a fresh (poisoned) arena slot, the matrix analogue
+     of ad.gemv_beta. *)
+  let beta = if Dt_util.Faultsim.fire "ad.gemm_beta" then 1.0 else 0.0 in
+  G.gemm_nt ~a:x.value ~b:w.value ~c:n.value ~beta;
+  if !sanitize then ignore (san_output "matmul" n);
+  n
+
+let add_row ctx a ~bias =
+  if !sanitize
+     && (bias.value.T.rows <> 1 || bias.value.T.cols <> a.value.T.cols)
+  then
+    raise
+      (Shape_error
+         (Printf.sprintf "Ad.add_row: a is %s, bias is %s (expected 1x%d)"
+            (shape_str a.value) (shape_str bias.value) a.value.T.cols));
+  if bias.value.T.rows <> 1 || bias.value.T.cols <> a.value.T.cols then
+    invalid_arg "Ad.add_row: shape mismatch";
+  let rows = a.value.T.rows and cols = a.value.T.cols in
+  let n = make ctx ~rows ~cols (AddRow (a, bias)) in
+  let av = a.value and bv = bias.value and nv = n.value in
+  for i = 0 to rows - 1 do
+    let ab = av.T.off + (i * av.T.rs)
+    and nb = nv.T.off + (i * nv.T.rs) in
+    for j = 0 to cols - 1 do
+      Bigarray.Array1.unsafe_set nv.T.data (nb + j)
+        (Bigarray.Array1.unsafe_get av.T.data (ab + j)
+        +. Bigarray.Array1.unsafe_get bv.T.data (bv.T.off + j))
+    done
+  done;
+  if !sanitize then ignore (san_output "add_row" n);
+  n
+
+let stack_rows ctx parts =
+  if Array.length parts = 0 then invalid_arg "Ad.stack_rows: empty";
+  let cols = (fst parts.(0)).value.T.cols in
+  Array.iteri
+    (fun r (p, i) ->
+      if p.value.T.cols <> cols then
+        if !sanitize then
+          raise
+            (Shape_error
+               (Printf.sprintf
+                  "Ad.stack_rows: source %d is %s, expected %d columns" r
+                  (shape_str p.value) cols))
+        else invalid_arg "Ad.stack_rows: column mismatch";
+      if i < 0 || i >= p.value.T.rows then
+        invalid_arg "Ad.stack_rows: row index out of range")
+    parts;
+  let n = make ctx ~rows:(Array.length parts) ~cols (StackRows parts) in
+  Array.iteri
+    (fun r (p, i) ->
+      T.blit ~src:(T.row_view p.value i) ~dst:(T.row_view n.value r))
+    parts;
+  if !sanitize then ignore (san_output "stack_rows" n);
+  n
+
+let cols ctx v ~pos ~len =
+  if pos < 0 || len <= 0 || pos + len > v.value.T.cols then
+    if !sanitize then
+      raise
+        (Shape_error
+           (Printf.sprintf
+              "Ad.cols: column window [%d, %d) out of range for operand %s"
+              pos (pos + len) (shape_str v.value)))
+    else invalid_arg "Ad.cols: out of range";
+  let rows = v.value.T.rows in
+  let n = make ctx ~rows ~cols:len (ColSlice (v, pos)) in
+  let vv = v.value and nv = n.value in
+  for i = 0 to rows - 1 do
+    let vb = vv.T.off + (i * vv.T.rs) + pos
+    and nb = nv.T.off + (i * nv.T.rs) in
+    for j = 0 to len - 1 do
+      Bigarray.Array1.unsafe_set nv.T.data (nb + j)
+        (Bigarray.Array1.unsafe_get vv.T.data (vb + j))
+    done
+  done;
+  if !sanitize then ignore (san_output "cols" n);
+  n
+
+let concat_cols ctx parts =
+  if parts = [] then invalid_arg "Ad.concat_cols: empty";
+  let parts = Array.of_list parts in
+  let rows = parts.(0).value.T.rows in
+  Array.iteri
+    (fun i p ->
+      if p.value.T.rows <> rows then
+        if !sanitize then
+          raise
+            (Shape_error
+               (Printf.sprintf
+                  "Ad.concat_cols: part %d is %s, expected %d rows" i
+                  (shape_str p.value) rows))
+        else invalid_arg "Ad.concat_cols: row mismatch")
+    parts;
+  let total = Array.fold_left (fun acc p -> acc + p.value.T.cols) 0 parts in
+  let n = make ctx ~rows ~cols:total (ConcatCols parts) in
+  let off = ref 0 in
+  Array.iter
+    (fun p ->
+      let pc = p.value.T.cols in
+      for i = 0 to rows - 1 do
+        T.blit_sub
+          ~src:(T.row_view p.value i)
+          ~spos:0
+          ~dst:(T.row_view n.value i)
+          ~dpos:!off ~len:pc
+      done;
+      off := !off + pc)
+    parts;
+  if !sanitize then ignore (san_output "concat_cols" n);
+  n
+
+let row_blend ctx ~mask a b =
+  if !sanitize then san_same ctx "row_blend" a b;
+  if not (T.same_shape a.value b.value) then
+    invalid_arg "Ad.row_blend: shape mismatch";
+  if Array.length mask <> a.value.T.rows then
+    invalid_arg "Ad.row_blend: mask length";
+  let rows = a.value.T.rows and width = a.value.T.cols in
+  let n = make ctx ~rows ~cols:width (RowBlend (a, b, mask)) in
+  for i = 0 to rows - 1 do
+    let src = if not (Float.equal mask.(i) 0.0) then a.value else b.value in
+    T.blit ~src:(T.row_view src i) ~dst:(T.row_view n.value i)
+  done;
+  if !sanitize then ignore (san_output "row_blend" n);
+  n
+
+let mape_batch ctx pred ~targets =
+  if !sanitize && pred.value.T.cols <> 1 then
+    raise
+      (Shape_error
+         (Printf.sprintf "Ad.mape_batch: prediction is %s, expected Bx1"
+            (shape_str pred.value)));
+  if pred.value.T.cols <> 1 then invalid_arg "Ad.mape_batch: prediction shape";
+  let rows = pred.value.T.rows in
+  if Array.length targets <> rows then
+    invalid_arg "Ad.mape_batch: targets length";
+  Array.iter
+    (fun t -> if t <= 0.0 then invalid_arg "Ad.mape_batch: target must be positive")
+    targets;
+  let n = make ctx ~rows ~cols:1 (MapeBatch (pred, targets)) in
+  let pv = pred.value and nv = n.value in
+  for i = 0 to rows - 1 do
+    let p = Bigarray.Array1.unsafe_get pv.T.data (pv.T.off + (i * pv.T.rs)) in
+    Bigarray.Array1.unsafe_set nv.T.data
+      (nv.T.off + (i * nv.T.rs))
+      (Float.abs (p -. targets.(i)) /. targets.(i))
+  done;
+  if !sanitize then ignore (san_output "mape_batch" n);
+  n
+
 (* ---- reverse pass ---- *)
 
 let backprop n =
@@ -607,6 +801,73 @@ let backprop n =
       let sign = if diff >= 0.0 then 1.0 else -1.0 in
       T.unsafe_set1 pred.grad 0
         (T.unsafe_get1 pred.grad 0 +. (T.unsafe_get1 n.grad 0 *. sign /. target))
+  | Matmul (x, w) ->
+      (* out = x w^T, so dX += dOut w and dW += dOut^T x; both paths are
+         single gemm calls accumulating into existing gradient buffers. *)
+      G.gemm ~a:n.grad ~b:w.value ~c:x.grad ~beta:1.0;
+      G.gemm_tn ~a:n.grad ~b:x.value ~c:w.grad ~beta:1.0
+  | AddRow (a, bias) ->
+      T.axpy ~alpha:1.0 ~x:n.grad ~y:a.grad;
+      let rows = n.value.T.rows and width = n.value.T.cols in
+      let g = n.grad and bg = bias.grad in
+      for i = 0 to rows - 1 do
+        let gb = g.T.off + (i * g.T.rs) in
+        for j = 0 to width - 1 do
+          Bigarray.Array1.unsafe_set bg.T.data (bg.T.off + j)
+            (Bigarray.Array1.unsafe_get bg.T.data (bg.T.off + j)
+            +. Bigarray.Array1.unsafe_get g.T.data (gb + j))
+        done
+      done
+  | StackRows parts ->
+      let width = n.value.T.cols in
+      Array.iteri
+        (fun r (p, i) ->
+          T.axpy_at ~alpha:1.0
+            ~x:(T.row_view n.grad r)
+            ~y:p.grad ~ypos:(i * width))
+        parts
+  | ColSlice (v, pos) ->
+      let rows = n.value.T.rows and len = n.value.T.cols in
+      let g = n.grad and vg = v.grad in
+      for i = 0 to rows - 1 do
+        let gb = g.T.off + (i * g.T.rs)
+        and vb = vg.T.off + (i * vg.T.rs) + pos in
+        for j = 0 to len - 1 do
+          Bigarray.Array1.unsafe_set vg.T.data (vb + j)
+            (Bigarray.Array1.unsafe_get vg.T.data (vb + j)
+            +. Bigarray.Array1.unsafe_get g.T.data (gb + j))
+        done
+      done
+  | ConcatCols parts ->
+      let rows = n.value.T.rows in
+      let off = ref 0 in
+      Array.iter
+        (fun p ->
+          let pc = p.value.T.cols in
+          for i = 0 to rows - 1 do
+            T.axpy_from ~alpha:1.0
+              ~x:(T.row_view n.grad i)
+              ~xpos:!off ~len:pc
+              ~y:(T.row_view p.grad i)
+          done;
+          off := !off + pc)
+        parts
+  | RowBlend (a, b, mask) ->
+      for i = 0 to n.value.T.rows - 1 do
+        let dst = if not (Float.equal mask.(i) 0.0) then a.grad else b.grad in
+        T.axpy ~alpha:1.0 ~x:(T.row_view n.grad i) ~y:(T.row_view dst i)
+      done
+  | MapeBatch (pred, targets) ->
+      let pv = pred.value and pg = pred.grad and g = n.grad in
+      for i = 0 to n.value.T.rows - 1 do
+        let p = Bigarray.Array1.unsafe_get pv.T.data (pv.T.off + (i * pv.T.rs)) in
+        let sign = if p -. targets.(i) >= 0.0 then 1.0 else -1.0 in
+        let gp = pg.T.off + (i * pg.T.rs) in
+        Bigarray.Array1.unsafe_set pg.T.data gp
+          (Bigarray.Array1.unsafe_get pg.T.data gp
+          +. (Bigarray.Array1.unsafe_get g.T.data (g.T.off + (i * g.T.rs))
+              *. sign /. targets.(i)))
+      done
 
 (* ---- gradient-flow audit ----
 

@@ -154,6 +154,54 @@ val scale : ctx -> node -> float -> node
     Requires [target > 0]. *)
 val mape : ctx -> node -> target:float -> node
 
+(* ---- batched (matmul-class) ops ----
+
+   Matrix analogues of matvec / add / slice / concat / mape for the
+   batched LSTM path: rows index sequences within a minibatch.  All of
+   them carry the same sanitizer support as the vector ops (shape
+   inference, context/generation stamps, post-op poison scan, flow
+   audit), and both matmul gradient paths are expressed as gemm calls
+   into existing gradient buffers (the beta-accumulate class; the
+   [ad.gemm_beta] fault site reintroduces the fresh-slot-accumulate bug
+   for the poison detector). *)
+
+(** [matmul ctx ~x ~w] — [x w^T] with [x : B x k] and [w : n x k]
+    ([w] laid out exactly as {!matvec}'s matrix, so the same weight leaf
+    serves both paths).  Backward: [dX += dOut w], [dW += dOut^T x]. *)
+val matmul : ctx -> x:node -> w:node -> node
+
+(** [add_row ctx a ~bias] — broadcast-add a [1 x n] bias row to every
+    row of [a].  Backward accumulates the bias gradient as ordered
+    column sums (ascending row index, deterministic). *)
+val add_row : ctx -> node -> bias:node -> node
+
+(** [stack_rows ctx parts] — gather: output row [r] is row [i] of source
+    [p] where [parts.(r) = (p, i)].  Sources may be leaves (embedding
+    tables) or tape nodes; backward scatter-adds each output row's
+    gradient into its source row. *)
+val stack_rows : ctx -> (node * int) array -> node
+
+(** [cols ctx v ~pos ~len] — copy of the column window
+    [pos, pos + len) of every row (the batched analogue of {!slice};
+    a copy rather than a view because rows are not contiguous). *)
+val cols : ctx -> node -> pos:int -> len:int -> node
+
+(** [concat_cols ctx parts] — horizontal concatenation of same-height
+    blocks (the batched analogue of {!concat}). *)
+val concat_cols : ctx -> node list -> node
+
+(** [row_blend ctx ~mask a b] — row [i] of the result is row [i] of [a]
+    where [mask.(i) <> 0.0] and of [b] otherwise; gradients flow only to
+    the selected side.  This is how padded timesteps keep the previous
+    LSTM state bit-for-bit: values are copied, never recomputed. *)
+val row_blend : ctx -> mask:float array -> node -> node -> node
+
+(** [mape_batch ctx pred ~targets] — per-row relative error
+    [|pred_i - t_i| / t_i] as a [B x 1] node; sum it with {!sum_all} for
+    a batch loss whose gradient equals the sum of per-sequence {!mape}
+    losses.  Every target must be positive. *)
+val mape_batch : ctx -> node -> targets:float array -> node
+
 (** [backward ctx loss] seeds the loss adjoint with 1 and runs the tape in
     reverse, accumulating into every reachable gradient buffer. *)
 val backward : ctx -> node -> unit

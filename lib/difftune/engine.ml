@@ -325,18 +325,30 @@ let collect ?checkpoint_dir ?health config (spec : Spec.t) blocks =
         Array.make n { block_idx = 0; per = [||]; global = [||]; target = 0.0 }
       in
       (* One decorrelated RNG per sample (SplitMix-style seeding) makes each
-         sample independent of execution order. *)
+         sample independent of execution order.  Timings are memoized
+         under (table digest, block digest): the timing is a pure
+         function of that pair, so the memo cannot change any sample —
+         it only skips re-simulating colliding draws. *)
       let base = config.seed lxor 0x1d1f_f7 in
+      let cache = Simcache.create ~capacity:8192 in
+      let block_keys = Array.map (fun (_, b) -> Simcache.block_key b) eligible in
       with_pool (fun pool ->
           Pool.run pool n (fun i ->
               let rng = Rng.create (base + i) in
-              let block_idx, block =
-                eligible.(Rng.int rng (Array.length eligible))
-              in
+              let ei = Rng.int rng (Array.length eligible) in
+              let block_idx, block = eligible.(ei) in
               let table = spec.sample rng in
-              let target = spec.timing table block in
+              let target =
+                Simcache.find_or_add cache
+                  (Simcache.key ~table:(table_digest table)
+                     ~block:block_keys.(ei))
+                  (fun () -> spec.timing table block)
+              in
               let per, global = Spec.normalize_block spec table block in
               out.(i) <- { block_idx; per; global; target }));
+      config.log
+        (Printf.sprintf "collect: simulation memo cache %d hits / %d misses"
+           (Simcache.hits cache) (Simcache.misses cache));
       (match checkpoint_dir with
       | None -> ()
       | Some dir ->
@@ -376,26 +388,78 @@ let replicate model =
   Nn.Store.copy_values ~src:(Model.store model) ~dst:(Model.store m);
   m
 
-let sample_loss model ctx (spec : Spec.t) block (s : sim_sample) =
-  let params =
-    {
-      Model.per_instr =
-        Array.map (fun v -> Ad.constant ctx (T.vector v)) s.per;
-      global =
-        (if Array.length s.global = 0 then None
-         else Some (Ad.constant ctx (T.vector s.global)));
-    }
-  in
-  let features =
-    if (Model.config model).feature_width = 0 then None
-    else
-      match spec.bounds with
-      | Some f ->
-          Some (f ctx block ~per:params.per_instr ~global:params.global)
-      | None -> None
-  in
-  let pred = Model.predict model ctx block ~params:(Some params) ~features in
-  Ad.mape ctx pred ~target:(Float.max s.target 1e-3)
+(* ---- batched surrogate training helpers ----
+
+   Each shard trains on length-bucketed minibatches: its schedule slice
+   is grouped by the power-of-two bucket of the block length (the same
+   bucketing policy the model uses internally for sequence packing) and
+   every bucket becomes one [Model.train_batch] call.  Bucketing is by
+   sorted unique key with first-appearance order inside a bucket, so the
+   grouping depends only on the schedule — never on domain count or
+   hash-table iteration order. *)
+
+let bucket_len n =
+  let b = ref 1 in
+  while !b < n do
+    b := !b * 2
+  done;
+  !b
+
+(* Analytic-bound features for one sample, evaluated to plain floats on
+   the shard's context (reset first; [Model.train_batch] resets again
+   before building its own graph).  During surrogate training the
+   parameters are constants, so the feature values are identical to the
+   nodes the per-sequence path would have built. *)
+let eval_features model ctx (spec : Spec.t) block (s : sim_sample) =
+  if (Model.config model).feature_width = 0 then None
+  else
+    match spec.bounds with
+    | None -> None
+    | Some f ->
+        Ad.reset ctx;
+        let per = Array.map (fun v -> Ad.constant ctx (T.vector v)) s.per in
+        let global =
+          if Array.length s.global = 0 then None
+          else Some (Ad.constant ctx (T.vector s.global))
+        in
+        Some (T.to_array (Ad.value (f ctx block ~per ~global)))
+
+let train_shard_batched model ctx (spec : Spec.t) blocks
+    (data : sim_sample array) sched losses ~lo ~hi =
+  if hi > lo then begin
+    let steps = Array.init (hi - lo) (fun i -> lo + i) in
+    let key step =
+      let s = data.(sched.(step)) in
+      bucket_len (Dt_x86.Block.length blocks.(s.block_idx))
+    in
+    let keys = List.sort_uniq compare (Array.to_list (Array.map key steps)) in
+    List.iter
+      (fun k ->
+        let bucket =
+          Array.of_list
+            (List.filter (fun step -> key step = k) (Array.to_list steps))
+        in
+        let samples =
+          Array.map
+            (fun step ->
+              let s = data.(sched.(step)) in
+              let block = blocks.(s.block_idx) in
+              {
+                Model.bblock = block;
+                bparams = Some (s.per, s.global);
+                bfeatures = eval_features model ctx spec block s;
+              })
+            bucket
+        in
+        let targets =
+          Array.map
+            (fun step -> Float.max data.(sched.(step)).target 1e-3)
+            bucket
+        in
+        let ls = Model.train_batch model ctx samples ~targets in
+        Array.iteri (fun i step -> losses.(step) <- ls.(i)) bucket)
+      keys
+  end
 
 (* The epoch shuffles consume the RNG sequentially, so the whole visit
    order is fixed up front; shards then index into it. *)
@@ -410,8 +474,13 @@ let make_schedule rng ~n ~steps =
 let shard_range ~lo ~size k =
   (lo + (k * size / n_shards), lo + ((k + 1) * size / n_shards))
 
+(* The [bucketed] tag versions the fingerprint: batched minibatches sum
+   per-sample gradients in a different floating-point order than the old
+   per-sequence loop, so a mid-phase checkpoint from either path must
+   not resume into the other. *)
 let surrogate_fp config (spec : Spec.t) ~n ~params =
-  Printf.sprintf "surrogate|%s|seed=%d|n=%d|passes=%g|lr=%g|batch=%d|params=%d"
+  Printf.sprintf
+    "surrogate|%s|seed=%d|n=%d|passes=%g|lr=%g|batch=%d|params=%d|bucketed"
     spec.name config.seed n config.surrogate_passes config.surrogate_lr
     config.batch params
 
@@ -544,14 +613,8 @@ let train_surrogate ?checkpoint_dir ?health config spec model
             let bsize = min config.batch (steps - b0) in
             Pool.run pool n_shards (fun k ->
                 let lo, hi = shard_range ~lo:b0 ~size:bsize k in
-                let m = replicas.(k) and ctx = ctxs.(k) in
-                for step = lo to hi - 1 do
-                  Ad.reset ctx;
-                  let s = data.(sched.(step)) in
-                  let loss = sample_loss m ctx spec blocks.(s.block_idx) s in
-                  Ad.backward ctx loss;
-                  losses.(step) <- Ad.scalar_value loss
-                done);
+                train_shard_batched replicas.(k) ctxs.(k) spec blocks data
+                  sched losses ~lo ~hi);
             Array.iter
               (fun m ->
                 let rs = Model.store m in
@@ -1199,3 +1262,20 @@ let ithemal_predict ~features model block =
   | Some f when (Model.config model).feature_width <> 0 ->
       Model.predict_value model block ~params:None ~features:(f block) ()
   | _ -> Model.predict_value model block ~params:None ()
+
+let ithemal_predict_batch ~features model blocks =
+  let with_feats = (Model.config model).feature_width <> 0 in
+  let samples =
+    Array.map
+      (fun block ->
+        {
+          Model.bblock = block;
+          bparams = None;
+          bfeatures =
+            (match features with
+            | Some f when with_feats -> Some (f block)
+            | _ -> None);
+        })
+      blocks
+  in
+  Model.predict_batch_value model samples

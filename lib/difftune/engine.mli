@@ -88,7 +88,11 @@ val collect :
 val make_model : config -> Spec.t -> Dt_util.Rng.t -> Model.t
 
 (** [train_surrogate config spec model data blocks] — SGD/Adam over the
-    simulated dataset; returns the final average training loss.  With
+    simulated dataset; returns the final average training loss.  Each
+    shard trains on length-bucketed minibatches through the batched
+    surrogate path ({!Model.train_batch}); work is still split into a
+    fixed number of shards reduced in shard order, so results are
+    bit-identical whatever [DIFFTUNE_DOMAINS] says.  With
     [?checkpoint_dir] the phase checkpoints periodically and resumes
     mid-epoch; numeric-health incidents are counted in [?health]. *)
 val train_surrogate :
@@ -161,3 +165,11 @@ val train_ithemal :
 val ithemal_predict :
   features:(Dt_x86.Block.t -> float array) option -> Model.t ->
   Dt_x86.Block.t -> float
+
+(** Batched {!ithemal_predict}: one {!Model.predict_batch_value} call
+    over all blocks (each block's prediction is bit-identical to the
+    scalar path).  Not thread-safe — uses the model's scratch
+    workspace. *)
+val ithemal_predict_batch :
+  features:(Dt_x86.Block.t -> float array) option -> Model.t ->
+  Dt_x86.Block.t array -> float array

@@ -1,0 +1,47 @@
+(** Content-addressed memo cache for simulator timings.
+
+    A simulated timing is a pure function of the (parameter table,
+    canonical block) pair, so repeated simulations can be served from a
+    bounded LRU keyed by a digest of both.  Used by {!Engine.collect}
+    (the simulated-dataset phase re-simulates popular blocks under
+    colliding tables) and by the mca serving backend (production traffic
+    repeats hot blocks under one fixed table).
+
+    Thread-safe; one mutex guards the table and recency list.  Values
+    are computed outside the lock, and only successful computations are
+    cached — an exception from the compute function propagates without
+    inserting anything. *)
+
+type t
+
+(** [create ~capacity] — an empty cache holding at most [capacity]
+    entries; the least recently used entry is evicted first.  Raises
+    [Invalid_argument] when [capacity < 1]. *)
+val create : capacity:int -> t
+
+(** [find t key] — cached value, refreshing recency.  Counts a hit or a
+    miss. *)
+val find : t -> string -> float option
+
+(** [add t key v] — insert (or refresh) a binding, evicting the LRU
+    entry when over capacity.  Does not count hits/misses. *)
+val add : t -> string -> float -> unit
+
+(** [find_or_add t key compute] — [find], or on a miss [compute ()]
+    outside the lock and {!add} the result.  Concurrent misses on one
+    key may compute it more than once; the function must be pure. *)
+val find_or_add : t -> string -> (unit -> float) -> float
+
+val hits : t -> int
+val misses : t -> int
+val length : t -> int
+
+(** FNV-1a 64 digest of a string, as 16 hex characters. *)
+val digest_string : string -> string
+
+(** Digest of a block's canonical text. *)
+val block_key : Dt_x86.Block.t -> string
+
+(** [key ~table ~block] — composite cache key from a table digest and a
+    block digest. *)
+val key : table:string -> block:string -> string

@@ -61,6 +61,11 @@ module Linear : sig
 
   val create : Store.t -> Dt_util.Rng.t -> name:string -> input:int -> output:int -> t
   val forward : t -> Ad.ctx -> Ad.node -> Ad.node
+
+  (** [forward_batch t ctx x] applies the layer to every row of a
+      [B x input] node; row [i] equals [forward] on row [i] bit for
+      bit. *)
+  val forward_batch : t -> Ad.ctx -> Ad.node -> Ad.node
 end
 
 (** Embedding lookup table: vocabulary of [count] vectors of size [dim]. *)
@@ -69,6 +74,10 @@ module Embedding : sig
 
   val create : Store.t -> Dt_util.Rng.t -> name:string -> count:int -> dim:int -> t
   val forward : t -> Ad.ctx -> int -> Ad.node
+
+  (** [forward_batch t ctx indices] gathers the indexed rows into one
+      [B x dim] node (a single tape op instead of B lookups). *)
+  val forward_batch : t -> Ad.ctx -> int array -> Ad.node
 end
 
 (** A stack of LSTM layers processing a sequence of vector nodes and
@@ -90,6 +99,19 @@ module Lstm : sig
   (** [forward t ctx inputs] runs the stack over the sequence (empty
       input is invalid) and returns the final top hidden state. *)
   val forward : t -> Ad.ctx -> Ad.node list -> Ad.node
+
+  (** [forward_batch t ctx ~batch inputs] runs the stack over B
+      right-padded sequences at once.  Each list element is one
+      timestep: a [batch x input] node whose row [i] is sequence [i]'s
+      input at that step, plus an optional mask ([None] means all rows
+      live).  Rows with mask 0 are padding: the previous h/c are carried
+      through by copy, so each sequence's final state is bit-identical
+      to {!forward} on that sequence alone, and padded rows contribute
+      exactly zero gradient.  Padded input rows must still hold defined
+      values (zeros).  Returns the top layer's final [batch x hidden]
+      state. *)
+  val forward_batch :
+    t -> Ad.ctx -> batch:int -> (Ad.node * float array option) list -> Ad.node
 end
 
 (** Optimizers.  Gradients are expected to be *sums* over a minibatch;

@@ -25,11 +25,29 @@ type t = {
       (** May raise; the runtime treats
           [Dt_mca.Pipeline.Budget_exceeded] as a deadline and any other
           exception as a transient worker fault. *)
+  predict_batch : (cycle_budget:int -> Dt_x86.Block.t array -> float array) option;
+      (** Optional batched entry point: one call predicting a whole
+          admitted batch.  The runtime uses it to prefetch the first
+          lane's predictions on the drain thread (single caller at a
+          time); per-request results must match [predict] on each block.
+          May raise — the runtime then falls back to per-request
+          [predict]. *)
+  xstats : (unit -> (string * string) list) option;
+      (** Optional backend-specific counters merged into the [stats]
+          response under [<name>.<key>]. *)
 }
 
-(** [mca ?params uarch] — the llvm-mca clone under [params] (default:
-    the expert table for [uarch]).  Validates [params] once, here. *)
-val mca : ?params:Dt_mca.Params.t -> Dt_refcpu.Uarch.uarch -> t
+(** [mca ?params ?cache_capacity uarch] — the llvm-mca clone under
+    [params] (default: the expert table for [uarch]).  Validates
+    [params] once, here.  Timings are memoized per canonical block in a
+    bounded LRU ({!Dt_difftune.Simcache}, [cache_capacity] entries,
+    default 1024) — the serving table is fixed, so repeated blocks cost
+    one lookup; hit/miss counters surface through [xstats].  A
+    [serve.slow_block] fault hit bypasses the cache in both directions
+    (the pathological table must reach the deadline watchdog, and its
+    timing must never be cached). *)
+val mca :
+  ?params:Dt_mca.Params.t -> ?cache_capacity:int -> Dt_refcpu.Uarch.uarch -> t
 
 (** Analytic bound backend (named ["bound"]); ignores the cycle
     budget — its cost is O(block length). *)
@@ -37,9 +55,15 @@ val bound : Dt_refcpu.Uarch.uarch -> t
 
 (** [surrogate ~features model] — a model trained by
     [Dt_difftune.Engine.train_ithemal]; [features] must match training
-    time.  Named ["surrogate"]. *)
+    time.  Named ["surrogate"].  Provides [predict_batch] through the
+    batched surrogate path, each prediction bit-identical to
+    [predict]. *)
 val surrogate :
   features:(Dt_x86.Block.t -> float array) option -> Dt_surrogate.Model.t -> t
 
-(** Arbitrary predictor, for tests and custom deployments. *)
-val custom : string -> (cycle_budget:int -> Dt_x86.Block.t -> float) -> t
+(** Arbitrary predictor, for tests and custom deployments; [?batch] and
+    [?xstats] populate the optional fields. *)
+val custom :
+  ?batch:(cycle_budget:int -> Dt_x86.Block.t array -> float array) ->
+  ?xstats:(unit -> (string * string) list) ->
+  string -> (cycle_budget:int -> Dt_x86.Block.t -> float) -> t

@@ -164,8 +164,13 @@ let backoff t rng attempt_no =
 (* Runs on a pool worker.  Returns [Ok cycles] or [Error reason_slug].
    Deadline overruns are terminal for the backend (retrying a slow block
    just burns another budget); everything else is transient and retried
-   with backoff. *)
-let attempt t lane rng block =
+   with backoff.  [?prefetched] short-circuits attempt 0 with a value
+   the drain thread already computed through the backend's batched entry
+   point; every other piece of the contract — breaker acquisition and
+   accounting, request counters, fault injection, validity checks,
+   retries — is unchanged, and a rejected prefetch (non-finite) retries
+   through the scalar path. *)
+let attempt t lane rng ?prefetched block =
   let rec go attempt_no =
     if not (Breaker.acquire lane.breaker) then begin
       locked t (fun () ->
@@ -177,7 +182,10 @@ let attempt t lane rng block =
         locked t (fun () -> lane.bstats.requests <- lane.bstats.requests + 1);
       match
         Faultsim.fire_exn "serve.worker_crash";
-        lane.backend.Backend.predict ~cycle_budget:t.cfg.cycle_budget block
+        match prefetched with
+        | Some v when attempt_no = 0 -> v
+        | _ ->
+            lane.backend.Backend.predict ~cycle_budget:t.cfg.cycle_budget block
       with
       | v when Float.is_finite v && v >= 0.0 ->
           Breaker.success lane.breaker;
@@ -206,7 +214,7 @@ let attempt t lane rng block =
 
 (* ---- the degradation chain (runs on a pool worker) ---- *)
 
-let process t entry =
+let process t ?lane0_value entry =
   match Dt_x86.Parser.block_result entry.asm with
   | Error e ->
       Error
@@ -225,7 +233,8 @@ let process t entry =
                 Error (Fault.Backend_unavailable { backend = b; reason })
             | failed -> Error (Fault.All_backends_failed { chain = failed }))
         | lane :: rest -> (
-            match attempt t lane entry.rng block with
+            let prefetched = if via = [] then lane0_value else None in
+            match attempt t lane entry.rng ?prefetched block with
             | Ok cycles ->
                 locked t (fun () ->
                     lane.bstats.served <- lane.bstats.served + 1;
@@ -247,6 +256,44 @@ let process t entry =
 
 (* ---- batch evaluation on the pool ---- *)
 
+(* Batched lane-0 prefetch, on the drain thread: when the first backend
+   offers [predict_batch] and its breaker is closed, the whole admitted
+   batch is predicted with one call, and each request's attempt 0
+   consumes its value instead of a scalar call.  Any shortfall — no
+   batched entry point, open breaker, unparsable entries, an exception
+   or a wrong-length result — degrades to the per-request path; the
+   prefetch itself never touches breakers or counters. *)
+let prefetch_lane0 t entries =
+  let n = Array.length entries in
+  let none () = Array.make n None in
+  match t.lanes with
+  | { backend = { Backend.predict_batch = Some pb; _ }; breaker; _ } :: _
+    when Breaker.state breaker = Breaker.Closed -> (
+      let blocks =
+        Array.map
+          (fun e ->
+            match Dt_x86.Parser.block_result e.asm with
+            | Ok (_ :: _ as instrs) -> Some (Dt_x86.Block.of_list instrs)
+            | Ok [] | Error _ -> None)
+          entries
+      in
+      let idx = ref [] in
+      Array.iteri
+        (fun i b -> if Option.is_some b then idx := i :: !idx)
+        blocks;
+      let idxs = Array.of_list (List.rev !idx) in
+      if Array.length idxs = 0 then none ()
+      else
+        let packed = Array.map (fun i -> Option.get blocks.(i)) idxs in
+        match pb ~cycle_budget:t.cfg.cycle_budget packed with
+        | vals when Array.length vals = Array.length idxs ->
+            let out = none () in
+            Array.iteri (fun j i -> out.(i) <- Some vals.(j)) idxs;
+            out
+        | _ -> none ()
+        | exception _ -> none ())
+  | _ -> none ()
+
 let drain_batch t =
   let entries =
     locked t (fun () ->
@@ -263,9 +310,16 @@ let drain_batch t =
         (Error
            (Fault.All_backends_failed { chain = [ ("runtime", "batch_aborted") ] }))
     in
+    let prefetch =
+      try prefetch_lane0 t entries
+      with e ->
+        Dt_util.Log.warn "serve: lane-0 prefetch failed: %s"
+          (Printexc.to_string e);
+        Array.make n None
+    in
     (try
        Dt_util.Pool.run t.pool n (fun i ->
-           results.(i) <- process t entries.(i))
+           results.(i) <- process t ?lane0_value:prefetch.(i) entries.(i))
      with e ->
        Dt_util.Log.warn "serve: batch aborted by worker error: %s"
          (Printexc.to_string e));
@@ -329,6 +383,11 @@ let stats_pairs t =
           p "breaker_closed" (i closed);
           p "breaker_rejected" (i rejected);
         ])
+    @
+    match lane.backend.Backend.xstats with
+    | None -> []
+    | Some f ->
+        List.map (fun (k, v) -> (lane.backend.Backend.name ^ "." ^ k, v)) (f ())
   in
   global @ List.concat_map per_lane t.lanes
 

@@ -70,3 +70,40 @@ val predict :
 val predict_value :
   t -> Dt_x86.Block.t -> params:(float array array * float array) option ->
   ?features:float array -> unit -> float
+
+(* ---- batched path ---- *)
+
+(** One element of a batched forward: the block plus the plain-float
+    parameter and feature vectors the per-sequence path would have fed
+    as constants.  (Parameter-table optimization, where gradients flow
+    {e into} the parameters, keeps the per-sequence {!predict} path.) *)
+type batch_sample = {
+  bblock : Dt_x86.Block.t;
+  bparams : (float array array * float array) option;
+      (** per-instruction rows and the global vector; [Some] iff the
+          config has [with_params] *)
+  bfeatures : float array option;
+      (** analytic bounds; [Some] iff [feature_width > 0] *)
+}
+
+(** [forward_batch t ctx samples] — predicted timings for B blocks as a
+    [B x 1] node (row [i] is sample [i]).  Token and instruction
+    sequences are packed into power-of-two length buckets so every LSTM
+    timestep is one [B x hidden] gemm; padding masks make row [i]'s
+    value bit-identical to {!predict} on sample [i] alone.  Does not
+    reset [ctx]. *)
+val forward_batch : t -> Dt_autodiff.Ad.ctx -> batch_sample array -> Dt_autodiff.Ad.node
+
+(** [train_batch t ctx samples ~targets] resets [ctx], runs
+    {!forward_batch}, sums the per-sample MAPE losses ([targets] must be
+    positive) and runs backward, accumulating weight gradients — exactly
+    the sum of the per-sequence gradients.  Returns the per-sample
+    losses. *)
+val train_batch :
+  t -> Dt_autodiff.Ad.ctx -> batch_sample array -> targets:float array ->
+  float array
+
+(** [predict_batch_value t samples] — gradient-free batched prediction
+    on the model's scratch workspace (not thread-safe; one caller at a
+    time, like {!predict_value}). *)
+val predict_batch_value : t -> batch_sample array -> float array

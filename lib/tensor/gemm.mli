@@ -1,0 +1,39 @@
+(** Matrix-matrix kernels for the batched compute path.
+
+    All three kernels follow the gemv family's conventions: shapes are
+    checked up front ([Invalid_argument] on mismatch), strides ([rs])
+    are honored on every operand, and [beta = 0.0] overwrites the
+    destination without reading it, so the destination may be an
+    uninitialized (or sanitize-poisoned) arena slot.  The destination
+    must not alias either source.
+
+    The inner loops are vectorized C stubs (gemm_stubs.c, built with
+    [-ffp-contract=off] and no [-ffast-math]); shape checks, beta
+    handling and scratch live here in OCaml.
+
+    Bit-compatibility: every output element of {!gemm_nt} is reduced in
+    exactly {!Tensor.gemv}'s order, and {!gemm} / {!gemm_tn} accumulate
+    each destination row in exactly {!Tensor.gemv_t}'s order (including
+    the skip rule for all-zero coefficient blocks).  Vector lanes and
+    register tiles span only independent output elements, so the
+    batched LSTM forward is bit-identical per sequence to the
+    per-sequence gemv path. *)
+
+(** [gemm ~a ~b ~c ~beta] computes [c <- a b + beta * c] with
+    [a : m x k], [b : k x n], [c : m x n]. *)
+val gemm : a:Tensor.t -> b:Tensor.t -> c:Tensor.t -> beta:float -> unit
+
+(** [gemm_tn ~a ~b ~c ~beta] computes [c <- a^T b + beta * c] with
+    [a : k x m], [b : k x n], [c : m x n].  Reads [a] through its
+    column stride; no packing pass (the streaming loops run over [b]
+    and [c] rows, which are contiguous either way). *)
+val gemm_tn : a:Tensor.t -> b:Tensor.t -> c:Tensor.t -> beta:float -> unit
+
+(** [gemm_nt ~a ~b ~c ~beta] computes [c <- a b^T + beta * c] with
+    [a : m x k], [b : n x k], [c : m x n].  Row [i] of the result equals
+    [Tensor.gemv ~m:b ~x:(row i of a)] bit for bit. *)
+val gemm_nt : a:Tensor.t -> b:Tensor.t -> c:Tensor.t -> beta:float -> unit
+
+(** [pack_buffer n] returns this domain's kernel scratch buffer, grown
+    geometrically to at least [n] elements.  Exposed for tests. *)
+val pack_buffer : int -> Tensor.buf

@@ -1,0 +1,15 @@
+(* Lint fixture: per-row matvec/gemv issued from inside a for loop —
+   the pattern the batched gemm path replaces.  Parsed, never built. *)
+
+let forward_all ctx w xs out =
+  for i = 0 to Array.length xs - 1 do
+    out.(i) <- Ad.matvec ctx ~m:w ~x:xs.(i)
+  done
+
+let raw_all w xs out =
+  for i = 0 to Array.length xs - 1 do
+    Tensor.gemv ~m:w ~x:xs.(i) ~y:out.(i) ~beta:0.0
+  done
+
+(* Not in a loop: a single matvec is fine. *)
+let forward_one ctx w x = Ad.matvec ctx ~m:w ~x

@@ -288,6 +288,18 @@ let test_lint_eprintf () =
   check_findings "lib/util whitelisted" findings [];
   Alcotest.(check int) "suppression counted" 1 suppressed
 
+let test_lint_gemv_loop () =
+  let findings, _ = lint_fixture ~path:"lib/nn/batched.ml" "gemv_loop.ml" in
+  check_findings "gemv-batch-loop" findings
+    [ ("gemv-batch-loop", 6); ("gemv-batch-loop", 11) ];
+  (* Outside the batched network code the per-row pattern is fine (the
+     per-sequence oracle path is built from it on purpose). *)
+  let findings, suppressed =
+    lint_fixture ~path:"lib/difftune/engine.ml" "gemv_loop.ml"
+  in
+  check_findings "gemv-batch-loop out of scope" findings [];
+  Alcotest.(check int) "not merely suppressed" 0 suppressed
+
 let test_lint_clean () =
   let findings, suppressed = lint_fixture "clean.ml" in
   check_findings "clean fixture" findings [];
@@ -335,6 +347,8 @@ let () =
           Alcotest.test_case "unsafe-index golden" `Quick
             test_lint_unsafe_index;
           Alcotest.test_case "bare-eprintf golden" `Quick test_lint_eprintf;
+          Alcotest.test_case "gemv-batch-loop golden" `Quick
+            test_lint_gemv_loop;
           Alcotest.test_case "clean fixture" `Quick test_lint_clean;
           Alcotest.test_case "parse error" `Quick test_lint_parse_error;
         ] );

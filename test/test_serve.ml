@@ -517,6 +517,76 @@ let test_fuzz_decoders () =
       seeds
   done
 
+(* ---- batched lane-0 prefetch and the mca memo cache ---- *)
+
+let test_batched_prefetch () =
+  (* A lane-0 backend with a batched entry point serves the whole drained
+     batch from one call; its scalar path must stay cold. *)
+  let batch_calls = ref 0 and scalar_calls = ref 0 in
+  let backend =
+    Backend.custom "batched"
+      ~batch:(fun ~cycle_budget:_ blocks ->
+        incr batch_calls;
+        Array.map (fun _ -> 9.0) blocks)
+      (fun ~cycle_budget:_ _ ->
+        incr scalar_calls;
+        9.0)
+  in
+  let rt, _, stop = mk_runtime [ backend ] in
+  Fun.protect ~finally:stop (fun () ->
+      let respond, got = collector () in
+      for i = 1 to 3 do
+        submit_ok rt ~respond (Printf.sprintf "%d predict %s" i asm)
+      done;
+      check Alcotest.int "drained three" 3 (Runtime.drain_all rt);
+      List.iter
+        (fun line ->
+          Alcotest.(check bool)
+            (Printf.sprintf "ok answer (%s)" line)
+            true
+            (String.length line > 2
+            && String.sub line 2 (min 2 (String.length line - 2)) = "ok"))
+        (got ());
+      check Alcotest.int "one batched call" 1 !batch_calls;
+      check Alcotest.int "scalar path cold" 0 !scalar_calls;
+      check Alcotest.string "all counted ok" "3" (stat rt "ok"))
+
+let test_batched_prefetch_degrades () =
+  (* A failing batched entry point must not cost any request: every entry
+     falls back to the scalar path transparently. *)
+  let backend =
+    Backend.custom "flaky_batch"
+      ~batch:(fun ~cycle_budget:_ _ -> failwith "batch down")
+      (fun ~cycle_budget:_ _ -> 4.0)
+  in
+  let rt, _, stop = mk_runtime [ backend ] in
+  Fun.protect ~finally:stop (fun () ->
+      let respond, _ = collector () in
+      submit_ok rt ~respond ("1 predict " ^ asm);
+      submit_ok rt ~respond ("2 predict " ^ asm);
+      check Alcotest.int "drained both" 2 (Runtime.drain_all rt);
+      check Alcotest.string "both ok" "2" (stat rt "ok");
+      (* the batch failure is invisible to breaker accounting *)
+      check Alcotest.string "no faults" "0" (stat rt "flaky_batch.faults"))
+
+let test_mca_cache () =
+  let b = Backend.mca Uarch.Haswell in
+  let v1 = b.Backend.predict ~cycle_budget:200_000 block in
+  let v2 = b.Backend.predict ~cycle_budget:200_000 block in
+  check (Alcotest.float 0.0) "memoized value identical" v1 v2;
+  (match b.Backend.xstats with
+  | None -> Alcotest.fail "mca backend should expose cache stats"
+  | Some f ->
+      let pairs = f () in
+      check Alcotest.(option string) "one hit" (Some "1")
+        (List.assoc_opt "cache_hits" pairs);
+      check Alcotest.(option string) "one miss" (Some "1")
+        (List.assoc_opt "cache_misses" pairs));
+  (* the cache counters surface through the runtime stats verb *)
+  let rt, _, stop = mk_runtime [ b ] in
+  Fun.protect ~finally:stop (fun () ->
+      check Alcotest.string "hits in stats" "1" (stat rt "mca.cache_hits"))
+
 let test_fuzz_agrees_with_block () =
   (* block_result Ok iff block does not raise, and the values agree *)
   let rng = Rng.create 7 in
@@ -575,6 +645,10 @@ let () =
           Alcotest.test_case "control verbs" `Quick test_runtime_control_verbs;
           Alcotest.test_case "malformed_input site" `Quick
             test_runtime_malformed_input_site;
+          Alcotest.test_case "batched prefetch" `Quick test_batched_prefetch;
+          Alcotest.test_case "batched prefetch degrades" `Quick
+            test_batched_prefetch_degrades;
+          Alcotest.test_case "mca memo cache" `Quick test_mca_cache;
           Alcotest.test_case "worker_crash site" `Quick
             test_runtime_worker_crash_site;
         ] );
