@@ -25,26 +25,32 @@ serve-smoke: build
 
 # Full verification: build, repo lint, the regular test suite, then the
 # fault smoke matrix — every injection site crossed with serial and
-# parallel pools.  Each cell kills/corrupts a checkpointed training run
-# and requires it to converge (bit-identically, unless the fault was
-# numeric).  One extra cell re-runs the combined fault spec with the
-# graph sanitizer armed: arena poisoning and generation stamps must stay
+# parallel pools, and the whole matrix run under both tape executors
+# (DIFFTUNE_COMPILE=0 interpreted oracle, =1 compiled plans).  Each
+# cell kills/corrupts a checkpointed training run and requires it to
+# converge (bit-identically, unless the fault was numeric).  One extra
+# cell per executor re-runs the combined fault spec with the graph
+# sanitizer armed: arena poisoning and generation stamps must stay
 # quiet on correct code even while faults fire.
 FAULT_SPECS = pool.worker@2 grad.nan@2 ckpt.truncate@1 engine.abort@2 \
               "engine.abort@2;grad.nan@3"
 verify: build
 	dune build @lint
 	dune runtest --force
-	@for faults in $(FAULT_SPECS); do \
-	  for domains in 1 4; do \
-	    echo "== faults=$$faults domains=$$domains =="; \
-	    DIFFTUNE_FAULTS="$$faults" DIFFTUNE_DOMAINS=$$domains \
-	      dune exec test/fault_smoke.exe || exit 1; \
+	@for compile in 0 1; do \
+	  for faults in $(FAULT_SPECS); do \
+	    for domains in 1 4; do \
+	      echo "== compile=$$compile faults=$$faults domains=$$domains =="; \
+	      DIFFTUNE_COMPILE=$$compile DIFFTUNE_FAULTS="$$faults" \
+	        DIFFTUNE_DOMAINS=$$domains \
+	        dune exec test/fault_smoke.exe || exit 1; \
+	    done; \
 	  done; \
+	  echo "== compile=$$compile faults=engine.abort@2;grad.nan@3 domains=4 sanitize=1 =="; \
+	  DIFFTUNE_COMPILE=$$compile DIFFTUNE_SANITIZE=1 \
+	    DIFFTUNE_FAULTS="engine.abort@2;grad.nan@3" \
+	    DIFFTUNE_DOMAINS=4 dune exec test/fault_smoke.exe || exit 1; \
 	done
-	@echo "== faults=engine.abort@2;grad.nan@3 domains=4 sanitize=1 =="
-	@DIFFTUNE_SANITIZE=1 DIFFTUNE_FAULTS="engine.abort@2;grad.nan@3" \
-	  DIFFTUNE_DOMAINS=4 dune exec test/fault_smoke.exe || exit 1
 	@echo "== serve smoke =="
 	dune build @serve-smoke --force
 	@echo "== bench guard =="
@@ -63,8 +69,10 @@ bench-json:
 	dune exec bench/main.exe -- perf-json
 
 # Perf regression guard: re-measures surrogate.forward, mca.timing and
-# the tokenizer and fails on a >15% regression against the newest
-# committed BENCH_PR*.json baseline.
+# the tokenizer (min of three passes, per-key drift thresholds) against
+# the newest committed BENCH_PR*.json baseline, and enforces the
+# absolute bounds recorded there (compiled speedup >= 1.5x, sanitize
+# overhead <= 15%, batch-32 per-sample <= 1.10x batch-8).
 bench-guard: build
 	dune exec bench/main.exe -- perf-guard
 

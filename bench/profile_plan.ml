@@ -1,0 +1,123 @@
+(* Scratch profiler: per-sequence forward / forward+backward under the
+   interpreted tape vs compiled replay.  Not part of the default build
+   targets; run with `dune exec bench/profile_plan.exe`. *)
+
+module T = Dt_tensor.Tensor
+module Ad = Dt_autodiff.Ad
+module Model = Dt_surrogate.Model
+
+let () =
+  let block =
+    Dt_x86.Block.parse
+      "movq 8(%rbp), %rax\n\
+       addq %rax, %rcx\n\
+       imulq %rcx, %rdx\n\
+       movq %rdx, 16(%rbp)\n\
+       xorl %r8d, %r8d"
+  in
+  let rng = Dt_util.Rng.create 1 in
+  let model_cfg =
+    { Model.default_config with token_layers = 2; instr_layers = 2 }
+  in
+  let model = Model.create ~config:model_cfg rng in
+  let per = Array.init 5 (fun _ -> Array.make 15 0.2) in
+  let glob = [| 0.6; 1.4 |] in
+  let store = Model.store model in
+  let ctx = Ad.new_ctx () in
+  let trace ctx =
+    let params =
+      {
+        Model.per_instr = Array.map (fun v -> Ad.constant ctx (T.vector v)) per;
+        global = Some (Ad.constant ctx (T.vector glob));
+      }
+    in
+    let pred =
+      Model.predict model ctx block ~params:(Some params) ~features:None
+    in
+    Ad.mape ctx pred ~target:2.0
+  in
+  let interp_fwd () =
+    Ad.set_compile false;
+    Ad.reset ctx;
+    ignore (trace ctx)
+  in
+  let interp_fb () =
+    Ad.set_compile false;
+    Ad.reset ctx;
+    let loss = trace ctx in
+    Ad.backward ctx loss;
+    Dt_nn.Nn.Store.zero_grads store
+  in
+  let pctx = Ad.new_ctx () in
+  let cache = Ad.plan_cache () in
+  let compiled_fwd () =
+    Ad.set_compile true;
+    ignore (Ad.with_plan cache pctx ~key:"fwd" ~grad:false trace)
+  in
+  let compiled_fb () =
+    Ad.set_compile true;
+    let loss = Ad.with_plan cache pctx ~key:"fb" ~grad:true trace in
+    Ad.backward pctx loss;
+    Dt_nn.Nn.Store.zero_grads store
+  in
+  (* Interleaved rounds: alternate the two paths within each round so
+     machine-load drift hits both equally; report the per-path minimum
+     across rounds. *)
+  let duel name_a a name_b b =
+    for _ = 1 to 30 do
+      a ();
+      b ()
+    done;
+    let rounds = 8 and per = 60 in
+    let ta = ref infinity and tb = ref infinity in
+    for _ = 1 to rounds do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to per do a () done;
+      let t1 = Unix.gettimeofday () in
+      for _ = 1 to per do b () done;
+      let t2 = Unix.gettimeofday () in
+      ta := Float.min !ta ((t1 -. t0) /. float_of_int per *. 1e9);
+      tb := Float.min !tb ((t2 -. t1) /. float_of_int per *. 1e9)
+    done;
+    Printf.printf "%-24s %12.0f ns\n%!" name_a !ta;
+    Printf.printf "%-24s %12.0f ns\n%!" name_b !tb;
+    (!ta, !tb)
+  in
+  let compiled_fb_fwdonly () =
+    Ad.set_compile true;
+    ignore (Ad.with_plan cache pctx ~key:"fb" ~grad:true trace)
+  in
+  let ifwd, cfwd = duel "interp.forward" interp_fwd "compiled.forward" compiled_fwd in
+  let ifb, cfb = duel "interp.fwd_backward" interp_fb "compiled.fwd_backward" compiled_fb in
+  let _, cfbf =
+    duel "interp.forward(2)" interp_fwd "compiled.fb_fwdonly" compiled_fb_fwdonly
+  in
+  Printf.printf "compiled fb backward-only ~ %.0f ns\n" (cfb -. cfbf);
+  Printf.printf "interp backward   ~ %12.0f ns\n" (ifb -. ifwd);
+  Printf.printf "compiled backward ~ %12.0f ns\n" (cfb -. cfwd);
+  Printf.printf "fwd speedup  %.2fx   fb speedup  %.2fx\n" (ifwd /. cfwd)
+    (ifb /. cfb);
+  let s = Ad.plan_stats () in
+  Printf.printf "plans %d replays %d fused %d slab %d\n" s.Ad.plans_compiled
+    s.Ad.plan_replays s.Ad.fused_ops s.Ad.slab_bytes;
+  (* Sanitize overhead under compiled replay, interleaved: each setting
+     keeps its own plan cache so toggling the flag never evicts (plan
+     validity includes psan). *)
+  let cache_on = Ad.plan_cache () in
+  let pctx_on = Ad.new_ctx () in
+  let fb_san flag cache ctx () =
+    Ad.set_compile true;
+    Ad.set_sanitize flag;
+    let loss = Ad.with_plan cache ctx ~key:"fb" ~grad:true trace in
+    Ad.backward ctx loss;
+    Dt_nn.Nn.Store.zero_grads store
+  in
+  let off, on =
+    duel "compiled.fb.san_off"
+      (fb_san false cache pctx)
+      "compiled.fb.san_on"
+      (fb_san true cache_on pctx_on)
+  in
+  Ad.set_sanitize false;
+  Printf.printf "sanitize overhead (compiled) %.1f%%\n"
+    ((on -. off) /. off *. 100.0)

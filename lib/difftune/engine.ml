@@ -698,6 +698,8 @@ type theta_replica = {
   gnode : Ad.node;
   smodel : Model.t;
   tctx : Ad.ctx;
+  tplans : Ad.plan_cache;
+      (* per-replica: plan caches, like contexts, are single-caller *)
 }
 
 let table_fp config (spec : Spec.t) ~n ~init ~n_valid =
@@ -746,6 +748,7 @@ let optimize_table ?init ?(valid = [||]) ?checkpoint_dir ?health config
           gnode;
           smodel = replicate model;
           tctx = Ad.new_ctx ();
+          tplans = Ad.plan_cache ~capacity:64 ();
         })
   in
   let opt = Nn.Optimizer.adam theta_store ~lr:config.table_lr in
@@ -872,40 +875,54 @@ let optimize_table ?init ?(valid = [||]) ?checkpoint_dir ?health config
       let shard_task r lo hi =
         let ctx = r.tctx in
         for step = lo to hi - 1 do
-          Ad.reset ctx;
           let block, y = eligible.(sched.(step)) in
-          let scale_node v = Ad.constant ctx v in
-          let per_inputs =
-            Array.map
-              (fun (instr : Dt_x86.Instruction.t) ->
-                let row = Ad.row ctx ~m:r.pnode instr.opcode.index in
-                let row = Ad.abs_ ctx row in
-                let row =
-                  if spec.per_width = T.size (Ad.value row) then row
-                  else Ad.slice ctx row ~pos:0 ~len:spec.per_width
+          (* A block recurs across passes and epochs, and its trace is
+             fixed (the theta leaves change values, not structure), so
+             each step replays its block's compiled plan; the theta
+             gradients it accumulates are bitwise those of the
+             interpreted tape. *)
+          let loss =
+            Ad.with_plan r.tplans ctx
+              ~key:("tbl|" ^ spec.name ^ "|" ^ Dt_x86.Block.to_string block)
+              ~grad:true ~warmup:2
+              (fun ctx ->
+                let scale_node v = Ad.constant ctx v in
+                let per_inputs =
+                  Array.map
+                    (fun (instr : Dt_x86.Instruction.t) ->
+                      let row = Ad.row ctx ~m:r.pnode instr.opcode.index in
+                      let row = Ad.abs_ ctx row in
+                      let row =
+                        if spec.per_width = T.size (Ad.value row) then row
+                        else Ad.slice ctx row ~pos:0 ~len:spec.per_width
+                      in
+                      Ad.mul ctx row (scale_node per_scale))
+                    block.instrs
                 in
-                Ad.mul ctx row (scale_node per_scale))
-              block.instrs
+                let global_input =
+                  if spec.global_width = 0 then None
+                  else
+                    let gview = Ad.row ctx ~m:r.gnode 0 in
+                    let g = Ad.abs_ ctx gview in
+                    Some (Ad.mul ctx g (scale_node global_scale))
+                in
+                let params =
+                  { Model.per_instr = per_inputs; global = global_input }
+                in
+                let features =
+                  if (Model.config r.smodel).feature_width = 0 then None
+                  else
+                    match spec.bounds with
+                    | Some f ->
+                        Some (f ctx block ~per:per_inputs ~global:global_input)
+                    | None -> None
+                in
+                let pred =
+                  Model.predict r.smodel ctx block ~params:(Some params)
+                    ~features
+                in
+                Ad.mape ctx pred ~target:(Float.max y 1e-3))
           in
-          let global_input =
-            if spec.global_width = 0 then None
-            else
-              let gview = Ad.row ctx ~m:r.gnode 0 in
-              let g = Ad.abs_ ctx gview in
-              Some (Ad.mul ctx g (scale_node global_scale))
-          in
-          let params = { Model.per_instr = per_inputs; global = global_input } in
-          let features =
-            if (Model.config r.smodel).feature_width = 0 then None
-            else
-              match spec.bounds with
-              | Some f -> Some (f ctx block ~per:per_inputs ~global:global_input)
-              | None -> None
-          in
-          let pred =
-            Model.predict r.smodel ctx block ~params:(Some params) ~features
-          in
-          let loss = Ad.mape ctx pred ~target:(Float.max y 1e-3) in
           Ad.backward ctx loss;
           losses.(step) <- Ad.scalar_value loss
         done
@@ -1229,19 +1246,21 @@ let train_ithemal config ~features ~train =
   Rng.shuffle rng order;
   let in_batch = ref 0 in
   let ctx = Ad.new_ctx () in
+  let plans = Ad.plan_cache ~capacity:64 () in
   for step = 0 to steps - 1 do
     let block, y = eligible.(order.(step mod n)) in
     if step > 0 && step mod n = 0 then Rng.shuffle rng order;
-    Ad.reset ctx;
-    let features =
-      if (Model.config model).feature_width = 0 then None
-      else
-        Some
-          (Ad.constant ctx
-             (T.vector (Hashtbl.find feats (Dt_x86.Block.to_string block))))
+    let bstr = Dt_x86.Block.to_string block in
+    let loss =
+      Ad.with_plan plans ctx ~key:("ith|" ^ bstr) ~grad:true ~warmup:2
+        (fun ctx ->
+          let features =
+            if (Model.config model).feature_width = 0 then None
+            else Some (Ad.constant ctx (T.vector (Hashtbl.find feats bstr)))
+          in
+          let pred = Model.predict model ctx block ~params:None ~features in
+          Ad.mape ctx pred ~target:(Float.max y 1e-3))
     in
-    let pred = Model.predict model ctx block ~params:None ~features in
-    let loss = Ad.mape ctx pred ~target:(Float.max y 1e-3) in
     Ad.backward ctx loss;
     incr in_batch;
     if !in_batch = config.batch || step = steps - 1 then begin

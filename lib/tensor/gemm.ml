@@ -24,7 +24,10 @@
    the tests check against.
 
    The per-sequence gemv family in tensor.ml stays pure OCaml and
-   serves as the oracle for all of this.
+   serves as the oracle for all of this.  (PR 6 adds C twins of that
+   family too -- gemv_fast/gemv_t_fast/ger_fast in gemm_stubs.c, same
+   contract -- but they are called only by the compiled plan executor;
+   the interpreted tape keeps the OCaml kernels.)
 
    The destination must not alias either source. *)
 

@@ -1,0 +1,8 @@
+(* fixture: Ad tape-op constructors inside vs outside a for loop *)
+let straight_line ctx m x = Ad.matvec ctx ~m ~x
+
+let hot ctx xs m =
+  for t = 0 to Array.length xs - 1 do
+    let z = Ad.matvec ctx ~m ~x:xs.(t) in
+    ignore (Ad.sigmoid ctx z)
+  done
