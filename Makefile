@@ -51,8 +51,17 @@ verify: build
 	    DIFFTUNE_FAULTS="engine.abort@2;grad.nan@3" \
 	    DIFFTUNE_DOMAINS=4 dune exec test/fault_smoke.exe || exit 1; \
 	done
-	@echo "== serve smoke =="
-	dune build @serve-smoke --force
+	@# Surrogate-lifecycle cell: the unit suite (drift windows, registry
+	@# corruption, canary rollback, reservoir determinism) and the serving
+	@# smoke (whose lifecycle scenarios arm lifecycle.drift_storm /
+	@# retrain_crash / corrupt_model) under both tape executors.
+	@for compile in 0 1; do \
+	  echo "== compile=$$compile lifecycle =="; \
+	  DIFFTUNE_COMPILE=$$compile dune exec test/test_lifecycle.exe || exit 1; \
+	  DIFFTUNE_COMPILE=$$compile \
+	    dune exec test/serve_smoke.exe -- _build/default/bin/difftune_cli.exe \
+	    || exit 1; \
+	done
 	@echo "== bench guard =="
 	dune exec bench/main.exe -- perf-guard
 	@echo "verify: all fault combinations passed"
@@ -72,7 +81,8 @@ bench-json:
 # the tokenizer (min of three passes, per-key drift thresholds) against
 # the newest committed BENCH_PR*.json baseline, and enforces the
 # absolute bounds recorded there (compiled speedup >= 1.5x, sanitize
-# overhead <= 15%, batch-32 per-sample <= 1.10x batch-8).
+# overhead <= 15%, batch-32 per-sample <= 1.10x batch-8, lifecycle
+# shadow-scoring overhead <= 10%, zero requests shed across a hot-swap).
 bench-guard: build
 	dune exec bench/main.exe -- perf-guard
 

@@ -471,6 +471,183 @@ let batch_speedups ns =
         [ ("compiled.b32_vs_b8_per_sample", b32 /. 32.0 /. (b8 /. 8.0)) ]
     | _ -> [])
 
+(* ---- surrogate-lifecycle serving rows (PR 7) ----
+
+   Measures what the lifecycle adds to the serving hot path:
+   - shadow-scoring overhead: per-request serving cost with the
+     deterministic 1-in-8 shadow sample on vs sampling effectively off,
+     on the same lifecycle-managed runtime with warmed caches (the
+     reference rides the mca backend's simcache, as in production) —
+     bench-guard holds the difference at <= 10%;
+   - swap pause: wall time of one full candidate install (registry save
+     + validating reload + self-check + epoch swap) on the drain thread;
+   - swap shed: failed + overloaded responses while continuous traffic
+     crosses a hot-swap — bench-guard requires exactly zero. *)
+
+let lifecycle_rows () =
+  let module Lifecycle = Dt_serve.Lifecycle in
+  let module Runtime = Dt_serve.Runtime in
+  let uarch = Dt_refcpu.Uarch.Haswell in
+  (* Realistically shaped Ithemal-style model with all-zero weights:
+     full LSTM compute cost, but predictions are exactly 0.0 — finite
+     and non-negative, so serving and self-checks never degrade. *)
+  let zero_model () =
+    let cfg =
+      {
+        Model.ithemal_config with
+        embed_dim = 32;
+        token_hidden = 32;
+        instr_hidden = 32;
+        token_layers = 2;
+        instr_layers = 2;
+        head_hidden = 0;
+      }
+    in
+    let m = Model.create ~config:cfg (Dt_util.Rng.create 7) in
+    let vals =
+      List.map
+        (fun (n, r, c, a) -> (n, r, c, Array.map (fun _ -> 0.0) a))
+        (Dt_nn.Nn.Store.export_values (Model.store m))
+    in
+    Dt_nn.Nn.Store.import_values (Model.store m) vals;
+    m
+  in
+  let asm_of i =
+    let body =
+      List.init
+        (1 + (i mod 6))
+        (fun j ->
+          match (i + j) mod 3 with
+          | 0 -> "addq %rax, %rbx"
+          | 1 -> "imulq %rcx, %rdx"
+          | _ -> "movq 8(%rsp), %rsi")
+    in
+    String.concat "; " body
+  in
+  let lines tag =
+    List.init 64 (fun i -> Printf.sprintf "%s%d predict %s" tag i (asm_of i))
+  in
+  let run_round rt ls =
+    List.iter
+      (fun l -> ignore (Runtime.submit rt ~line:l ~respond:(fun _ -> ())))
+      ls;
+    ignore (Runtime.drain_all rt)
+  in
+  let with_runtime ~lcfg ~batch f =
+    let mca = Dt_serve.Backend.mca uarch in
+    let lc =
+      Lifecycle.create lcfg
+        ~reference:(fun b -> mca.Dt_serve.Backend.predict ~cycle_budget:200_000 b)
+        ~retrain:(fun ~init _ -> init)
+        ~features:None (zero_model ())
+    in
+    let pool = Dt_util.Pool.create ~domains:1 () in
+    Fun.protect ~finally:(fun () -> Dt_util.Pool.shutdown pool) @@ fun () ->
+    let rt =
+      Runtime.create ~pool ~lifecycle:lc
+        { Runtime.default_config with batch; queue_capacity = 128 }
+        [ Lifecycle.backend lc; mca; Dt_serve.Backend.bound uarch ]
+    in
+    Fun.protect ~finally:(fun () -> Runtime.shutdown rt) (fun () -> f rt)
+  in
+  let serve_ns ~shadow_every =
+    let lcfg =
+      { Lifecycle.default_config with shadow_every; window = 65536 }
+    in
+    with_runtime ~lcfg ~batch:16 @@ fun rt ->
+    let ls = lines "b" in
+    run_round rt ls (* warm: surrogate cache + mca reference simcache *);
+    let best = ref infinity in
+    for _ = 1 to 8 do
+      let t0 = Unix.gettimeofday () in
+      run_round rt ls;
+      let t1 = Unix.gettimeofday () in
+      best := Float.min !best ((t1 -. t0) /. 64.0 *. 1e9)
+    done;
+    !best
+  in
+  let off = serve_ns ~shadow_every:1_000_000 in
+  let on = serve_ns ~shadow_every:8 in
+  (* One full install, timed by the lifecycle itself: force a drift
+     window, retrain synchronously (identity: the pause is registry +
+     validation + swap, not training) and read back the recorded
+     pause. *)
+  let swap_pause =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dt_bench_models_%d" (Unix.getpid ()))
+    in
+    Dt_util.Faultsim.configure "lifecycle.drift_storm@1";
+    Fun.protect ~finally:(fun () ->
+        Dt_util.Faultsim.clear ();
+        if Sys.file_exists dir then begin
+          Array.iter
+            (fun e -> Sys.remove (Filename.concat dir e))
+            (Sys.readdir dir);
+          Sys.rmdir dir
+        end)
+    @@ fun () ->
+    let lc =
+      Lifecycle.create ~model_dir:dir
+        {
+          Lifecycle.default_config with
+          shadow_every = 1;
+          window = 4;
+          drift_windows = 1;
+          canary_windows = 0;
+          min_retrain = 1;
+          sync_retrain = true;
+        }
+        ~reference:(fun _ -> 100.0)
+        ~retrain:(fun ~init _ -> init)
+        ~features:None (zero_model ())
+    in
+    for _ = 1 to 4 do
+      Lifecycle.observe lc ~asm:(asm_of 1) ~value:100.0
+    done;
+    Lifecycle.tick lc;
+    assert (Lifecycle.version lc = 2);
+    match List.assoc_opt "swap_pause_ms" (Lifecycle.stats_pairs lc) with
+    | Some v -> float_of_string v
+    | None -> Float.nan
+  in
+  (* Continuous traffic across a live hot-swap: a storm forces the
+     first 4-score window out of band, the synchronous retrain + swap
+     runs at the next batch boundary, and the remaining traffic is
+     served by v2 — with zero shed or failed responses throughout. *)
+  let swap_shed =
+    Dt_util.Faultsim.configure "lifecycle.drift_storm@1";
+    Fun.protect ~finally:Dt_util.Faultsim.clear @@ fun () ->
+    let lcfg =
+      {
+        Lifecycle.default_config with
+        shadow_every = 1;
+        window = 4;
+        drift_band = 1e9;
+        quantile_band = 1e9;
+        drift_windows = 1;
+        canary_windows = 0;
+        min_retrain = 1;
+        sync_retrain = true;
+      }
+    in
+    with_runtime ~lcfg ~batch:4 @@ fun rt ->
+    run_round rt (lines "c");
+    let stats = Runtime.stats_pairs rt in
+    let get k = int_of_string (List.assoc k stats) in
+    if get "lifecycle.swaps" < 1 then
+      failwith "lifecycle bench: hot-swap did not happen under traffic";
+    float_of_int (get "failed" + get "overloaded")
+  in
+  [
+    ("lifecycle.serve_ns.shadow_off", off);
+    ("lifecycle.serve_ns.shadow_on", on);
+    ("lifecycle.shadow_overhead_pct", (on -. off) /. off *. 100.0);
+    ("lifecycle.swap_pause_ms", swap_pause);
+    ("lifecycle.swap_shed", swap_shed);
+  ]
+
 let perf_json () =
   let ns = estimates () in
   let sc = scaling () in
@@ -483,21 +660,24 @@ let perf_json () =
          bench-guard will reject this snapshot\n%!"
         r
   | _ -> ());
-  let oc = open_out "BENCH_PR6.json" in
+  let lf = lifecycle_rows () in
+  let oc = open_out "BENCH_PR7.json" in
   let field (name, v) = Printf.sprintf "    %S: %.1f" name v in
   let field2 (name, v) = Printf.sprintf "    %S: %.2f" name v in
   Printf.fprintf oc
-    "{\n  \"pr\": 6,\n  \"ns_per_call\": {\n%s\n  },\n  \"batch\": \
-     {\n%s\n  },\n  \"scaling\": {\n%s\n  },\n  \"sanitize\": {\n%s\n  }\n}\n"
+    "{\n  \"pr\": 7,\n  \"ns_per_call\": {\n%s\n  },\n  \"batch\": \
+     {\n%s\n  },\n  \"scaling\": {\n%s\n  },\n  \"sanitize\": {\n%s\n  },\n  \
+     \"lifecycle\": {\n%s\n  }\n}\n"
     (String.concat ",\n" (List.map field ns))
     (String.concat ",\n" (List.map field2 sp))
     (String.concat ",\n" (List.map field sc))
-    (String.concat ",\n" (List.map field sa));
+    (String.concat ",\n" (List.map field sa))
+    (String.concat ",\n" (List.map field2 lf));
   close_out oc;
-  print_endline "wrote BENCH_PR6.json";
+  print_endline "wrote BENCH_PR7.json";
   List.iter
     (fun (n, v) -> Printf.printf "%-48s %12.1f\n%!" n v)
-    (ns @ sp @ sc @ sa)
+    (ns @ sp @ sc @ sa @ lf)
 
 (* ---- perf regression guard (make bench-guard) ----
 
@@ -519,7 +699,13 @@ let guard_keys =
 
 let baseline_file () =
   List.find_opt Sys.file_exists
-    [ "BENCH_PR6.json"; "BENCH_PR5.json"; "BENCH_PR3.json"; "BENCH_PR1.json" ]
+    [
+      "BENCH_PR7.json";
+      "BENCH_PR6.json";
+      "BENCH_PR5.json";
+      "BENCH_PR3.json";
+      "BENCH_PR1.json";
+    ]
 
 (* Absolute bounds on derived rows of the committed PR 6 snapshot: the
    compiled executor must keep its claimed wins, not just avoid drift.
@@ -530,6 +716,11 @@ let guard_absolute =
     ("compiled.speedup_forward_backward", `Min, 1.5);
     ("compiled.b32_vs_b8_per_sample", `Max, 1.10);
     ("sanitize.overhead_pct", `Max, 15.0);
+    (* PR 7 lifecycle bounds: sampled shadow-scoring may cost at most
+       10% of warmed serving throughput, and a hot-swap under
+       continuous traffic must shed/fail exactly zero requests. *)
+    ("lifecycle.shadow_overhead_pct", `Max, 10.0);
+    ("lifecycle.swap_shed", `Max, 0.0);
   ]
 
 let read_file path =

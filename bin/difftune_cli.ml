@@ -382,19 +382,85 @@ let serve_cmd =
          & info [ "train-surrogate" ]
              ~doc:"Train a quick Ithemal-style surrogate at startup and \
                    serve the full surrogate -> mca -> bound degradation \
-                   chain (default chain: mca -> bound).")
+                   chain under lifecycle management: shadow scoring, \
+                   drift detection, background retraining and hot-swap \
+                   (default chain: mca -> bound, no lifecycle).")
+  in
+  let corpus_arg =
+    Arg.(value & opt int 120
+         & info [ "corpus" ] ~docv:"N"
+             ~doc:"Synthetic corpus size for the startup surrogate \
+                   training (with $(b,--train-surrogate)).")
+  in
+  let ldefault = Dt_serve.Lifecycle.default_config in
+  let shadow_arg =
+    Arg.(value & opt int ldefault.shadow_every
+         & info [ "shadow-every" ] ~docv:"K"
+             ~doc:"Shadow-score every $(docv)-th surrogate-served \
+                   request against the mca reference.")
+  in
+  let window_arg =
+    Arg.(value & opt int ldefault.window
+         & info [ "drift-window-size" ] ~docv:"N"
+             ~doc:"Shadow scores per drift-detection window.")
+  in
+  let band_arg =
+    Arg.(value & opt float ldefault.drift_band
+         & info [ "drift-band" ] ~docv:"FRACTION"
+             ~doc:"Window MAPE above $(docv) (relative error) is out of \
+                   band.")
+  in
+  let quantile_band_arg =
+    Arg.(value & opt float ldefault.quantile_band
+         & info [ "quantile-band" ] ~docv:"FRACTION"
+             ~doc:"Window error-quantile (p95) above $(docv) is out of \
+                   band.")
+  in
+  let windows_arg =
+    Arg.(value & opt int ldefault.drift_windows
+         & info [ "drift-windows" ] ~docv:"K"
+             ~doc:"Consecutive out-of-band windows before drift is \
+                   declared and retraining starts.")
+  in
+  let canary_arg =
+    Arg.(value & opt int ldefault.canary_windows
+         & info [ "canary" ] ~docv:"K"
+             ~doc:"In-band windows a freshly swapped model must survive \
+                   before its predecessor is released; an out-of-band \
+                   canary window rolls back.")
+  in
+  let model_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "model-dir" ] ~docv:"DIR"
+             ~doc:"Versioned model registry directory: every installed \
+                   surrogate version is persisted (CRC-checked \
+                   container) and candidates are validated by reloading \
+                   from disk before the swap.")
+  in
+  let min_retrain_arg =
+    Arg.(value & opt int ldefault.min_retrain
+         & info [ "min-retrain" ] ~docv:"N"
+             ~doc:"Minimum reservoir samples before retraining starts.")
+  in
+  let sync_retrain_arg =
+    Arg.(value & flag
+         & info [ "sync-retrain" ]
+             ~doc:"Retrain inline at the batch boundary instead of on a \
+                   background domain (deterministic timing, for tests).")
   in
   let run uarch seed socket queue batch cycle_budget max_retries
-      breaker_threshold breaker_cooldown domains train_surrogate =
+      breaker_threshold breaker_cooldown domains train_surrogate corpus
+      shadow_every window drift_band quantile_band drift_windows canary
+      model_dir min_retrain sync_retrain =
     guarded @@ fun () ->
     let mca = Dt_serve.Backend.mca uarch in
     let bound = Dt_serve.Backend.bound uarch in
-    let backends =
-      if not train_surrogate then [ mca; bound ]
+    let backends, lifecycle =
+      if not train_surrogate then ([ mca; bound ], None)
       else begin
         Dt_util.Log.status "serve: training quick surrogate...";
         let scale = Dt_exp.Scale.quick in
-        let corpus = Dt_bhive.Dataset.corpus ~seed ~size:120 in
+        let corpus = Dt_bhive.Dataset.corpus ~seed ~size:corpus in
         let ds = Dt_bhive.Dataset.label corpus ~seed:1 ~uarch ~noise:0.0 in
         let train =
           Array.to_list
@@ -405,7 +471,37 @@ let serve_cmd =
         let cfg = { scale.engine with log = (fun _ -> ()) } in
         let model = Engine.train_ithemal cfg ~features:None ~train in
         Dt_util.Log.status "serve: surrogate ready";
-        [ Dt_serve.Backend.surrogate ~features:None model; mca; bound ]
+        let lcfg =
+          {
+            Dt_serve.Lifecycle.default_config with
+            shadow_every;
+            window;
+            drift_band;
+            quantile_band;
+            drift_windows;
+            canary_windows = canary;
+            min_retrain;
+            sync_retrain;
+            seed;
+          }
+        in
+        (* Retrains are cheap incremental refreshes of the serving
+           weights on harvested traffic, not from-scratch runs. *)
+        let retrain_cfg =
+          { cfg with surrogate_passes = Float.max 0.5 (cfg.surrogate_passes *. 0.5) }
+        in
+        let retrain ~init data =
+          Engine.retrain_ithemal retrain_cfg ~features:None ~init
+            ~train:(Array.to_list data)
+        in
+        let reference block =
+          mca.Dt_serve.Backend.predict ~cycle_budget block
+        in
+        let lc =
+          Dt_serve.Lifecycle.create ?model_dir lcfg ~reference ~retrain
+            ~features:None model
+        in
+        ([ Dt_serve.Lifecycle.backend lc; mca; bound ], Some lc)
       end
     in
     let cfg =
@@ -421,7 +517,7 @@ let serve_cmd =
       }
     in
     let pool = Dt_util.Pool.create ?domains () in
-    let rt = Dt_serve.Runtime.create ~pool cfg backends in
+    let rt = Dt_serve.Runtime.create ~pool ?lifecycle cfg backends in
     Fun.protect
       ~finally:(fun () ->
         Dt_serve.Runtime.shutdown rt;
@@ -438,11 +534,16 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the resilient prediction service (newline-delimited \
              protocol on stdio or a Unix socket): bounded admission \
-             queue, per-request deadlines, retries, circuit breakers \
-             and a labeled degradation chain")
+             queue, per-request deadlines, retries, circuit breakers, a \
+             labeled degradation chain, and a managed surrogate \
+             lifecycle (drift detection, background retraining, \
+             zero-downtime hot-swap)")
     Term.(const run $ uarch_arg $ seed_arg $ socket_arg $ queue_arg
           $ batch_arg $ budget_arg $ retries_arg $ threshold_arg
-          $ cooldown_arg $ domains_arg $ surrogate_arg)
+          $ cooldown_arg $ domains_arg $ surrogate_arg $ corpus_arg
+          $ shadow_arg $ window_arg $ band_arg $ quantile_band_arg
+          $ windows_arg $ canary_arg $ model_dir_arg $ min_retrain_arg
+          $ sync_retrain_arg)
 
 let () =
   let doc = "DiffTune: learning CPU-simulator parameters (MICRO 2020) in OCaml" in

@@ -1208,26 +1208,13 @@ let make_ithemal_model config ~feature_width rng =
   in
   Model.create ~config:mcfg rng
 
-let train_ithemal config ~features ~train =
-  let rng = Rng.create (config.seed lxor 0x17e3a1) in
-  let feature_width =
-    match (features, train) with
-    | Some f, (b, _) :: _ -> Array.length (f b)
-    | Some _, [] -> invalid_arg "Engine.train_ithemal: empty training set"
-    | None, _ -> 0
-  in
-  let train = Array.of_list train in
-  let model = make_ithemal_model config ~feature_width rng in
+(* The shared Ithemal fitting loop: SGD/Adam over [eligible] on an
+   existing [model] (either freshly initialized by {!train_ithemal} or a
+   warm-started clone handed over by {!retrain_ithemal}). *)
+let fit_ithemal config ~features rng model eligible =
   let store = Model.store model in
   let opt = Nn.Optimizer.adam store ~lr:config.surrogate_lr in
-  let eligible =
-    Array.of_list
-      (List.filter
-         (fun (b, _) -> Dt_x86.Block.length b <= config.max_train_block_len)
-         (Array.to_list train))
-  in
   let n = Array.length eligible in
-  if n = 0 then invalid_arg "Engine.train_ithemal: no usable training blocks";
   (* Features are static per block: precompute them once. *)
   let feats = Hashtbl.create n in
   (match features with
@@ -1273,7 +1260,39 @@ let train_ithemal config ~features ~train =
       Nn.Optimizer.set_lr opt (config.surrogate_lr *. 0.3);
     if (step + 1) mod 5000 = 0 then
       config.log (Printf.sprintf "ithemal step %d/%d" (step + 1) steps)
-  done;
+  done
+
+let eligible_labeled config train =
+  Array.of_list
+    (List.filter
+       (fun (b, _) -> Dt_x86.Block.length b <= config.max_train_block_len)
+       train)
+
+let train_ithemal config ~features ~train =
+  let rng = Rng.create (config.seed lxor 0x17e3a1) in
+  let feature_width =
+    match (features, train) with
+    | Some f, (b, _) :: _ -> Array.length (f b)
+    | Some _, [] -> invalid_arg "Engine.train_ithemal: empty training set"
+    | None, _ -> 0
+  in
+  let model = make_ithemal_model config ~feature_width rng in
+  let eligible = eligible_labeled config train in
+  if Array.length eligible = 0 then
+    invalid_arg "Engine.train_ithemal: no usable training blocks";
+  fit_ithemal config ~features rng model eligible;
+  model
+
+let retrain_ithemal config ~features ~init ~train =
+  let eligible = eligible_labeled config train in
+  if Array.length eligible = 0 then
+    invalid_arg "Engine.retrain_ithemal: no usable training blocks";
+  (* Fine-tune a clone: [init] may be live in a serving degradation
+     chain, and zero-downtime hot-swap depends on its weights never
+     changing while it serves. *)
+  let model = replicate init in
+  let rng = Rng.create (config.seed lxor 0x5c1f7b) in
+  fit_ithemal config ~features rng model eligible;
   model
 
 let ithemal_predict ~features model block =

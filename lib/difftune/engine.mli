@@ -160,6 +160,22 @@ val train_ithemal :
   config -> features:(Dt_x86.Block.t -> float array) option ->
   train:(Dt_x86.Block.t * float) list -> Model.t
 
+(** [retrain_ithemal config ~features ~init ~train] — continual
+    retraining for the serving lifecycle: fine-tunes a {e clone} of
+    [init] (never [init] itself, which may be live in a degradation
+    chain) on freshly collected traffic, reusing the same fitting loop
+    (and compiled-plan replay) as {!train_ithemal}.  [train] is
+    typically the lifecycle's shadow-score reservoir — (block,
+    reference-simulator timing) pairs harvested from live requests, the
+    Turaco-style reuse of traffic as training data.  The optimization
+    budget follows [config] ([surrogate_passes] x [sim_multiplier] x
+    usable blocks), so callers shrink [surrogate_passes] for cheap
+    incremental refreshes.  Raises [Invalid_argument] when every block
+    exceeds [max_train_block_len]. *)
+val retrain_ithemal :
+  config -> features:(Dt_x86.Block.t -> float array) option ->
+  init:Model.t -> train:(Dt_x86.Block.t * float) list -> Model.t
+
 (** Prediction with a model produced by {!train_ithemal}; [features] must
     be the same function used at training time. *)
 val ithemal_predict :

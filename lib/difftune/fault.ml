@@ -19,6 +19,9 @@ type t =
   | Backend_unavailable of { backend : string; reason : string }
   | All_backends_failed of { chain : (string * string) list }
   | Service_overloaded of { capacity : int }
+  (* ---- surrogate-lifecycle taxonomy (Dt_serve.Lifecycle) ---- *)
+  | Model_rejected of { version : int; reason : string }
+  | Retrain_failed of { version : int; detail : string }
 
 exception Error of t
 
@@ -61,6 +64,11 @@ let to_string = function
            (List.map (fun (b, r) -> Printf.sprintf "%s: %s" b r) chain))
   | Service_overloaded { capacity } ->
       Printf.sprintf "admission queue full (capacity %d)" capacity
+  | Model_rejected { version; reason } ->
+      Printf.sprintf "model v%d rejected before swap: %s" version reason
+  | Retrain_failed { version; detail } ->
+      Printf.sprintf "background retraining of model v%d failed: %s" version
+        detail
 
 let error t = raise (Error t)
 

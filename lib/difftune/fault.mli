@@ -52,6 +52,15 @@ type t =
   | Service_overloaded of { capacity : int }
       (** Serving: the bounded admission queue was full; the request was
           shed, not queued. *)
+  | Model_rejected of { version : int; reason : string }
+      (** Lifecycle: a candidate surrogate model failed validation before
+          hot-swap — corrupt/truncated registry file (CRC, reusing the
+          {!Checkpoint} container), config mismatch, or a failed
+          self-check forward pass.  The previous model keeps serving. *)
+  | Retrain_failed of { version : int; detail : string }
+      (** Lifecycle: background retraining toward model [version] died;
+          serving continues on the current model and drift tracking
+          restarts. *)
 
 (** Carrier for {!t} values crossing code that predates [result] types. *)
 exception Error of t

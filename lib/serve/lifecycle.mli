@@ -1,0 +1,173 @@
+(** Surrogate lifecycle: online drift detection, background retraining,
+    and zero-downtime model hot-swap for the serving runtime.
+
+    A served surrogate goes stale the moment the traffic distribution
+    leaves the neighbourhood it was trained on.  This manager keeps one
+    surrogate lane honest while it serves:
+
+    - {b shadow scoring}: a deterministic 1-in-[shadow_every] sample of
+      surrogate-served requests is re-simulated against a reference
+      backend (the mca clone, through its simcache) and the relative
+      error recorded;
+    - {b drift windows}: errors accumulate into fixed-size windows; a
+      window is {e out of band} when its MAPE exceeds [drift_band] or
+      its [quantile]-th error percentile exceeds [quantile_band].
+      [drift_windows] consecutive out-of-band windows declare drift;
+    - {b retraining}: on drift, a bounded reservoir of recently
+      shadow-scored traffic (Algorithm R, deterministic RNG) becomes a
+      training set and a background domain fine-tunes a {e clone} of
+      the serving model ([Engine.retrain_ithemal]);
+    - {b registry}: candidate models are persisted into a versioned
+      on-disk registry (the {!Dt_difftune.Checkpoint} container: magic,
+      version, CRC-32, atomic rename) and {e reloaded} before install —
+      what serves is exactly what was proven decodable on disk; a model
+      failing the CRC, the config decode, or a self-check forward pass
+      is rejected with a structured [Fault.t] and never swapped in;
+    - {b hot swap}: installs happen only between batches (the runtime
+      calls {!tick} from its drain thread), so in-flight batches finish
+      on the old version while new admissions see the new one — zero
+      downtime, and every response is labeled with the model version
+      that served it;
+    - {b canary}: the first [canary_windows] windows after a swap are a
+      probation period; an out-of-band window rolls straight back to
+      the retained previous version.
+
+    State machine (DESIGN.md section 6g):
+    {v stable -> drifting -> retraining -> canary -> stable
+                                  |            \-> rollback -> stable v}
+
+    Each model version owns a fresh {!Dt_difftune.Simcache} (memoized
+    surrogate predictions are a function of the weights, so they must
+    not survive a swap); per-version hit/miss counters surface through
+    the backend's [xstats].
+
+    {!Dt_util.Faultsim} sites: [lifecycle.corrupt_model] truncates a
+    just-written registry file (the reload must reject it),
+    [lifecycle.retrain_crash] kills the background retrain,
+    [lifecycle.drift_storm] forces a window out of band (drives the
+    whole drift -> retrain -> swap -> canary path on demand). *)
+
+module Model := Dt_surrogate.Model
+module Fault := Dt_difftune.Fault
+
+type config = {
+  shadow_every : int;
+      (** shadow-score every [k]-th surrogate-served request (counter
+          based, hence deterministic under any [DIFFTUNE_DOMAINS]) *)
+  window : int;  (** shadow scores per drift window *)
+  drift_band : float;
+      (** window MAPE above this is out of band (relative, e.g. 0.25) *)
+  quantile : float;  (** percentile watched per window, in [0,100] *)
+  quantile_band : float;
+      (** window [quantile]-th relative error above this is out of band *)
+  drift_windows : int;
+      (** consecutive out-of-band windows before drift is declared *)
+  canary_windows : int;
+      (** in-band windows a fresh model must survive before its
+          predecessor is released; 0 promotes immediately *)
+  reservoir_capacity : int;  (** max (block, reference) pairs retained *)
+  min_retrain : int;
+      (** don't start retraining below this many reservoir samples *)
+  sync_retrain : bool;
+      (** run retraining inline in {!tick} instead of a background
+          domain — deterministic timing for tests and smoke runs *)
+  seed : int;  (** reservoir RNG seed *)
+}
+
+(** shadow_every 8, window 64, drift_band 0.25, quantile 95 with band
+    0.75, drift_windows 3, canary_windows 3, reservoir 512,
+    min_retrain 32, async, seed 0. *)
+val default_config : config
+
+type state = Stable | Drifting | Retraining | Canary
+
+val state_name : state -> string
+
+(** The versioned on-disk model registry.  Files are
+    [<dir>/model_v<version>.ckpt] in the PR 2 checkpoint container
+    (atomic rename, CRC-32); payloads carry a format magic, the
+    version, the {!Model.config} and every weight matrix. *)
+module Registry : sig
+  val path : dir:string -> version:int -> string
+
+  (** [save ~dir ~version model] — persist atomically.  Raises on I/O
+      failure.  An armed [lifecycle.corrupt_model] hit truncates the
+      installed file afterwards (so the paired {!load} must fail). *)
+  val save : dir:string -> version:int -> Model.t -> unit
+
+  (** [load ~dir ~version] — decode and rebuild the model, checking
+      magic, CRC, version and weight shapes.  All failures are values:
+      checkpoint faults pass through, shape/config problems become
+      [Fault.Model_rejected]. *)
+  val load : dir:string -> version:int -> (Model.t, Fault.t) result
+end
+
+type t
+
+(** [create ?clock ?model_dir config ~reference ~retrain ~features
+    model] — a lifecycle serving [model] as version 1.
+
+    [reference] is the ground-truth oracle for shadow scoring (cycles
+    for a block; typically the mca backend's predict through its
+    simcache).  [retrain ~init data] fine-tunes a copy of [init] on
+    [data] and returns the candidate (typically
+    [Engine.retrain_ithemal]); it runs on a background domain unless
+    [config.sync_retrain].  [features] must match the model's training
+    features.  With [model_dir] every installed version (including the
+    initial one, best effort) is persisted to the registry and
+    candidates are validated by reloading from disk.
+
+    Raises [Invalid_argument] on nonsensical config (non-positive
+    windows/capacities, bands, or quantile outside [0,100]). *)
+val create :
+  ?clock:Clock.t ->
+  ?model_dir:string ->
+  config ->
+  reference:(Dt_x86.Block.t -> float) ->
+  retrain:(init:Model.t -> (Dt_x86.Block.t * float) array -> Model.t) ->
+  features:(Dt_x86.Block.t -> float array) option ->
+  Model.t ->
+  t
+
+(** The serving backend (named ["surrogate"]): predictions go through
+    the {e current} version's model and per-version simcache; scalar
+    predictions are serialized on an internal mutex (the model scratch
+    workspace is single-caller).  [xstats] reports per-version cache
+    hit/miss counters. *)
+val backend : t -> Backend.t
+
+val backend_name : string
+
+(** Current serving version (1-based, monotonic except for rollback,
+    which re-exposes the previous version). *)
+val version : t -> int
+
+val state : t -> state
+
+(** [observe t ~asm ~value] — account one surrogate-served request
+    ([value] = the answer's cycles).  Every [shadow_every]-th call
+    re-simulates [asm] under [reference], records the relative error,
+    feeds the reservoir, and finalizes a drift window when full.  Must
+    be called from the drain thread in admission order (that is what
+    makes sampling and the reservoir deterministic under any
+    [DIFFTUNE_DOMAINS]). *)
+val observe : t -> asm:string -> value:float -> unit
+
+(** [tick t] — lifecycle housekeeping at a batch boundary: starts a
+    pending retrain (inline when [sync_retrain]), reaps a finished
+    background retrain, and validates + installs (or rejects) the
+    candidate.  Swaps happen {e only} here, so a runtime calling [tick]
+    between batches never mixes versions within a batch. *)
+val tick : t -> unit
+
+(** Current reservoir contents, oldest slot first: (canonical block
+    text, reference cycles).  For tests. *)
+val reservoir_snapshot : t -> (string * float) list
+
+(** Lifecycle counters for the [stats] response (unprefixed keys:
+    [state], [version], [swaps], [rollbacks], ...). *)
+val stats_pairs : t -> (string * string) list
+
+(** Wait for any in-flight background retrain and discard its result.
+    Idempotent; call before dropping the lifecycle. *)
+val stop : t -> unit

@@ -64,6 +64,7 @@ type answer = {
   cycles : float;
   backend : string;
   via : (string * string) list;
+  model : string option;
 }
 
 type response =
@@ -83,7 +84,8 @@ let kind_of_fault = function
   | Fault.Service_overloaded _ -> "overloaded"
   | Fault.Checkpoint_missing _ | Fault.Checkpoint_corrupt _
   | Fault.Checkpoint_version _ | Fault.Checkpoint_mismatch _
-  | Fault.Numeric_divergence _ | Fault.No_training_blocks _ ->
+  | Fault.Numeric_divergence _ | Fault.No_training_blocks _
+  | Fault.Model_rejected _ | Fault.Retrain_failed _ ->
       "internal"
 
 (* Field values live in a space-separated line: anything that would
@@ -96,14 +98,22 @@ let flatten s = String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
 
 let encode_response ~id resp =
   let id = slug id in
+  (* The serving-model label rides at the end of answer lines so the
+     stable [backend=... via=...] prefix parsers keep working. *)
+  let model_suffix = function
+    | None -> ""
+    | Some v -> " model=" ^ slug v
+  in
   match resp with
-  | Answer { cycles; backend; via = [] } ->
-      Printf.sprintf "%s ok cycles=%.4f backend=%s" id cycles (slug backend)
-  | Answer { cycles; backend; via } ->
-      Printf.sprintf "%s degraded cycles=%.4f backend=%s via=%s" id cycles
+  | Answer { cycles; backend; via = []; model } ->
+      Printf.sprintf "%s ok cycles=%.4f backend=%s%s" id cycles (slug backend)
+        (model_suffix model)
+  | Answer { cycles; backend; via; model } ->
+      Printf.sprintf "%s degraded cycles=%.4f backend=%s via=%s%s" id cycles
         (slug backend)
         (String.concat ","
            (List.map (fun (b, r) -> slug b ^ ":" ^ slug r) via))
+        (model_suffix model)
   | Overloaded { capacity } ->
       Printf.sprintf "%s overloaded capacity=%d" id capacity
   | Failed fault ->

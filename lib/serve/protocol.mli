@@ -13,8 +13,8 @@
     line starts with the same id, so a client can correlate answers
     under pipelining.  Responses:
     {v
-      <id> ok cycles=<c> backend=<b>
-      <id> degraded cycles=<c> backend=<b> via=<b1:reason1[,b2:reason2...]>
+      <id> ok cycles=<c> backend=<b> [model=v<n>]
+      <id> degraded cycles=<c> backend=<b> via=<b1:reason1[,b2:reason2...]> [model=v<n>]
       <id> overloaded capacity=<n>
       <id> error kind=<kind> msg=<text to end of line>
       <id> stats <k>=<v> ...
@@ -25,8 +25,12 @@
     [degraded] labels exactly which fallback produced the answer
     ([backend=]) and why every earlier backend in the chain did not
     ([via=], reason slugs like [breaker_open], [deadline],
-    [worker_fault]).  [kind] is one of [malformed], [parse], [deadline],
-    [unavailable], [overloaded], [internal].
+    [worker_fault]).  [model=] appears on answers produced by a
+    lifecycle-managed surrogate and names the model version that served
+    the request — the hot-swap observability contract (it rides at the
+    end of the line so prefix parsers are unaffected).  [kind] is one of
+    [malformed], [parse], [deadline], [unavailable], [overloaded],
+    [internal].
 
     {!decode} is total: malformed bytes produce an [Error] carrying the
     best-effort id and a structured {!Dt_difftune.Fault.t}, never an
@@ -48,6 +52,9 @@ type answer = {
   backend : string;
   via : (string * string) list;
       (** earlier (backend, reason) pairs; [[]] = primary served *)
+  model : string option;
+      (** serving surrogate-model version (e.g. ["v3"]) when a
+          lifecycle manages the surrogate lane; [None] otherwise *)
 }
 
 type response =

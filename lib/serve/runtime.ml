@@ -59,6 +59,7 @@ type t = {
   owned_pool : bool;
   lanes : lane list;
   queue : entry Queue.t;
+  lifecycle : Lifecycle.t option;
   m : Mutex.t;
   master_rng : Dt_util.Rng.t;
   mutable received : int;
@@ -72,7 +73,7 @@ type t = {
   mutable stopped : bool;
 }
 
-let create ?pool ?clock cfg backends =
+let create ?pool ?clock ?lifecycle cfg backends =
   if backends = [] then invalid_arg "Runtime.create: empty backend chain";
   if cfg.queue_capacity < 1 then
     invalid_arg "Runtime.create: queue_capacity must be >= 1";
@@ -115,6 +116,7 @@ let create ?pool ?clock cfg backends =
     owned_pool;
     lanes;
     queue = Queue.create ();
+    lifecycle;
     m = Mutex.create ();
     master_rng = Dt_util.Rng.create cfg.seed;
     received = 0;
@@ -246,6 +248,7 @@ let process t ?lane0_value entry =
                     Protocol.cycles;
                     backend = lane.backend.Backend.name;
                     via = List.rev via;
+                    model = None;
                   }
             | Error reason ->
                 locked t (fun () ->
@@ -301,8 +304,20 @@ let drain_batch t =
         Array.init n (fun _ -> Queue.pop t.queue))
   in
   let n = Array.length entries in
-  if n = 0 then 0
+  if n = 0 then begin
+    (* Even an idle service must reap finished background retrains. *)
+    (match t.lifecycle with Some lc -> Lifecycle.tick lc | None -> ());
+    0
+  end
   else begin
+    (* The serving-model label for this whole batch, read once: the
+       lifecycle only swaps inside [tick] (below, after the emits), so a
+       batch can never mix versions. *)
+    let mver =
+      match t.lifecycle with
+      | Some lc -> Some (Printf.sprintf "v%d" (Lifecycle.version lc))
+      | None -> None
+    in
     (* Pre-filled with a structured error so that even a runtime bug
        that aborts the batch cannot drop a response. *)
     let results =
@@ -327,11 +342,34 @@ let drain_batch t =
       (fun i entry ->
         let resp =
           match results.(i) with
-          | Ok answer -> Protocol.Answer answer
+          | Ok answer ->
+              let answer =
+                if String.equal answer.Protocol.backend Lifecycle.backend_name
+                then { answer with Protocol.model = mver }
+                else answer
+              in
+              results.(i) <- Ok answer;
+              Protocol.Answer answer
           | Error fault -> Protocol.Failed fault
         in
         emit t ~id:entry.id ~respond:entry.respond resp)
       entries;
+    (* Lifecycle housekeeping at the batch boundary, after every
+       response is out: shadow-score this batch's surrogate-served
+       answers in admission order (deterministic under any pool size),
+       then let the lifecycle start/reap retrains and hot-swap. *)
+    (match t.lifecycle with
+    | None -> ()
+    | Some lc ->
+        Array.iteri
+          (fun i entry ->
+            match results.(i) with
+            | Ok a when String.equal a.Protocol.backend Lifecycle.backend_name
+              ->
+                Lifecycle.observe lc ~asm:entry.asm ~value:a.Protocol.cycles
+            | Ok _ | Error _ -> ())
+          entries;
+        Lifecycle.tick lc);
     n
   end
 
@@ -389,7 +427,13 @@ let stats_pairs t =
     | Some f ->
         List.map (fun (k, v) -> (lane.backend.Backend.name ^ "." ^ k, v)) (f ())
   in
-  global @ List.concat_map per_lane t.lanes
+  let lifecycle =
+    match t.lifecycle with
+    | None -> []
+    | Some lc ->
+        List.map (fun (k, v) -> ("lifecycle." ^ k, v)) (Lifecycle.stats_pairs lc)
+  in
+  global @ List.concat_map per_lane t.lanes @ lifecycle
 
 let breaker t name =
   List.find_map
@@ -457,4 +501,7 @@ let shutdown t =
         t.stopped <- true;
         fresh)
   in
-  if fresh && t.owned_pool then Dt_util.Pool.shutdown t.pool
+  if fresh then begin
+    (match t.lifecycle with Some lc -> Lifecycle.stop lc | None -> ());
+    if t.owned_pool then Dt_util.Pool.shutdown t.pool
+  end

@@ -53,13 +53,24 @@ val default_config : config
 
 type t
 
-(** [create ?pool ?clock config backends] — [backends] is the
-    degradation chain, primary first (must be non-empty).  An explicit
-    [pool] is borrowed (caller keeps ownership); otherwise one is
-    created (honouring [DIFFTUNE_DOMAINS]) and owned.  Default clock:
-    {!Clock.monotonic}. *)
+(** [create ?pool ?clock ?lifecycle config backends] — [backends] is
+    the degradation chain, primary first (must be non-empty).  An
+    explicit [pool] is borrowed (caller keeps ownership); otherwise one
+    is created (honouring [DIFFTUNE_DOMAINS]) and owned.  Default
+    clock: {!Clock.monotonic}.
+
+    With [lifecycle] (whose {!Lifecycle.backend} should be one of the
+    [backends], normally the primary), the runtime becomes
+    lifecycle-aware: answers served by the surrogate lane carry the
+    serving model version ([model=v<n>]); after each batch's responses
+    are out, those answers are shadow-scored in admission order and
+    {!Lifecycle.tick} runs — so drift detection, background retraining
+    and hot-swaps all happen at batch boundaries, never inside one
+    (an admitted batch is always served and labeled by a single
+    version).  {!shutdown} stops the lifecycle. *)
 val create :
-  ?pool:Dt_util.Pool.t -> ?clock:Clock.t -> config -> Backend.t list -> t
+  ?pool:Dt_util.Pool.t -> ?clock:Clock.t -> ?lifecycle:Lifecycle.t ->
+  config -> Backend.t list -> t
 
 val config : t -> config
 

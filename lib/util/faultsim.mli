@@ -31,7 +31,18 @@
       [Pipeline.Budget_exceeded] deadline through the real watchdog;
     - [serve.malformed_input] — corrupt the tail of one request line at
       admission ([Dt_serve.Runtime.submit]); the id survives, so the
-      structured parse error stays attributable to its sender.
+      structured parse error stays attributable to its sender;
+    - [lifecycle.corrupt_model] — truncate a versioned surrogate model
+      file just after [Dt_serve.Lifecycle.Registry.save] atomically
+      installed it: the validating reload before a hot-swap must reject
+      the candidate (CRC) and keep the old model serving;
+    - [lifecycle.retrain_crash] — raise {!Injected} inside the
+      lifecycle's background retraining job; serving must continue on
+      the current model and drift tracking restart;
+    - [lifecycle.drift_storm] — force one drift window out of band at
+      its finalization ([Dt_serve.Lifecycle]): drives the whole
+      drift -> retrain -> swap -> canary/rollback path at a precise
+      window ordinal regardless of the real error level.
 
     Hit counters are shared across domains (mutex-protected) so a spec
     like [pool.worker\@5] fires exactly once regardless of how the pool

@@ -330,6 +330,125 @@ let scenario_socket () =
   wait_clean name pid;
   if Sys.file_exists path then failf "%s: socket file left behind" name
 
+(* ---- lifecycle scenarios ----
+
+   The daemon runs with a lifecycle-managed surrogate: a tiny model
+   trained at startup (--train-surrogate --corpus 24), every request
+   shadow-scored (--shadow-every 1), 4-score windows, and bands so wide
+   that only an armed [lifecycle.drift_storm] window is ever out of
+   band — the drift -> retrain -> swap -> canary path fires at exact
+   request ordinals.  --sync-retrain keeps the timing deterministic. *)
+
+let lifecycle_args extra =
+  [
+    "--train-surrogate"; "--corpus"; "24"; "--sync-retrain";
+    "--shadow-every"; "1"; "--drift-window-size"; "4"; "--drift-windows"; "1";
+    "--min-retrain"; "4"; "--drift-band"; "1000"; "--quantile-band"; "1000";
+    "--batch"; "4"; "--seed"; "5";
+  ]
+  @ extra
+
+let lifecycle_predicts n = List.init n (fun i -> Printf.sprintf "l%d" (i + 1))
+
+(* Continuous traffic across a live hot-swap and a canary rollback:
+   window 1 storms -> retrain + swap to v2 (canary), window 2 is clean
+   (canary survives one of two windows), window 3 storms -> rollback to
+   v1.  Zero failed, shed or unlabeled requests end to end. *)
+let scenario_lifecycle_swap () =
+  let name = "lifecycle-swap-rollback" in
+  let predicts = lifecycle_predicts 16 in
+  let requests =
+    List.map (fun id -> id ^ " predict " ^ asm) predicts
+    @ [ "s stats"; "z shutdown" ]
+  in
+  let lines =
+    stdio_scenario name
+      ~faults:"lifecycle.drift_storm@1;lifecycle.drift_storm@3" ~domains:2
+      ~args:(lifecycle_args [ "--canary"; "2" ])
+      ~requests
+      (check_ids name (predicts @ [ "s"; "z" ]))
+  in
+  (* Every request is served ok by the surrogate and labeled with the
+     version that served it: v1 before the swap, v2 during canary, v1
+     again after the rollback. *)
+  List.iteri
+    (fun i id ->
+      let want = if i < 4 then "v1" else if i < 12 then "v2" else "v1" in
+      expect name lines id ~affix:"ok cycles=";
+      expect name lines id ~affix:("backend=surrogate model=" ^ want))
+    predicts;
+  expect name lines "s" ~affix:"lifecycle.swaps=1";
+  expect name lines "s" ~affix:"lifecycle.rollbacks=1";
+  expect name lines "s" ~affix:"lifecycle.version=1";
+  expect name lines "s" ~affix:"lifecycle.state=stable";
+  expect name lines "s" ~affix:" failed=0";
+  expect name lines "s" ~affix:" overloaded=0"
+
+(* A crashed background retrain must leave serving untouched. *)
+let scenario_lifecycle_retrain_crash () =
+  let name = "lifecycle-retrain-crash" in
+  let predicts = lifecycle_predicts 8 in
+  let requests =
+    List.map (fun id -> id ^ " predict " ^ asm) predicts
+    @ [ "s stats"; "z shutdown" ]
+  in
+  let lines =
+    stdio_scenario name
+      ~faults:"lifecycle.drift_storm@1;lifecycle.retrain_crash@1" ~domains:1
+      ~args:(lifecycle_args [])
+      ~requests
+      (check_ids name (predicts @ [ "s"; "z" ]))
+  in
+  List.iter
+    (fun id ->
+      expect name lines id ~affix:"ok cycles=";
+      expect name lines id ~affix:"backend=surrogate model=v1")
+    predicts;
+  expect name lines "s" ~affix:"lifecycle.retrains_failed=1";
+  expect name lines "s" ~affix:"lifecycle.swaps=0";
+  expect name lines "s" ~affix:"lifecycle.version=1";
+  expect name lines "s" ~affix:" failed=0"
+
+(* A candidate whose registry file is torn right after the write must be
+   rejected by the validating reload and never swap in. *)
+let scenario_lifecycle_corrupt_model () =
+  let name = "lifecycle-corrupt-model" in
+  let model_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dt_serve_smoke_models_%d" (Unix.getpid ()))
+  in
+  let predicts = lifecycle_predicts 8 in
+  let requests =
+    List.map (fun id -> id ^ " predict " ^ asm) predicts
+    @ [ "s stats"; "z shutdown" ]
+  in
+  let lines =
+    (* corrupt_model hit 1 is the initial v1 persist; hit 2 tears the
+       v2 candidate. *)
+    stdio_scenario name
+      ~faults:"lifecycle.drift_storm@1;lifecycle.corrupt_model@2" ~domains:1
+      ~args:(lifecycle_args [ "--model-dir"; model_dir ])
+      ~requests
+      (check_ids name (predicts @ [ "s"; "z" ]))
+  in
+  List.iter
+    (fun id ->
+      expect name lines id ~affix:"ok cycles=";
+      expect name lines id ~affix:"backend=surrogate model=v1")
+    predicts;
+  expect name lines "s" ~affix:"lifecycle.models_rejected=1";
+  expect name lines "s" ~affix:"lifecycle.swaps=0";
+  expect name lines "s" ~affix:"lifecycle.version=1";
+  expect name lines "s" ~affix:" failed=0";
+  (* best-effort cleanup of the registry dir *)
+  (try
+     Array.iter
+       (fun e -> Sys.remove (Filename.concat model_dir e))
+       (Sys.readdir model_dir);
+     Sys.rmdir model_dir
+   with Sys_error _ -> ())
+
 let () =
   (* hard watchdog: a hung daemon must fail the smoke, not wedge CI *)
   ignore (Unix.alarm 300);
@@ -339,8 +458,11 @@ let () =
   scenario_overload ();
   scenario_mixed ();
   scenario_socket ();
+  scenario_lifecycle_swap ();
+  scenario_lifecycle_retrain_crash ();
+  scenario_lifecycle_corrupt_model ();
   if !failures > 0 then begin
     Printf.printf "serve_smoke: %d failure(s)\n%!" !failures;
     exit 1
   end;
-  print_endline "serve_smoke: OK (6 scenarios, zero drops)"
+  print_endline "serve_smoke: OK (9 scenarios, zero drops)"

@@ -1,0 +1,417 @@
+(* Tests for Dt_serve.Lifecycle: drift-window math on a manual clock,
+   the versioned CRC-checked model registry (round-trip, truncation,
+   injected corruption), candidate rejection (self-check, retrain
+   crash), reservoir determinism across pool sizes, and the runtime
+   integration — exactly-once version labels across an atomic hot-swap
+   and canary rollback of a regressed model. *)
+
+module Clock = Dt_serve.Clock
+module Lifecycle = Dt_serve.Lifecycle
+module Protocol = Dt_serve.Protocol
+module Backend = Dt_serve.Backend
+module Runtime = Dt_serve.Runtime
+module Model = Dt_surrogate.Model
+module Nn = Dt_nn.Nn
+module Fault = Dt_difftune.Fault
+module Faultsim = Dt_util.Faultsim
+module Rng = Dt_util.Rng
+
+let check = Alcotest.check
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+let count_affix ~affix s =
+  let n = String.length s and m = String.length affix in
+  let c = ref 0 in
+  for i = 0 to n - m do
+    if String.sub s i m = affix then incr c
+  done;
+  !c
+
+let with_faults f =
+  Fun.protect ~finally:Faultsim.clear (fun () ->
+      Faultsim.clear ();
+      f ())
+
+let dir_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_tmpdir f =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dt_lifecycle_%d_%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ---- tiny models ---- *)
+
+let tiny_config =
+  {
+    Model.ithemal_config with
+    embed_dim = 4;
+    token_hidden = 4;
+    instr_hidden = 4;
+    token_layers = 1;
+    instr_layers = 1;
+    head_hidden = 0;
+  }
+
+(* All-zero weights: every LSTM state and the linear head collapse to
+   0.0 — a finite, non-negative prediction on any block, so the model
+   passes the install self-check while costing microseconds. *)
+let fill_model v =
+  let m = Model.create ~config:tiny_config (Rng.create 7) in
+  let vals =
+    List.map
+      (fun (n, r, c, a) -> (n, r, c, Array.map (fun _ -> v) a))
+      (Nn.Store.export_values (Model.store m))
+  in
+  Nn.Store.import_values (Model.store m) vals;
+  m
+
+let zero_model () = fill_model 0.0
+let nan_model () = fill_model Float.nan
+
+(* ---- lifecycle driven directly (no runtime) ---- *)
+
+let base_cfg =
+  {
+    Lifecycle.shadow_every = 1;
+    window = 4;
+    drift_band = 0.5;
+    quantile = 95.0;
+    quantile_band = 10.0;
+    drift_windows = 2;
+    canary_windows = 1;
+    reservoir_capacity = 64;
+    min_retrain = 4;
+    sync_retrain = true;
+    seed = 3;
+  }
+
+let asm = "addq %rax, %rbx"
+
+let mk_lifecycle ?model_dir ?(cfg = base_cfg) ?(retrain_calls = ref 0)
+    ?(retrain = fun ~init:_ _data -> zero_model ()) () =
+  let clock, _advance = Clock.manual () in
+  let reference _block = 100.0 in
+  let retrain ~init data =
+    incr retrain_calls;
+    retrain ~init data
+  in
+  Lifecycle.create ~clock ?model_dir cfg ~reference ~retrain ~features:None
+    (zero_model ())
+
+(* Feed one full window of observations whose relative error vs the
+   reference (100.0) is [rel]. *)
+let feed_window lc ~rel =
+  for _ = 1 to base_cfg.window do
+    Lifecycle.observe lc ~asm ~value:(100.0 *. (1.0 +. rel))
+  done
+
+let stat lc key =
+  match List.assoc_opt key (Lifecycle.stats_pairs lc) with
+  | Some v -> v
+  | None -> Alcotest.failf "missing lifecycle stat %s" key
+
+let test_drift_windows () =
+  with_faults @@ fun () ->
+  let retrain_calls = ref 0 in
+  let lc = mk_lifecycle ~retrain_calls () in
+  check Alcotest.int "starts at v1" 1 (Lifecycle.version lc);
+  check Alcotest.string "starts stable" "stable"
+    (Lifecycle.state_name (Lifecycle.state lc));
+  (* In-band window: stays stable. *)
+  feed_window lc ~rel:0.05;
+  Lifecycle.tick lc;
+  check Alcotest.string "in-band stays stable" "stable" (stat lc "state");
+  check Alcotest.string "one window" "1" (stat lc "windows");
+  (* One out-of-band window: drifting, but no retrain yet. *)
+  feed_window lc ~rel:1.0;
+  Lifecycle.tick lc;
+  check Alcotest.string "out-of-band drifts" "drifting" (stat lc "state");
+  check Alcotest.int "no retrain after one window" 0 !retrain_calls;
+  (* Recovery resets the consecutive counter. *)
+  feed_window lc ~rel:0.05;
+  Lifecycle.tick lc;
+  check Alcotest.string "recovery restores stable" "stable" (stat lc "state");
+  check Alcotest.string "consecutive reset" "0" (stat lc "consecutive_out");
+  (* Two consecutive out-of-band windows confirm drift; the sync
+     retrain installs v2 and enters canary. *)
+  feed_window lc ~rel:1.0;
+  feed_window lc ~rel:1.0;
+  Lifecycle.tick lc;
+  check Alcotest.int "retrained once" 1 !retrain_calls;
+  check Alcotest.int "serving v2" 2 (Lifecycle.version lc);
+  check Alcotest.string "canary after swap" "canary" (stat lc "state");
+  (* An in-band canary window promotes. *)
+  feed_window lc ~rel:0.05;
+  Lifecycle.tick lc;
+  check Alcotest.string "promoted" "stable" (stat lc "state");
+  check Alcotest.int "still v2" 2 (Lifecycle.version lc);
+  check Alcotest.string "no rollback" "0" (stat lc "rollbacks")
+
+let test_canary_rollback () =
+  with_faults @@ fun () ->
+  let lc = mk_lifecycle () in
+  feed_window lc ~rel:1.0;
+  feed_window lc ~rel:1.0;
+  Lifecycle.tick lc;
+  check Alcotest.int "swapped to v2" 2 (Lifecycle.version lc);
+  check Alcotest.string "in canary" "canary" (stat lc "state");
+  (* The regressed candidate stays out of band during its canary
+     window: roll back to v1. *)
+  feed_window lc ~rel:1.0;
+  Lifecycle.tick lc;
+  check Alcotest.int "rolled back to v1" 1 (Lifecycle.version lc);
+  check Alcotest.string "stable after rollback" "stable" (stat lc "state");
+  check Alcotest.string "rollback counted" "1" (stat lc "rollbacks");
+  (* Version ids stay monotonic: the next candidate is v3, not v2
+     again. *)
+  feed_window lc ~rel:1.0;
+  feed_window lc ~rel:1.0;
+  Lifecycle.tick lc;
+  check Alcotest.int "next candidate is v3" 3 (Lifecycle.version lc)
+
+let test_retrain_crash () =
+  with_faults @@ fun () ->
+  Faultsim.configure "lifecycle.retrain_crash@1";
+  let lc = mk_lifecycle () in
+  feed_window lc ~rel:1.0;
+  feed_window lc ~rel:1.0;
+  Lifecycle.tick lc;
+  check Alcotest.int "still v1 after crash" 1 (Lifecycle.version lc);
+  check Alcotest.string "crash counted" "1" (stat lc "retrains_failed");
+  check Alcotest.string "back to stable" "stable" (stat lc "state");
+  (* Drift tracking restarted: a fresh confirmation retrains again, and
+     this time (site disarmed) the swap succeeds. *)
+  feed_window lc ~rel:1.0;
+  feed_window lc ~rel:1.0;
+  Lifecycle.tick lc;
+  check Alcotest.int "recovered to v3" 3 (Lifecycle.version lc)
+
+let test_self_check_rejection () =
+  with_faults @@ fun () ->
+  let lc = mk_lifecycle ~retrain:(fun ~init:_ _ -> nan_model ()) () in
+  feed_window lc ~rel:1.0;
+  feed_window lc ~rel:1.0;
+  Lifecycle.tick lc;
+  check Alcotest.int "NaN candidate never serves" 1 (Lifecycle.version lc);
+  check Alcotest.string "rejection counted" "1" (stat lc "models_rejected");
+  check Alcotest.string "stable after rejection" "stable" (stat lc "state")
+
+let test_corrupt_model_rejected () =
+  with_faults @@ fun () ->
+  with_tmpdir @@ fun dir ->
+  (* The registry file is torn right after the atomic install; the
+     validating reload must reject the candidate and keep serving v1. *)
+  Faultsim.configure "lifecycle.corrupt_model@2" (* hit 1 = initial v1 save *);
+  let lc = mk_lifecycle ~model_dir:dir () in
+  feed_window lc ~rel:1.0;
+  feed_window lc ~rel:1.0;
+  Lifecycle.tick lc;
+  check Alcotest.int "corrupt candidate never serves" 1 (Lifecycle.version lc);
+  check Alcotest.string "rejection counted" "1" (stat lc "models_rejected");
+  check Alcotest.string "no swap" "0" (stat lc "swaps")
+
+(* ---- registry ---- *)
+
+let test_registry_roundtrip () =
+  with_faults @@ fun () ->
+  with_tmpdir @@ fun dir ->
+  let m = fill_model 0.25 in
+  Lifecycle.Registry.save ~dir ~version:5 m;
+  (match Lifecycle.Registry.load ~dir ~version:5 with
+  | Error f -> Alcotest.failf "reload failed: %s" (Fault.to_string f)
+  | Ok m' ->
+      let dump m =
+        List.map
+          (fun (n, r, c, a) -> (n, r, c, Array.to_list a))
+          (Nn.Store.export_values (Model.store m))
+      in
+      check Alcotest.bool "weights round-trip bit-exact" true
+        (dump m = dump m'));
+  (match Lifecycle.Registry.load ~dir ~version:6 with
+  | Error (Fault.Checkpoint_missing _) -> ()
+  | Error f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f)
+  | Ok _ -> Alcotest.fail "missing version loaded");
+  (* Truncate the file: the CRC/container check must catch it. *)
+  let path = Lifecycle.Registry.path ~dir ~version:5 in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full / 3)));
+  match Lifecycle.Registry.load ~dir ~version:5 with
+  | Error (Fault.Checkpoint_corrupt _) -> ()
+  | Error f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f)
+  | Ok _ -> Alcotest.fail "truncated model loaded"
+
+let test_registry_persists_versions () =
+  with_faults @@ fun () ->
+  with_tmpdir @@ fun dir ->
+  let lc = mk_lifecycle ~model_dir:dir () in
+  check Alcotest.bool "v1 persisted at create" true
+    (Sys.file_exists (Lifecycle.Registry.path ~dir ~version:1));
+  feed_window lc ~rel:1.0;
+  feed_window lc ~rel:1.0;
+  Lifecycle.tick lc;
+  check Alcotest.int "v2 serving" 2 (Lifecycle.version lc);
+  check Alcotest.bool "v2 persisted" true
+    (Sys.file_exists (Lifecycle.Registry.path ~dir ~version:2));
+  match Lifecycle.Registry.load ~dir ~version:2 with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "v2 unreadable: %s" (Fault.to_string f)
+
+(* ---- reservoir ---- *)
+
+(* The reservoir is fed on the drain thread in admission order, so its
+   contents are a function of the traffic alone — not of how many pool
+   domains evaluated the batches. *)
+let reservoir_with_domains domains =
+  with_faults @@ fun () ->
+  let clock, _ = Clock.manual () in
+  let lc =
+    let reference block = 10.0 *. float_of_int (Dt_x86.Block.length block) in
+    Lifecycle.create ~clock
+      { base_cfg with window = 1000; reservoir_capacity = 8 }
+      ~reference
+      ~retrain:(fun ~init:_ _ -> zero_model ())
+      ~features:None (zero_model ())
+  in
+  let pool = Dt_util.Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Dt_util.Pool.shutdown pool) @@ fun () ->
+  let rt =
+    Runtime.create ~pool ~clock ~lifecycle:lc
+      { Runtime.default_config with batch = 4; queue_capacity = 64 }
+      [ Lifecycle.backend lc ]
+  in
+  for i = 1 to 40 do
+    let line =
+      Printf.sprintf "r%d predict %s" i
+        (String.concat "; " (List.init ((i mod 5) + 1) (fun _ -> asm)))
+    in
+    match Runtime.submit rt ~line ~respond:(fun _ -> ()) with
+    | `Ok -> ()
+    | `Shutdown -> Alcotest.fail "unexpected shutdown"
+  done;
+  ignore (Runtime.drain_all rt);
+  let snap = Lifecycle.reservoir_snapshot lc in
+  Runtime.shutdown rt;
+  snap
+
+let test_reservoir_determinism () =
+  let s1 = reservoir_with_domains 1 in
+  let s2 = reservoir_with_domains 2 in
+  check Alcotest.int "reservoir bounded" 8 (List.length s1);
+  check
+    Alcotest.(list (pair string (float 0.0)))
+    "reservoir identical across pool sizes" s1 s2
+
+(* ---- runtime integration: labels across a hot swap ---- *)
+
+let test_swap_labels_exactly_once () =
+  with_faults @@ fun () ->
+  (* A wide drift band plus an armed drift storm: only the stormed
+     window is out of band, so the swap happens at a precise request
+     ordinal.  drift_windows = 1 makes that single window confirm
+     drift; the next tick retrains synchronously and swaps. *)
+  Faultsim.configure "lifecycle.drift_storm@1";
+  let clock, _ = Clock.manual () in
+  let lc =
+    let reference _ = 100.0 in
+    Lifecycle.create ~clock
+      {
+        base_cfg with
+        drift_windows = 1;
+        canary_windows = 0;
+        drift_band = 1e9;
+        quantile_band = 1e9;
+      }
+      ~reference
+      ~retrain:(fun ~init:_ _ -> zero_model ())
+      ~features:None (zero_model ())
+  in
+  let pool = Dt_util.Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Dt_util.Pool.shutdown pool) @@ fun () ->
+  let rt =
+    Runtime.create ~pool ~clock ~lifecycle:lc
+      { Runtime.default_config with batch = 4; queue_capacity = 64 }
+      [ Lifecycle.backend lc ]
+  in
+  let responses = ref [] in
+  let submit i =
+    let line = Printf.sprintf "q%d predict %s" i asm in
+    match
+      Runtime.submit rt ~line ~respond:(fun r -> responses := r :: !responses)
+    with
+    | `Ok -> ()
+    | `Shutdown -> Alcotest.fail "unexpected shutdown"
+  in
+  (* First batch fills one window (window = 4, shadow_every = 1): the
+     storm fires at its finalization, the post-batch tick swaps. *)
+  for i = 1 to 4 do
+    submit i
+  done;
+  ignore (Runtime.drain_all rt);
+  check Alcotest.int "swapped after first window" 2 (Lifecycle.version lc);
+  for i = 5 to 8 do
+    submit i
+  done;
+  ignore (Runtime.drain_all rt);
+  let all = List.rev !responses in
+  check Alcotest.int "all answered" 8 (List.length all);
+  List.iteri
+    (fun idx r ->
+      check Alcotest.int
+        (Printf.sprintf "exactly one model label in %S" r)
+        1
+        (count_affix ~affix:" model=" r);
+      let want = if idx < 4 then " model=v1" else " model=v2" in
+      check Alcotest.bool
+        (Printf.sprintf "response %d carries %s (got %S)" idx want r)
+        true (contains ~affix:want r))
+    all;
+  Runtime.shutdown rt
+
+let () =
+  Alcotest.run "lifecycle"
+    [
+      ( "drift",
+        [
+          Alcotest.test_case "window math + swap" `Quick test_drift_windows;
+          Alcotest.test_case "canary rollback" `Quick test_canary_rollback;
+          Alcotest.test_case "retrain crash" `Quick test_retrain_crash;
+          Alcotest.test_case "self-check rejection" `Quick
+            test_self_check_rejection;
+          Alcotest.test_case "corrupt model rejected" `Quick
+            test_corrupt_model_rejected;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "round-trip + truncation" `Quick
+            test_registry_roundtrip;
+          Alcotest.test_case "versions persisted" `Quick
+            test_registry_persists_versions;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "reservoir determinism" `Quick
+            test_reservoir_determinism;
+          Alcotest.test_case "swap labels exactly once" `Quick
+            test_swap_labels_exactly_once;
+        ] );
+    ]

@@ -66,7 +66,13 @@ let test_encode () =
   check Alcotest.string "ok"
     "7 ok cycles=1.5000 backend=mca"
     (Protocol.encode_response ~id:"7"
-       (Protocol.Answer { cycles = 1.5; backend = "mca"; via = [] }));
+       (Protocol.Answer
+          { cycles = 1.5; backend = "mca"; via = []; model = None }));
+  check Alcotest.string "ok with model label"
+    "7 ok cycles=1.5000 backend=surrogate model=v3"
+    (Protocol.encode_response ~id:"7"
+       (Protocol.Answer
+          { cycles = 1.5; backend = "surrogate"; via = []; model = Some "v3" }));
   check Alcotest.string "degraded"
     "7 degraded cycles=2.0000 backend=bound via=surrogate:worker_fault,mca:deadline"
     (Protocol.encode_response ~id:"7"
@@ -75,6 +81,7 @@ let test_encode () =
             cycles = 2.0;
             backend = "bound";
             via = [ ("surrogate", "worker_fault"); ("mca", "deadline") ];
+            model = None;
           }));
   check Alcotest.string "overloaded" "9 overloaded capacity=4"
     (Protocol.encode_response ~id:"9" (Protocol.Overloaded { capacity = 4 }));
