@@ -1,6 +1,6 @@
 # Convenience targets for the DiffTune reproduction.
 
-.PHONY: all build test lint verify serve-smoke bench bench-full bench-json bench-guard clean doc quickstart
+.PHONY: all build test lint racecheck verify serve-smoke bench bench-full bench-json bench-guard clean doc quickstart
 
 all: build
 
@@ -14,6 +14,15 @@ test:
 # rules and fails on any non-whitelisted finding.
 lint:
 	dune build @lint
+
+# dt_race suite: the dynamic lock-order/race sanitizer unit tests plus
+# the armed race.* fault sites end-to-end (DIFFTUNE_RACECHECK=1), then
+# the five lock-discipline lint rules over the tree.
+racecheck: build
+	DIFFTUNE_RACECHECK=1 dune exec test/test_race.exe
+	dune exec bin/dt_lint.exe -- --only \
+	  unguarded-mutation,lock-no-protect,blocking-under-lock,lock-order,atomic-rmw \
+	  lib bin
 
 # End-to-end serving smoke: drives the real `difftune_cli serve` daemon
 # over stdio and a Unix socket with worker crashes, a pathologically
@@ -50,6 +59,15 @@ verify: build
 	  DIFFTUNE_COMPILE=$$compile DIFFTUNE_SANITIZE=1 \
 	    DIFFTUNE_FAULTS="engine.abort@2;grad.nan@3" \
 	    DIFFTUNE_DOMAINS=4 dune exec test/fault_smoke.exe || exit 1; \
+	done
+	@# dt_race cells: the armed race.unlocked_write / race.lock_cycle
+	@# sites must be caught by the dynamic checker under both tape
+	@# executors (the test binary also proves they are MISSED with
+	@# checking off).
+	@for compile in 0 1; do \
+	  echo "== compile=$$compile racecheck=1 =="; \
+	  DIFFTUNE_COMPILE=$$compile DIFFTUNE_RACECHECK=1 \
+	    dune exec test/test_race.exe || exit 1; \
 	done
 	@# Surrogate-lifecycle cell: the unit suite (drift windows, registry
 	@# corruption, canary rollback, reservoir determinism) and the serving

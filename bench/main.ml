@@ -648,6 +648,74 @@ let lifecycle_rows () =
     ("lifecycle.swap_shed", swap_shed);
   ]
 
+(* ---- dt_race: dynamic sanitizer overhead on the serving path (PR 8) ----
+
+   Warmed serving cost with DIFFTUNE_RACECHECK toggled: with checking on,
+   every runtime/breaker/pool/simcache acquisition pays the held-stack
+   bookkeeping (plus order-graph DFS on nested acquisitions) and every
+   guarded structure access re-stamps its token.  bench-guard holds the
+   overhead at <= 15% of serving throughput. *)
+
+let racecheck_rows () =
+  let module Runtime = Dt_serve.Runtime in
+  let uarch = Dt_refcpu.Uarch.Haswell in
+  let asm_of i =
+    let body =
+      List.init
+        (1 + (i mod 6))
+        (fun j ->
+          match (i + j) mod 3 with
+          | 0 -> "addq %rax, %rbx"
+          | 1 -> "imulq %rcx, %rdx"
+          | _ -> "movq 8(%rsp), %rsi")
+    in
+    String.concat "; " body
+  in
+  let run_round rt ls =
+    List.iter
+      (fun l -> ignore (Runtime.submit rt ~line:l ~respond:(fun _ -> ())))
+      ls;
+    ignore (Runtime.drain_all rt)
+  in
+  let serve_ns ~racecheck =
+    let mca = Dt_serve.Backend.mca uarch in
+    let pool = Dt_util.Pool.create ~domains:1 () in
+    Fun.protect ~finally:(fun () -> Dt_util.Pool.shutdown pool) @@ fun () ->
+    let rt =
+      Runtime.create ~pool
+        { Runtime.default_config with batch = 16; queue_capacity = 128 }
+        [ mca; Dt_serve.Backend.bound uarch ]
+    in
+    Fun.protect ~finally:(fun () -> Runtime.shutdown rt) @@ fun () ->
+    Dt_util.Sync.reset_graph ();
+    Dt_util.Sync.set_racecheck racecheck;
+    Fun.protect
+      ~finally:(fun () ->
+        Dt_util.Sync.set_racecheck false;
+        Dt_util.Sync.reset_graph ())
+    @@ fun () ->
+    let tag = if racecheck then "rcon" else "rcoff" in
+    let ls =
+      List.init 64 (fun i -> Printf.sprintf "%s%d predict %s" tag i (asm_of i))
+    in
+    run_round rt ls (* warm: mca simcache *);
+    let best = ref infinity in
+    for _ = 1 to 8 do
+      let t0 = Unix.gettimeofday () in
+      run_round rt ls;
+      let t1 = Unix.gettimeofday () in
+      best := Float.min !best ((t1 -. t0) /. 64.0 *. 1e9)
+    done;
+    !best
+  in
+  let off = serve_ns ~racecheck:false in
+  let on = serve_ns ~racecheck:true in
+  [
+    ("racecheck.serve_ns.off", off);
+    ("racecheck.serve_ns.on", on);
+    ("racecheck.overhead_pct", (on -. off) /. off *. 100.0);
+  ]
+
 let perf_json () =
   let ns = estimates () in
   let sc = scaling () in
@@ -661,23 +729,25 @@ let perf_json () =
         r
   | _ -> ());
   let lf = lifecycle_rows () in
-  let oc = open_out "BENCH_PR7.json" in
+  let rc = racecheck_rows () in
+  let oc = open_out "BENCH_PR8.json" in
   let field (name, v) = Printf.sprintf "    %S: %.1f" name v in
   let field2 (name, v) = Printf.sprintf "    %S: %.2f" name v in
   Printf.fprintf oc
-    "{\n  \"pr\": 7,\n  \"ns_per_call\": {\n%s\n  },\n  \"batch\": \
+    "{\n  \"pr\": 8,\n  \"ns_per_call\": {\n%s\n  },\n  \"batch\": \
      {\n%s\n  },\n  \"scaling\": {\n%s\n  },\n  \"sanitize\": {\n%s\n  },\n  \
-     \"lifecycle\": {\n%s\n  }\n}\n"
+     \"lifecycle\": {\n%s\n  },\n  \"racecheck\": {\n%s\n  }\n}\n"
     (String.concat ",\n" (List.map field ns))
     (String.concat ",\n" (List.map field2 sp))
     (String.concat ",\n" (List.map field sc))
     (String.concat ",\n" (List.map field sa))
-    (String.concat ",\n" (List.map field2 lf));
+    (String.concat ",\n" (List.map field2 lf))
+    (String.concat ",\n" (List.map field2 rc));
   close_out oc;
-  print_endline "wrote BENCH_PR7.json";
+  print_endline "wrote BENCH_PR8.json";
   List.iter
     (fun (n, v) -> Printf.printf "%-48s %12.1f\n%!" n v)
-    (ns @ sp @ sc @ sa @ lf)
+    (ns @ sp @ sc @ sa @ lf @ rc)
 
 (* ---- perf regression guard (make bench-guard) ----
 
@@ -700,6 +770,7 @@ let guard_keys =
 let baseline_file () =
   List.find_opt Sys.file_exists
     [
+      "BENCH_PR8.json";
       "BENCH_PR7.json";
       "BENCH_PR6.json";
       "BENCH_PR5.json";
@@ -721,6 +792,9 @@ let guard_absolute =
        continuous traffic must shed/fail exactly zero requests. *)
     ("lifecycle.shadow_overhead_pct", `Max, 10.0);
     ("lifecycle.swap_shed", `Max, 0.0);
+    (* PR 8: the dynamic lock-order/race sanitizer may cost at most 15%
+       of warmed serving throughput when armed. *)
+    ("racecheck.overhead_pct", `Max, 15.0);
   ]
 
 let read_file path =

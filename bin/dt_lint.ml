@@ -1,11 +1,13 @@
 (* dt_lint: repo lint driver over Dt_analysis.Lint.
 
    Usage:
-     dt_lint [--rules] [ROOT ...]
+     dt_lint [--rules] [--only RULE[,RULE...]] [ROOT ...]
 
    Walks every .ml file under the given roots (default: lib bin),
    prints non-whitelisted findings, and exits 1 if there are any.
-   Wired into `dune build @lint` and `make verify`. *)
+   --only restricts the run to the named rules (e.g. the five dt_race
+   lock-discipline rules).  Wired into `dune build @lint` and
+   `make verify`. *)
 
 module Lint = Dt_analysis.Lint
 
@@ -36,6 +38,32 @@ let () =
     print_rules ();
     exit 0
   end;
+  let only = ref None in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--only" :: spec :: rest ->
+        let names =
+          String.split_on_char ',' spec
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        List.iter
+          (fun n ->
+            if not (List.exists (fun (r : Lint.rule) -> r.name = n) Lint.rules)
+            then begin
+              Printf.printf "dt_lint: unknown rule %S (see --rules)\n" n;
+              exit 2
+            end)
+          names;
+        only := Some names;
+        parse_args acc rest
+    | "--only" :: [] ->
+        Printf.printf "dt_lint: --only needs a comma-separated rule list\n";
+        exit 2
+    | a :: rest -> parse_args (a :: acc) rest
+  in
+  let args = parse_args [] args in
+  let only = !only in
   let roots = match args with [] -> [ "lib"; "bin" ] | roots -> roots in
   List.iter
     (fun root ->
@@ -48,7 +76,7 @@ let () =
   let total = ref 0 and whitelisted = ref 0 in
   List.iter
     (fun file ->
-      let findings, suppressed = Lint.lint_file file in
+      let findings, suppressed = Lint.lint_file ?only file in
       whitelisted := !whitelisted + suppressed;
       List.iter
         (fun (f : Lint.finding) ->

@@ -166,6 +166,161 @@ let tape_op_loop_rule =
       ];
   }
 
+(* ---- lock-discipline catalog (dt_race static layer, PR 8) ----
+
+   The dynamic half lives in Dt_util.Sync; these tables are the static
+   declaration of the same discipline: which record fields are guarded
+   by which lock, and in what order locks may nest.  A field is "in a
+   lock scope" when the mutation sits inside a [with_lock]/[locked]/
+   [Mutex.protect] thunk, in the statement sequence following a raw
+   [Sync.lock]/[Mutex.lock], inside a [*_locked]-suffixed helper (the
+   caller-holds-the-lock convention), or inside [create] (the structure
+   has not escaped yet). *)
+
+let guarded_fields =
+  [
+    ( "lib/util/pool.ml",
+      [ "workers"; "job"; "generation"; "active"; "stop"; "suppressed" ] );
+    ("lib/util/faultsim.ml", [ "armed" ]);
+    ( "lib/serve/breaker.ml",
+      [
+        "st"; "consecutive_failures"; "opened_at"; "probe_inflight"; "opened";
+        "half_opened"; "closed"; "rejected";
+      ] );
+    ( "lib/serve/runtime.ml",
+      [
+        "received"; "answered"; "ok"; "degraded"; "failed"; "overloaded";
+        "malformed"; "queue_hwm"; "stopped"; "requests"; "served";
+        "served_fallback"; "retries"; "timeouts"; "faults"; "breaker_skips";
+        "exhausted";
+      ] );
+    ( "lib/difftune/simcache.ml",
+      [ "value"; "prev"; "next"; "head"; "tail"; "hits"; "misses" ] );
+  ]
+
+let fields_for path =
+  List.concat_map
+    (fun (p, fs) -> if contains path p then fs else [])
+    guarded_fields
+
+(* Declared lock order: acquisitions must nest in strictly increasing
+   rank.  Outermost (held across slow work) ranks low; leaf counter
+   locks rank high.  Names are per-file mutex field/binding names; the
+   path-independent order_* entries exist for the lint fixtures.  This
+   is the static twin of the runtime order graph in Dt_util.Sync. *)
+let lock_ranks =
+  [
+    ("", "order_lo", 10);
+    ("", "order_mid", 20);
+    ("", "order_hi", 30);
+    ("lib/serve/lifecycle.ml", "pm", 10);
+    ("lib/serve/lifecycle.ml", "jmutex", 20);
+    ("lib/util/pool.ml", "m", 30);
+    ("lib/difftune/simcache.ml", "m", 40);
+    ("lib/serve/breaker.ml", "m", 50);
+    ("lib/util/faultsim.ml", "m", 55);
+    ("lib/serve/runtime.ml", "m", 60);
+  ]
+
+let rank_of path name =
+  List.find_map
+    (fun (p, n, r) ->
+      if String.equal n name && (p = "" || contains path p) then Some r
+      else None)
+    lock_ranks
+
+(* Cross-module calls that acquire a lock internally ("point"
+   acquisitions): calling one while holding a higher- or equal-ranked
+   lock is the stats_pairs class of inversion — the callee's lock nests
+   inside the caller's.  Thunk arguments are NOT treated as running
+   under the callee's lock (Simcache computes outside its mutex). *)
+let call_locks =
+  [
+    ( "Breaker",
+      [ "state"; "acquire"; "success"; "failure"; "counters" ],
+      "breaker.m", 50 );
+    ( "Simcache",
+      [ "find"; "add"; "find_or_add"; "hits"; "misses"; "length" ],
+      "simcache.m", 40 );
+    ("Pool", [ "run"; "shutdown"; "suppressed_errors" ], "pool.m", 30);
+    ( "Faultsim",
+      [ "fire"; "fire_exn"; "arm"; "configure"; "clear"; "hits" ],
+      "faultsim.m", 55 );
+  ]
+
+let unguarded_mutation_rule =
+  {
+    name = "unguarded-mutation";
+    summary =
+      "mutation of a lock-guarded field outside its lock scope \
+       (with_lock/locked thunk, raw lock..unlock sequence, a *_locked \
+       helper, or the constructor); the dt_race catalog lists the \
+       guarded fields per file";
+    in_scope =
+      (fun path -> List.exists (fun (p, _) -> contains path p) guarded_fields);
+    whitelist = [];
+  }
+
+let lock_no_protect_rule =
+  {
+    name = "lock-no-protect";
+    summary =
+      "raw Mutex.lock/Sync.lock not immediately followed by Fun.protect \
+       ~finally:unlock; an exception between lock and unlock leaves the \
+       mutex held forever — use Sync.with_lock or the lock-then-protect \
+       idiom";
+    in_scope = everywhere;
+    whitelist =
+      [
+        ( "lib/util/sync.ml",
+          "the instrumented lock implementation itself: lock/unlock here \
+           are the primitives the protected idiom is built from" );
+        ( "lib/util/pool.ml",
+          "the worker handshake must interleave lock/wait/unlock across \
+           a condition loop; the critical sections are exception-free by \
+           construction (exec catches worker exceptions)" );
+      ];
+  }
+
+let blocking_under_lock_rule =
+  {
+    name = "blocking-under-lock";
+    summary =
+      "blocking call (Unix I/O or sleep, Domain.join, clock sleep) while \
+       a lock is held serializes every other holder; Condition/Sync.wait \
+       outside a predicate while-loop misses spurious wakeups";
+    in_scope = everywhere;
+    whitelist =
+      [
+        ( "lib/util/sync.ml",
+          "Sync.wait is the instrumented wrapper around Condition.wait; \
+           its callers supply the predicate loop" );
+      ];
+  }
+
+let lock_order_rule =
+  {
+    name = "lock-order";
+    summary =
+      "nested lock acquisition violating the declared rank order \
+       (lifecycle.pm outermost .. runtime.m innermost; see \
+       Lint.lock_ranks) or re-acquiring a lock already held; these are \
+       the deadlocks Dt_util.Sync.Lock_cycle catches dynamically";
+    in_scope = everywhere;
+    whitelist = [];
+  }
+
+let atomic_rmw_rule =
+  {
+    name = "atomic-rmw";
+    summary =
+      "Atomic.set whose value expression reads Atomic.get of the same \
+       atomic: a lost-update read-modify-write — use fetch_and_add, \
+       exchange, or a compare_and_set loop";
+    in_scope = everywhere;
+    whitelist = [];
+  }
+
 let rules =
   [
     float_eq_rule;
@@ -175,6 +330,11 @@ let rules =
     bare_eprintf_rule;
     gemv_batch_rule;
     tape_op_loop_rule;
+    unguarded_mutation_rule;
+    lock_no_protect_rule;
+    blocking_under_lock_rule;
+    lock_order_rule;
+    atomic_rmw_rule;
   ]
 
 (* ---- detection helpers ---- *)
@@ -216,12 +376,122 @@ let rec pattern_catches_all p =
   | Ppat_or (a, b) -> pattern_catches_all a || pattern_catches_all b
   | _ -> false
 
+(* ---- lock-discipline detection helpers ---- *)
+
+(* Name of a mutex expression: the last field/ident component, so
+   [t.m] -> "m", [t.pm] -> "pm", [order_lo] -> "order_lo". *)
+let lock_name_of e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> last_of txt
+  | Pexp_field (_, { txt; _ }) -> last_of txt
+  | _ -> None
+
+(* [Mutex.lock]/[Sync.lock] application (raw acquisition). *)
+let is_raw_lock e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match ident_of f with
+      | Some (Longident.Ldot (q, "lock")) -> (
+          match last_of q with Some ("Mutex" | "Sync") -> true | _ -> false)
+      | _ -> false)
+  | _ -> false
+
+let is_fun_protect e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match ident_of f with
+      | Some (Longident.Ldot (Longident.Lident "Fun", "protect")) -> true
+      | _ -> false)
+  | _ -> false
+
+(* Helper applications whose function argument runs with the lock held:
+   [Sync.with_lock m f], the per-module [locked] wrappers,
+   [Mutex.protect m f], and Sync's own [glocked]. *)
+let scope_helper f =
+  match ident_of f with
+  | Some li -> (
+      match last_of li with
+      | Some (("with_lock" | "locked" | "glocked") as h) -> Some h
+      | Some "protect" -> (
+          match li with
+          | Longident.Ldot (q, _) -> (
+              match last_of q with Some "Mutex" -> Some "protect" | _ -> None)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Which lock a scope helper acquires.  The [locked t f] wrappers in
+   runtime/breaker/simcache/faultsim close over a fixed [m] field;
+   elsewhere ([lifecycle], fixtures) the first argument IS the mutex. *)
+let scope_lock_name path helper args =
+  let from_first_arg () =
+    match args with (_, a) :: _ -> lock_name_of a | [] -> None
+  in
+  match helper with
+  | "with_lock" | "protect" -> from_first_arg ()
+  | "locked" ->
+      if
+        List.exists (contains path)
+          [
+            "lib/serve/runtime.ml"; "lib/serve/breaker.ml";
+            "lib/difftune/simcache.ml"; "lib/util/faultsim.ml";
+          ]
+      then Some "m"
+      else from_first_arg ()
+  | _ -> None
+
+let blocking_unix_calls =
+  [
+    "sleep"; "sleepf"; "select"; "read"; "write"; "accept"; "connect";
+    "recv"; "send"; "wait"; "waitpid"; "system";
+  ]
+
+(* Stable textual form of a simple access path ([x], [t.current]);
+   [None] for anything more complex, which the atomic-rmw rule then
+   conservatively ignores. *)
+let rec expr_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match txt with
+      | Longident.Lapply _ -> None
+      | _ -> Some (String.concat "." (Longident.flatten txt)))
+  | Pexp_field (b, { txt; _ }) -> (
+      match (expr_path b, last_of txt) with
+      | Some bp, Some f -> Some (bp ^ "." ^ f)
+      | _ -> None)
+  | _ -> None
+
+let is_atomic_qual q =
+  match last_of q with Some ("Atomic" | "A") -> true | _ -> false
+
+(* Does [v] contain [Atomic.get] of the access path [tp]? *)
+let expr_reads_atomic tp v =
+  let found = ref false in
+  let expr sub e =
+    (match e.pexp_desc with
+    | Pexp_apply (g, (_, a) :: _) -> (
+        match ident_of g with
+        | Some (Longident.Ldot (q, "get")) when is_atomic_qual q -> (
+            match expr_path a with
+            | Some ap when String.equal ap tp -> found := true
+            | _ -> ())
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr sub e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it v;
+  !found
+
 (* ---- the walk ---- *)
 
-let lint_ast ~path ast =
+let lint_ast ~path ?only ast =
   let findings = ref [] and suppressed = ref 0 in
+  let active rule =
+    match only with None -> true | Some names -> List.mem rule.name names
+  in
   let add rule loc msg =
-    if rule.in_scope path then
+    if active rule && rule.in_scope path then
       if List.exists (fun (frag, _) -> contains path frag) rule.whitelist then
         incr suppressed
       else
@@ -237,6 +507,46 @@ let lint_ast ~path ast =
           :: !findings
   in
   let for_depth = ref 0 in
+  (* Lock-discipline walk state.  [lock_depth] counts every way of being
+     inside a critical section (thunk helpers, raw lock sequences,
+     *_locked helpers, constructors); [lock_stack] tracks only named
+     acquisitions from thunk helpers, innermost first, for the order
+     rule; [while_depth] distinguishes predicate-looped waits.
+     [sanctioned] holds source positions of raw lock calls immediately
+     followed by Fun.protect (the approved idiom). *)
+  let lock_depth = ref 0 in
+  let while_depth = ref 0 in
+  let lock_stack : (string * int option) list ref = ref [] in
+  let sanctioned : (int * int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let pos_key loc =
+    let p = loc.Location.loc_start in
+    (p.Lexing.pos_lnum, p.Lexing.pos_cnum)
+  in
+  let guarded = fields_for path in
+  let check_order loc name rank =
+    if List.exists (fun (n, _) -> String.equal n name) !lock_stack then
+      add lock_order_rule loc
+        (Printf.sprintf
+           "lock %s acquired while already held; relocking a non-reentrant \
+            mutex self-deadlocks"
+           name)
+    else
+      match rank with
+      | None -> ()
+      | Some r ->
+          List.iter
+            (fun (n0, r0) ->
+              match r0 with
+              | Some r0 when r0 >= r ->
+                  add lock_order_rule loc
+                    (Printf.sprintf
+                       "lock %s (rank %d) acquired while holding %s (rank \
+                        %d); the declared order acquires strictly \
+                        increasing ranks"
+                       name r n0 r0)
+              | _ -> ())
+            !lock_stack
+  in
   let expr sub e =
     (match e.pexp_desc with
     | Pexp_apply (f, [ (_, a); (_, b) ])
@@ -256,6 +566,89 @@ let lint_ast ~path ast =
                  unexpected failures; name the exceptions this code can \
                  actually recover from")
           cases
+    | Pexp_apply (f, [ (_, target); (_, v) ])
+      when match ident_of f with
+           | Some (Longident.Ldot (q, "set")) -> is_atomic_qual q
+           | _ -> false -> (
+        match expr_path target with
+        | Some tp when expr_reads_atomic tp v ->
+            add atomic_rmw_rule e.pexp_loc
+              (Printf.sprintf
+                 "Atomic.set %s reads Atomic.get %s in its value: a \
+                  concurrent writer between the get and the set is \
+                  silently lost — use fetch_and_add, exchange, or a \
+                  compare_and_set loop"
+                 tp tp)
+        | _ -> ())
+    | Pexp_apply _ when is_raw_lock e ->
+        if not (Hashtbl.mem sanctioned (pos_key e.pexp_loc)) then
+          add lock_no_protect_rule e.pexp_loc
+            "raw lock acquisition without an immediate Fun.protect \
+             ~finally:unlock; an exception in the critical section leaves \
+             the mutex held — use Sync.with_lock or lock-then-protect"
+    | Pexp_apply (f, _)
+      when (match ident_of f with
+           | Some (Longident.Ldot (q, "wait")) -> (
+               match last_of q with
+               | Some ("Condition" | "Sync") -> true
+               | _ -> false)
+           | _ -> false)
+           && !while_depth = 0 ->
+        add blocking_under_lock_rule e.pexp_loc
+          "condition wait outside a predicate while-loop; wakeups can be \
+           spurious and the guarded predicate must be re-checked after \
+           every wait"
+    | Pexp_apply (f, _)
+      when (match f.pexp_desc with
+           | Pexp_field (_, { txt; _ }) -> last_of txt = Some "sleep"
+           | _ -> false)
+           && !lock_depth > 0 ->
+        add blocking_under_lock_rule e.pexp_loc
+          "clock sleep while holding a lock stalls every other domain \
+           waiting on it; sleep outside the critical section"
+    | Pexp_apply (f, _) when !lock_stack <> [] -> (
+        match ident_of f with
+        | Some (Longident.Ldot (q, fn)) -> (
+            match last_of q with
+            | Some m -> (
+                match
+                  List.find_opt
+                    (fun (mn, fns, _, _) ->
+                      String.equal mn m && List.mem fn fns)
+                    call_locks
+                with
+                | Some (_, _, lockname, r) ->
+                    List.iter
+                      (fun (n0, r0) ->
+                        match r0 with
+                        | Some r0 when r0 >= r ->
+                            add lock_order_rule e.pexp_loc
+                              (Printf.sprintf
+                                 "%s.%s acquires %s (rank %d) while \
+                                  holding %s (rank %d); hoist the call \
+                                  out of the critical section (the \
+                                  stats_pairs inversion class)"
+                                 m fn lockname r n0 r0)
+                        | _ -> ())
+                      !lock_stack
+                | None -> ())
+            | None -> ())
+        | _ -> ())
+    | Pexp_setfield (_, { txt = fld; _ }, _)
+      when !lock_depth = 0
+           && (match last_of fld with
+              | Some f -> List.mem f guarded
+              | None -> false) -> (
+        match last_of fld with
+        | Some f ->
+            add unguarded_mutation_rule e.pexp_loc
+              (Printf.sprintf
+                 "field %s is lock-guarded (dt_race catalog) but mutated \
+                  outside any lock scope; wrap the mutation in \
+                  with_lock, or mark the helper *_locked if its caller \
+                  holds the lock"
+                 f)
+        | None -> ())
     | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Hashtbl", fn); loc }
       when fn = "iter" || fn = "fold" ->
         add hashtbl_order_rule loc
@@ -308,6 +701,21 @@ let lint_ast ~path ast =
                      fn)
             | _ -> ())
         | _ -> ());
+        (if !lock_depth > 0 then
+           match txt with
+           | Longident.Ldot (Longident.Lident "Unix", fn)
+             when List.mem fn blocking_unix_calls ->
+               add blocking_under_lock_rule loc
+                 (Printf.sprintf
+                    "Unix.%s can block indefinitely while a lock is held; \
+                     move the call outside the critical section"
+                    fn)
+           | Longident.Ldot (Longident.Lident "Domain", "join") ->
+               add blocking_under_lock_rule loc
+                 "Domain.join while a lock is held deadlocks if the joined \
+                  domain needs the same lock; join outside the critical \
+                  section"
+           | _ -> ());
         match txt with
         | Longident.Ldot (Longident.Lident ("Printf" | "Format"), "eprintf")
         | Longident.Lident "eprintf" ->
@@ -321,9 +729,59 @@ let lint_ast ~path ast =
         incr for_depth;
         Ast_iterator.default_iterator.expr sub e;
         decr for_depth
+    | Pexp_while _ ->
+        incr while_depth;
+        Ast_iterator.default_iterator.expr sub e;
+        decr while_depth
+    | Pexp_sequence (e1, e2) when is_raw_lock e1 ->
+        (* Everything sequenced after a raw lock is treated as inside the
+           critical section (over-approximate past the unlock — sound for
+           flagging, a raw-lock function rarely mutates after unlock). *)
+        if is_fun_protect e2 then
+          Hashtbl.replace sanctioned (pos_key e1.pexp_loc) ();
+        sub.expr sub e1;
+        incr lock_depth;
+        sub.expr sub e2;
+        decr lock_depth
+    | Pexp_apply (f, args) when scope_helper f <> None ->
+        let helper = Option.get (scope_helper f) in
+        let entered =
+          match scope_lock_name path helper args with
+          | Some name ->
+              let r = rank_of path name in
+              check_order e.pexp_loc name r;
+              lock_stack := (name, r) :: !lock_stack;
+              true
+          | None -> false
+        in
+        sub.expr sub f;
+        incr lock_depth;
+        List.iter (fun (_, a) -> sub.expr sub a) args;
+        decr lock_depth;
+        if entered then lock_stack := List.tl !lock_stack
     | _ -> Ast_iterator.default_iterator.expr sub e
   in
-  let iterator = { Ast_iterator.default_iterator with expr } in
+  (* Bindings named [*_locked] (caller holds the lock by convention),
+     [create] (the structure has not escaped its constructor), and the
+     lock-helper definitions themselves run in lock context. *)
+  let value_binding sub vb =
+    let exempt =
+      match vb.pvb_pat.ppat_desc with
+      | Ppat_var { txt = n; _ } ->
+          let l = String.length n in
+          String.equal n "create" || String.equal n "locked"
+          || String.equal n "with_lock"
+          || (l >= 7 && String.equal (String.sub n (l - 7) 7) "_locked")
+      | _ -> false
+    in
+    if exempt then begin
+      incr lock_depth;
+      Ast_iterator.default_iterator.value_binding sub vb;
+      decr lock_depth
+    end
+    else Ast_iterator.default_iterator.value_binding sub vb
+  in
+  let iterator = { Ast_iterator.default_iterator with expr; value_binding } in
   iterator.structure iterator ast;
   let ordered =
     List.sort
@@ -332,11 +790,11 @@ let lint_ast ~path ast =
   in
   (ordered, !suppressed)
 
-let lint_string ~path src =
+let lint_string ~path ?only src =
   let lexbuf = Lexing.from_string src in
   Lexing.set_filename lexbuf path;
   match Parse.implementation lexbuf with
-  | ast -> lint_ast ~path ast
+  | ast -> lint_ast ~path ?only ast
   | exception Syntaxerr.Error _ ->
       ( [
           {
@@ -360,9 +818,9 @@ let lint_string ~path src =
         ],
         0 )
 
-let lint_file path =
+let lint_file ?only path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  lint_string ~path src
+  lint_string ~path ?only src

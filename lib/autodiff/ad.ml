@@ -1905,11 +1905,20 @@ type plan_cache = {
   cap : int;
   tbl : (string, centry) Hashtbl.t;
   mutable order : string list; (* most recently used first *)
+  powner : Dt_util.Sync.owner;
+      (* a plan cache is confined to one domain at a time, like the ctx
+         whose arena its plans point into; DIFFTUNE_RACECHECK=1 turns
+         that convention into a checked invariant *)
 }
 
 let plan_cache ?(capacity = 32) () =
   if capacity < 1 then invalid_arg "Ad.plan_cache: capacity must be positive";
-  { cap = capacity; tbl = Hashtbl.create 64; order = [] }
+  {
+    cap = capacity;
+    tbl = Hashtbl.create 64;
+    order = [];
+    powner = Dt_util.Sync.owner "ad.plan_cache";
+  }
 
 let drop_plan entry =
   match entry.cplan with
@@ -1958,6 +1967,7 @@ let with_plan cache ctx ~key ~grad ?(warmup = 1) f =
     f ctx
   end
   else begin
+    Dt_util.Sync.with_owner cache.powner ~site:"Ad.with_plan" @@ fun () ->
     let entry =
       match Hashtbl.find_opt cache.tbl key with
       | Some e -> e

@@ -22,6 +22,9 @@ type t =
   (* ---- surrogate-lifecycle taxonomy (Dt_serve.Lifecycle) ---- *)
   | Model_rejected of { version : int; reason : string }
   | Retrain_failed of { version : int; detail : string }
+  (* ---- concurrency taxonomy (dt_race dynamic layer) ---- *)
+  | Lock_cycle of { chain : string list }
+  | Race of { structure : string; first : string; second : string }
 
 exception Error of t
 
@@ -69,6 +72,12 @@ let to_string = function
   | Retrain_failed { version; detail } ->
       Printf.sprintf "background retraining of model v%d failed: %s" version
         detail
+  | Lock_cycle { chain } ->
+      Printf.sprintf "lock-order cycle (potential deadlock): %s"
+        (String.concat " -> " chain)
+  | Race { structure; first; second } ->
+      Printf.sprintf "unlocked concurrent access to %s (%s vs %s)" structure
+        first second
 
 let error t = raise (Error t)
 

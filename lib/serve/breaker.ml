@@ -10,7 +10,7 @@ type t = {
   clock : Clock.t;
   threshold : int;
   cooldown : float;
-  m : Mutex.t;
+  m : Dt_util.Sync.mutex;
   mutable st : state;
   mutable consecutive_failures : int;
   mutable opened_at : float;
@@ -29,7 +29,7 @@ let create ~clock ~threshold ~cooldown name =
     clock;
     threshold;
     cooldown;
-    m = Mutex.create ();
+    m = Dt_util.Sync.mutex "breaker.m";
     st = Closed;
     consecutive_failures = 0;
     opened_at = 0.0;
@@ -40,11 +40,9 @@ let create ~clock ~threshold ~cooldown name =
     rejected = 0;
   }
 
-let locked t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
-
+let locked t f = Dt_util.Sync.with_lock t.m f
 let name t = t.name
+let handle t = t.m
 
 let state t = locked t (fun () -> t.st)
 

@@ -26,6 +26,11 @@ val create : clock:Clock.t -> threshold:int -> cooldown:float -> string -> t
 val name : t -> string
 val state : t -> state
 
+(** The breaker's own lock, exposed for the seeded [race.lock_cycle]
+    fault site ({!Dt_util.Sync.cycle_probe} against the runtime queue
+    lock).  Production code must not acquire it directly. *)
+val handle : t -> Dt_util.Sync.mutex
+
 (** [acquire t] — permission to call the backend now.  [false] means
     fail fast (open, or half-open with the probe slot taken).  A [true]
     from a half-open breaker claims the probe slot; the caller must

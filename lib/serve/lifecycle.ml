@@ -7,6 +7,7 @@ module Rng = Dt_util.Rng
 module Stats = Dt_util.Stats
 module Faultsim = Dt_util.Faultsim
 module Log = Dt_util.Log
+module Sync = Dt_util.Sync
 
 type config = {
   shadow_every : int;
@@ -164,7 +165,7 @@ type job = {
   jversion : int;
   jdomain : unit Domain.t option;
   jresult : (Model.t, string) result option ref;
-  jmutex : Mutex.t;
+  jmutex : Sync.mutex;
 }
 
 type t = {
@@ -174,7 +175,9 @@ type t = {
   reference : Dt_x86.Block.t -> float;
   retrain : init:Model.t -> (Dt_x86.Block.t * float) array -> Model.t;
   features : (Dt_x86.Block.t -> float array) option;
-  pm : Mutex.t;  (** serializes scalar predictions on the scratch ctx *)
+  pm : Sync.mutex;  (** serializes scalar predictions on the scratch ctx *)
+  downer : Sync.owner;
+      (** drain-thread confinement stamp for the window/reservoir state *)
   current : epoch Atomic.t;
   mutable previous : epoch option;  (** canary fallback *)
   mutable retired : (int * Simcache.t) list;  (** stats of old versions *)
@@ -234,7 +237,8 @@ let create ?clock ?model_dir cfg ~reference ~retrain ~features model =
       reference;
       retrain;
       features;
-      pm = Mutex.create ();
+      pm = Sync.mutex "lifecycle.pm";
+      downer = Sync.owner "lifecycle.drain";
       current = Atomic.make (make_epoch 1 model);
       previous = None;
       retired = [];
@@ -282,9 +286,7 @@ let create ?clock ?model_dir cfg ~reference ~retrain ~features model =
 let version t = (Atomic.get t.current).eversion
 let state t = t.st
 
-let locked m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+let locked m f = Sync.with_lock m f
 
 (* ---- serving backend ---- *)
 
@@ -518,7 +520,12 @@ let finalize_window t =
         t.st <- Stable
       end
 
+(* The window/reservoir/counter state below is drain-thread confined by
+   design (no lock): [with_owner] makes that confinement checkable —
+   under DIFFTUNE_RACECHECK=1 a second domain entering while the drain
+   thread is inside raises Sync.Race naming both sites. *)
 let observe t ~asm ~value =
+  Sync.with_owner t.downer ~site:"Lifecycle.observe" @@ fun () ->
   t.observed <- t.observed + 1;
   if t.observed mod t.cfg.shadow_every = 0 then begin
     match Dt_x86.Parser.block_result asm with
@@ -583,7 +590,7 @@ let start_retrain t =
       | exception e -> Error (Printexc.to_string e))
   else begin
     let jresult = ref None in
-    let jmutex = Mutex.create () in
+    let jmutex = Sync.mutex "lifecycle.job" in
     let d =
       Domain.spawn (fun () ->
           let r =
@@ -597,6 +604,7 @@ let start_retrain t =
   end
 
 let tick t =
+  Sync.with_owner t.downer ~site:"Lifecycle.tick" @@ fun () ->
   (match t.job with
   | None -> ()
   | Some j -> (

@@ -82,6 +82,7 @@ let kind_of_fault = function
   | Fault.Deadline_exceeded _ -> "deadline"
   | Fault.Backend_unavailable _ | Fault.All_backends_failed _ -> "unavailable"
   | Fault.Service_overloaded _ -> "overloaded"
+  | Fault.Lock_cycle _ | Fault.Race _ -> "race"
   | Fault.Checkpoint_missing _ | Fault.Checkpoint_corrupt _
   | Fault.Checkpoint_version _ | Fault.Checkpoint_mismatch _
   | Fault.Numeric_divergence _ | Fault.No_training_blocks _

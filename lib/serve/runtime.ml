@@ -1,5 +1,6 @@
 module Fault = Dt_difftune.Fault
 module Faultsim = Dt_util.Faultsim
+module Sync = Dt_util.Sync
 
 type config = {
   queue_capacity : int;
@@ -60,7 +61,7 @@ type t = {
   lanes : lane list;
   queue : entry Queue.t;
   lifecycle : Lifecycle.t option;
-  m : Mutex.t;
+  m : Sync.mutex;
   master_rng : Dt_util.Rng.t;
   mutable received : int;
   mutable answered : int;
@@ -117,7 +118,7 @@ let create ?pool ?clock ?lifecycle cfg backends =
     lanes;
     queue = Queue.create ();
     lifecycle;
-    m = Mutex.create ();
+    m = Sync.mutex "runtime.m";
     master_rng = Dt_util.Rng.create cfg.seed;
     received = 0;
     answered = 0;
@@ -132,9 +133,7 @@ let create ?pool ?clock ?lifecycle cfg backends =
 
 let config t = t.cfg
 
-let locked t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+let locked t f = Sync.with_lock t.m f
 
 let pending t = locked t (fun () -> Queue.length t.queue)
 
@@ -198,6 +197,12 @@ let attempt t lane rng ?prefetched block =
           locked t (fun () ->
               lane.bstats.timeouts <- lane.bstats.timeouts + 1);
           Error "deadline"
+      | exception (Sync.Lock_cycle _ as e) ->
+          (* Dynamic-checker verdicts are not transient backend faults:
+             let [process] turn them into structured concurrency faults
+             instead of burning the retry budget on them. *)
+          raise e
+      | exception (Sync.Race _ as e) -> raise e
       | exception e ->
           ignore (e : exn);
           transient "worker_fault" attempt_no
@@ -216,7 +221,7 @@ let attempt t lane rng ?prefetched block =
 
 (* ---- the degradation chain (runs on a pool worker) ---- *)
 
-let process t ?lane0_value entry =
+let process_chain t ?lane0_value entry =
   match Dt_x86.Parser.block_result entry.asm with
   | Error e ->
       Error
@@ -256,6 +261,23 @@ let process t ?lane0_value entry =
                 chain ((lane.backend.Backend.name, reason) :: via) rest)
       in
       chain [] t.lanes
+
+let process t ?lane0_value entry =
+  try
+    (* Seeded lock-order inversion: probe the runtime queue lock against
+       the first lane's breaker lock in both nesting orders.  Under
+       DIFFTUNE_RACECHECK=1 the second nesting closes a cycle and the
+       handler below reports a structured Fault.Lock_cycle; with
+       checking off it is four uncontended lock/unlock pairs. *)
+    if Faultsim.fire "race.lock_cycle" then
+      (match t.lanes with
+      | lane :: _ -> Sync.cycle_probe t.m (Breaker.handle lane.breaker)
+      | [] -> ());
+    process_chain t ?lane0_value entry
+  with
+  | Sync.Lock_cycle chain -> Error (Fault.Lock_cycle { chain })
+  | Sync.Race { structure; first; second } ->
+      Error (Fault.Race { structure; first; second })
 
 (* ---- batch evaluation on the pool ---- *)
 
@@ -403,7 +425,12 @@ let stats_pairs t =
   in
   let per_lane lane =
     let b = lane.bstats in
+    (* Read everything breaker-locked before taking the runtime lock:
+       acquiring breaker.m while holding runtime.m was the one nested
+       acquisition in the serving path, and the dt_race dynamic layer
+       (rightly) charges such edges against the declared lock order. *)
     let opened, half_opened, closed, rejected = Breaker.counters lane.breaker in
+    let bstate = Breaker.state_name (Breaker.state lane.breaker) in
     let p key v = (lane.backend.Backend.name ^ "." ^ key, v) in
     locked t (fun () ->
         [
@@ -415,7 +442,7 @@ let stats_pairs t =
           p "faults" (i b.faults);
           p "breaker_skips" (i b.breaker_skips);
           p "exhausted" (i b.exhausted);
-          p "breaker_state" (Breaker.state_name (Breaker.state lane.breaker));
+          p "breaker_state" bstate;
           p "breaker_opened" (i opened);
           p "breaker_half_opened" (i half_opened);
           p "breaker_closed" (i closed);
@@ -433,7 +460,10 @@ let stats_pairs t =
     | Some lc ->
         List.map (fun (k, v) -> ("lifecycle." ^ k, v)) (Lifecycle.stats_pairs lc)
   in
-  global @ List.concat_map per_lane t.lanes @ lifecycle
+  let racecheck =
+    List.map (fun (k, v) -> ("racecheck." ^ k, v)) (Sync.stats ())
+  in
+  global @ List.concat_map per_lane t.lanes @ lifecycle @ racecheck
 
 let breaker t name =
   List.find_map

@@ -3,15 +3,18 @@ exception Injected of string
 type state = {
   mutable armed : (string * int) list; (* site, 1-based hit number *)
   counters : (string, int) Hashtbl.t;
-  mutable initialized : bool; (* explicit config or env already loaded *)
 }
 
-let st = { armed = []; counters = Hashtbl.create 8; initialized = false }
+let st = { armed = []; counters = Hashtbl.create 8 }
 let m = Mutex.create ()
 
 (* Fast path for the common case of no injection: checked without the
-   lock so instrumented hot loops pay one atomic load. *)
+   lock so instrumented hot loops pay one atomic load.  [initialized]
+   (explicit config or env already loaded) is read on the same unlocked
+   fast path, so it is an Atomic too — a plain mutable here was a data
+   race the dt_race audit flagged. *)
 let any_armed = Atomic.make false
+let initialized = Atomic.make false
 
 let locked f =
   Mutex.lock m;
@@ -20,7 +23,7 @@ let locked f =
 let reset_locked armed =
   st.armed <- armed;
   Hashtbl.reset st.counters;
-  st.initialized <- true;
+  Atomic.set initialized true;
   Atomic.set any_armed (armed <> [])
 
 let parse spec =
@@ -57,19 +60,19 @@ let arm site ~at =
   if at < 1 then invalid_arg "Faultsim.arm: hit number must be >= 1";
   locked (fun () ->
       st.armed <- (site, at) :: st.armed;
-      st.initialized <- true;
+      Atomic.set initialized true;
       Atomic.set any_armed true)
 
 let load_env_locked () =
-  if not st.initialized then begin
+  if not (Atomic.get initialized) then begin
     (match Sys.getenv_opt "DIFFTUNE_FAULTS" with
     | Some spec when String.trim spec <> "" -> reset_locked (parse spec)
     | _ -> ());
-    st.initialized <- true
+    Atomic.set initialized true
   end
 
 let fire site =
-  if (not (Atomic.get any_armed)) && st.initialized then false
+  if (not (Atomic.get any_armed)) && Atomic.get initialized then false
   else
     locked (fun () ->
         load_env_locked ();

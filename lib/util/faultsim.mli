@@ -42,7 +42,17 @@
     - [lifecycle.drift_storm] — force one drift window out of band at
       its finalization ([Dt_serve.Lifecycle]): drives the whole
       drift -> retrain -> swap -> canary/rollback path at a precise
-      window ordinal regardless of the real error level.
+      window ordinal regardless of the real error level;
+    - [race.unlocked_write] — make one [Simcache.add] mutate the LRU
+      structure {e outside} its mutex: a seeded data race that the
+      dynamic sanitizer ([DIFFTUNE_RACECHECK=1]) must report as
+      {!Dt_util.Sync.Race} with both conflicting sites, and that must
+      pass silently with checking off;
+    - [race.lock_cycle] — probe two lock-order edges in opposite
+      directions inside [Dt_serve.Runtime.process]: a seeded deadlock
+      candidate the sanitizer must raise as {!Dt_util.Sync.Lock_cycle}
+      {e before} blocking, and that must pass silently with checking
+      off.
 
     Hit counters are shared across domains (mutex-protected) so a spec
     like [pool.worker\@5] fires exactly once regardless of how the pool

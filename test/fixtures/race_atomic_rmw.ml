@@ -1,0 +1,11 @@
+(* dt_race fixture: non-atomic Atomic.t read-modify-write. *)
+
+let bad c = Atomic.set c (Atomic.get c + 1)
+
+let bad_field t = Atomic.set t.hits (succ (Atomic.get t.hits))
+
+let good_reset c = Atomic.set c 0
+
+let good_other a b = Atomic.set a (Atomic.get b)
+
+let good_rmw c = ignore (Atomic.fetch_and_add c 1)

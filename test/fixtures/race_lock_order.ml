@@ -1,0 +1,24 @@
+(* dt_race fixture: nested acquisitions violating the declared ranks. *)
+
+let inverted () =
+  Sync.with_lock order_hi (fun () ->
+      Sync.with_lock order_lo (fun () -> ()))
+
+let relocked () =
+  Sync.with_lock order_lo (fun () ->
+      Sync.with_lock order_lo (fun () -> ()))
+
+let ordered () =
+  Sync.with_lock order_lo (fun () ->
+      Sync.with_lock order_mid (fun () ->
+          Sync.with_lock order_hi (fun () -> ())))
+
+let sequential () =
+  Sync.with_lock order_hi (fun () -> ());
+  Sync.with_lock order_lo (fun () -> ())
+
+(* The stats_pairs inversion class: a locked thunk calling into a module
+   that takes its own (lower-ranked) lock.  Only fires when linted at
+   lib/serve/runtime.ml, where [m] is ranked innermost. *)
+let stats_inversion t lane =
+  Sync.with_lock t.m (fun () -> Breaker.counters lane.breaker)

@@ -1,0 +1,12 @@
+(* dt_race fixture: raw lock acquisition without exception-safe unlock. *)
+
+let bad m =
+  Mutex.lock m;
+  compute ();
+  Mutex.unlock m
+
+let good m =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) compute
+
+let also_good m f = Sync.with_lock m f

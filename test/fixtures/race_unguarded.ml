@@ -1,0 +1,21 @@
+(* dt_race fixture: lock-guarded field mutations in and out of scope.
+   Linted at a cataloged path (lib/util/pool.ml) the unlocked mutations
+   fire; at any other path the rule is out of scope. *)
+
+let bad_unlocked t =
+  t.stop <- true;
+  t.generation <- t.generation + 1
+
+let good_thunk t = Sync.with_lock t.m (fun () -> t.stop <- true)
+
+let good_sequence t =
+  Sync.lock t.m;
+  t.active <- t.active - 1;
+  Sync.unlock t.m
+
+let drain_locked t = t.job <- None
+
+let create () =
+  let t = make () in
+  t.workers <- spawn_all t;
+  t
