@@ -1,6 +1,6 @@
 # Convenience targets for the DiffTune reproduction.
 
-.PHONY: all build test lint racecheck verify serve-smoke bench bench-full bench-json bench-guard clean doc quickstart
+.PHONY: all build test lint racecheck verify serve-smoke fleet-smoke loadtest bench bench-full bench-json bench-guard clean doc quickstart
 
 all: build
 
@@ -31,6 +31,20 @@ racecheck: build
 # error) and the daemon exits cleanly.
 serve-smoke: build
 	dune build @serve-smoke --force
+
+# End-to-end fleet smoke: spawns `difftune_cli fleet` (N serve shards +
+# the consistent-hash router) from a JSON spec and asserts the sharded
+# contract under armed cluster faults — shard crash mid-storm (restart
+# + failover), net partition, slow shard — zero lost ids, exactly-once,
+# clean exit with an aggregated cluster report.
+fleet-smoke: build
+	dune build @fleet-smoke --force
+
+# Zipfian fleet load test: 2048 concurrent seeded clients against a
+# 4-shard fleet with one shard crash armed; writes BENCH_PR9.json
+# (latency percentiles, shed rate, failovers, cache-hit locality).
+loadtest: build
+	dune exec bench/loadtest.exe -- _build/default/bin/difftune_cli.exe
 
 # Full verification: build, repo lint, the regular test suite, then the
 # fault smoke matrix — every injection site crossed with serial and
@@ -80,6 +94,21 @@ verify: build
 	    dune exec test/serve_smoke.exe -- _build/default/bin/difftune_cli.exe \
 	    || exit 1; \
 	done
+	@# Sharded-fleet cell: the cluster unit suite and the end-to-end
+	@# fleet smoke (shard crash / net partition / slow shard armed via
+	@# fleet-spec shard_faults) under both tape executors, plus one cell
+	@# with the race sanitizer armed inside every shard daemon.
+	@for compile in 0 1; do \
+	  echo "== compile=$$compile fleet =="; \
+	  DIFFTUNE_COMPILE=$$compile dune exec test/test_cluster.exe || exit 1; \
+	  DIFFTUNE_COMPILE=$$compile \
+	    dune exec test/fleet_smoke.exe -- _build/default/bin/difftune_cli.exe \
+	    || exit 1; \
+	done
+	@echo "== fleet racecheck=1 =="
+	DIFFTUNE_RACECHECK=1 \
+	  dune exec test/fleet_smoke.exe -- _build/default/bin/difftune_cli.exe \
+	  || exit 1
 	@echo "== bench guard =="
 	dune exec bench/main.exe -- perf-guard
 	@echo "verify: all fault combinations passed"
@@ -97,10 +126,13 @@ bench-json:
 
 # Perf regression guard: re-measures surrogate.forward, mca.timing and
 # the tokenizer (min of three passes, per-key drift thresholds) against
-# the newest committed BENCH_PR*.json baseline, and enforces the
-# absolute bounds recorded there (compiled speedup >= 1.5x, sanitize
-# overhead <= 15%, batch-32 per-sample <= 1.10x batch-8, lifecycle
-# shadow-scoring overhead <= 10%, zero requests shed across a hot-swap).
+# the committed BENCH_PR*.json baselines (each key resolved from the
+# newest file that records it), and enforces the absolute bounds
+# recorded there (compiled speedup >= 1.5x, sanitize overhead <= 15%,
+# batch-32 per-sample <= 1.10x batch-8, lifecycle shadow-scoring
+# overhead <= 10%, zero requests shed across a hot-swap, and the PR 9
+# fleet load-test bounds: zero lost/duplicate, shed <= 1%, the armed
+# shard crash survived, cache locality >= 50%, p99 <= 3 s).
 bench-guard: build
 	dune exec bench/main.exe -- perf-guard
 

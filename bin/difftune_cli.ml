@@ -6,6 +6,8 @@
      learn      run DiffTune on a simulator spec and report errors
      experiment run one of the paper's tables/figures (see bench/)
      serve      run the resilient prediction service (stdio or socket)
+     route      consistent-hash router over running serve daemons
+     fleet      launch + supervise a sharded fleet from a JSON spec
 
    Exit-code discipline: structured failures map to distinct nonzero
    codes with a one-line stderr message — no uncaught-exception
@@ -545,6 +547,111 @@ let serve_cmd =
           $ windows_arg $ canary_arg $ model_dir_arg $ min_retrain_arg
           $ sync_retrain_arg)
 
+(* ---- route (sharded-serving router over existing daemons) ---- *)
+
+let route_cmd =
+  let dflt = Dt_cluster.Router.default_config in
+  let socket_arg =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket the router listens on.")
+  in
+  let shard_arg =
+    Arg.(non_empty & opt_all (pair ~sep:'=' string string) []
+         & info [ "shard" ] ~docv:"NAME=PATH"
+             ~doc:"A serve daemon's name and socket path (repeatable).")
+  in
+  let replicas_arg =
+    Arg.(value & opt int dflt.replicas
+         & info [ "replicas" ] ~docv:"N"
+             ~doc:"Ring owners tried per key (primary + failovers).")
+  in
+  let vnodes_arg =
+    Arg.(value & opt int dflt.vnodes
+         & info [ "vnodes" ] ~docv:"N" ~doc:"Ring points per shard.")
+  in
+  let budget_arg =
+    Arg.(value & opt float dflt.reply_budget
+         & info [ "reply-budget" ] ~docv:"SECONDS"
+             ~doc:"Time an unanswered forward gets before failing over.")
+  in
+  let probe_arg =
+    Arg.(value & opt float dflt.probe_interval
+         & info [ "probe-interval" ] ~docv:"SECONDS"
+             ~doc:"Health-probe (ping) cadence per shard.")
+  in
+  let inflight_arg =
+    Arg.(value & opt int dflt.max_inflight
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:"Per-shard in-flight window.")
+  in
+  let pending_arg =
+    Arg.(value & opt int dflt.max_pending
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"Global in-flight bound; beyond it requests are shed.")
+  in
+  let run uarch socket shards replicas vnodes reply_budget probe_interval
+      max_inflight max_pending =
+    guarded @@ fun () ->
+    let cfg =
+      {
+        dflt with
+        Dt_cluster.Router.replicas;
+        vnodes;
+        reply_budget;
+        probe_interval;
+        probe_budget = reply_budget;
+        max_inflight;
+        max_pending;
+      }
+    in
+    let router =
+      Dt_cluster.Router.create cfg ~uarch ~shards:(List.map fst shards)
+    in
+    Dt_util.Log.status "route: %d shards, listening on %s"
+      (List.length shards) socket;
+    Dt_cluster.Loop.run router ~listen:socket ~shards ()
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Run the consistent-hash router over running serve daemons: \
+             replica failover, per-shard circuit breakers and health \
+             probation, analytic-bound degradation when every owner is \
+             down")
+    Term.(const run $ uarch_arg $ socket_arg $ shard_arg $ replicas_arg
+          $ vnodes_arg $ budget_arg $ probe_arg $ inflight_arg
+          $ pending_arg)
+
+(* ---- fleet (spec-driven launch + supervision) ---- *)
+
+let fleet_cmd =
+  let spec_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"SPEC"
+             ~doc:"JSON fleet spec (see $(b,--example)).")
+  in
+  let example_arg =
+    Arg.(value & flag
+         & info [ "example" ] ~doc:"Print an example spec and exit.")
+  in
+  let run example spec_path =
+    guarded @@ fun () ->
+    if example then print_string Dt_cluster.Fleet.Spec.example
+    else
+      match spec_path with
+      | None -> failwith "fleet: a SPEC file is required (try --example)"
+      | Some path ->
+          let spec = Dt_cluster.Fleet.Spec.load path in
+          Dt_cluster.Fleet.launch spec ~cli:Sys.executable_name
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Launch and supervise a sharded serving fleet from a JSON \
+             spec: N serve daemons plus the router in one process tree, \
+             crashed shards restarted with capped backoff, one \
+             aggregated cluster report on exit")
+    Term.(const run $ example_arg $ spec_arg)
+
 let () =
   let doc = "DiffTune: learning CPU-simulator parameters (MICRO 2020) in OCaml" in
   let info = Cmd.info "difftune" ~version:"1.0.0" ~doc in
@@ -552,4 +659,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ dataset_cmd; predict_cmd; report_cmd; measure_cmd; learn_cmd;
-            experiment_cmd; serve_cmd ]))
+            experiment_cmd; serve_cmd; route_cmd; fleet_cmd ]))

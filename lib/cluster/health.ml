@@ -1,0 +1,92 @@
+type config = {
+  eject_after : int;
+  rejoin_after : int;
+  cooldown_base : float;
+  cooldown_cap : float;
+}
+
+let default_config =
+  { eject_after = 3; rejoin_after = 2; cooldown_base = 1.0; cooldown_cap = 30.0 }
+
+type state = Up | Suspect | Probation | Ejected
+
+let state_name = function
+  | Up -> "up"
+  | Suspect -> "suspect"
+  | Probation -> "probation"
+  | Ejected -> "ejected"
+
+type t = {
+  cfg : config;
+  mutable st : state;
+  mutable fails : int;      (* consecutive failures while routable *)
+  mutable succs : int;      (* consecutive probe successes in probation *)
+  mutable ejected_at : float;
+  mutable ejections : int;  (* lifetime count: drives cooldown growth *)
+}
+
+let create cfg =
+  if cfg.eject_after < 1 then invalid_arg "Health: eject_after must be >= 1";
+  if cfg.rejoin_after < 1 then invalid_arg "Health: rejoin_after must be >= 1";
+  if cfg.cooldown_base < 0.0 || cfg.cooldown_cap < cfg.cooldown_base then
+    invalid_arg "Health: need 0 <= cooldown_base <= cooldown_cap";
+  { cfg; st = Up; fails = 0; succs = 0; ejected_at = 0.0; ejections = 0 }
+
+let state t = t.st
+let routable t = match t.st with Up | Suspect -> true | Probation | Ejected -> false
+let probeable t = match t.st with Ejected -> false | _ -> true
+
+let cooldown t =
+  let doublings = Int.max 0 (t.ejections - 1) in
+  (* cap the shift too: 2^60 seconds is already "never" *)
+  let factor = Float.of_int (1 lsl Int.min doublings 60) in
+  Float.min t.cfg.cooldown_cap (t.cfg.cooldown_base *. factor)
+
+let changed t st =
+  t.st <- st;
+  `Changed st
+
+let note_success t =
+  match t.st with
+  | Up ->
+      t.fails <- 0;
+      `Unchanged
+  | Suspect ->
+      t.fails <- 0;
+      changed t Up
+  | Probation ->
+      t.succs <- t.succs + 1;
+      if t.succs >= t.cfg.rejoin_after then begin
+        t.fails <- 0;
+        changed t Up
+      end
+      else `Unchanged
+  | Ejected ->
+      (* late good news about a shard already ejected: ignore; it must
+         re-earn its place through probation *)
+      `Unchanged
+
+let eject t ~now =
+  t.ejections <- t.ejections + 1;
+  t.ejected_at <- now;
+  t.fails <- 0;
+  t.succs <- 0;
+  changed t Ejected
+
+let note_failure t ~now =
+  match t.st with
+  | Up ->
+      t.fails <- 1;
+      if t.cfg.eject_after = 1 then eject t ~now else changed t Suspect
+  | Suspect ->
+      t.fails <- t.fails + 1;
+      if t.fails >= t.cfg.eject_after then eject t ~now else `Unchanged
+  | Probation -> eject t ~now
+  | Ejected -> `Unchanged
+
+let tick t ~now =
+  match t.st with
+  | Ejected when now -. t.ejected_at >= cooldown t ->
+      t.succs <- 0;
+      changed t Probation
+  | _ -> `Unchanged

@@ -1,0 +1,57 @@
+(** Per-shard health state machine with hysteresis.
+
+    Driven by the router's probe results and data-path outcomes on an
+    injected clock (no wall time inside), so the whole ladder is
+    unit-testable with {!Dt_serve.Clock.manual}:
+
+    {v
+      Up ──failure──▶ Suspect ──[eject_after consecutive]──▶ Ejected
+       ▲                 │success                               │
+       └─────────────────┘                                      │cooldown
+       ▲                                                        ▼
+       └──[rejoin_after consecutive successes]── Probation ◀────┘
+                                                     │failure
+                                                     ▼
+                                             Ejected (cooldown doubles)
+    v}
+
+    [Up] and [Suspect] are {e routable} (in the ring, receive data
+    traffic); [Probation] receives probes only; [Ejected] receives
+    nothing until its cooldown elapses.  The cooldown doubles on every
+    ejection (capped), so a flapping shard spends progressively longer
+    out of the ring instead of churning membership. *)
+
+type config = {
+  eject_after : int;    (** consecutive failures: routable -> Ejected *)
+  rejoin_after : int;   (** consecutive successes: Probation -> Up *)
+  cooldown_base : float;(** first ejection's cooldown, seconds *)
+  cooldown_cap : float; (** cooldown growth ceiling, seconds *)
+}
+
+val default_config : config
+
+type state = Up | Suspect | Probation | Ejected
+
+val state_name : state -> string
+
+type t
+
+val create : config -> t
+val state : t -> state
+
+(** In the ring, receives data traffic ([Up] or [Suspect]). *)
+val routable : t -> bool
+
+(** Should receive health probes (everything except [Ejected]). *)
+val probeable : t -> bool
+
+(** Current cooldown an ejection (would) serve, seconds. *)
+val cooldown : t -> float
+
+(** Each notifier returns [`Changed s] when the state moved (the router
+    rebuilds the ring iff routability changed), [`Unchanged] otherwise.
+    [tick] drives the timed [Ejected -> Probation] edge. *)
+
+val note_success : t -> [ `Changed of state | `Unchanged ]
+val note_failure : t -> now:float -> [ `Changed of state | `Unchanged ]
+val tick : t -> now:float -> [ `Changed of state | `Unchanged ]

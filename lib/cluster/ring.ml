@@ -1,0 +1,73 @@
+(* FNV-1a over Int64 (the 64-bit constants do not fit OCaml's native
+   63-bit int), then a finalizing avalanche so that near-identical keys
+   ("shard0#12" vs "shard0#13") land far apart on the ring. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  (* splitmix64-style finalizer *)
+  let x = ref !h in
+  x := Int64.logxor !x (Int64.shift_right_logical !x 30);
+  x := Int64.mul !x 0xbf58476d1ce4e5b9L;
+  x := Int64.logxor !x (Int64.shift_right_logical !x 27);
+  x := Int64.mul !x 0x94d049bb133111ebL;
+  x := Int64.logxor !x (Int64.shift_right_logical !x 31);
+  (* nonnegative native int *)
+  Int64.to_int (Int64.shift_right_logical !x 1)
+
+type t = {
+  points : (int * string) array; (* sorted by (hash, member) *)
+  members : string list;         (* sorted, deduplicated *)
+}
+
+let create ?(vnodes = 64) members =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  let members = List.sort_uniq String.compare members in
+  let points =
+    List.concat_map
+      (fun m ->
+        List.init vnodes (fun i -> (hash (Printf.sprintf "%s#%d" m i), m)))
+      members
+    |> Array.of_list
+  in
+  Array.sort compare points;
+  { points; members }
+
+let members t = t.members
+let is_empty t = t.members = []
+
+(* First point with hash >= h, wrapping to 0. *)
+let successor t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let owners t key ~n =
+  if n < 0 then invalid_arg "Ring.owners: negative n";
+  let total = Array.length t.points in
+  if total = 0 || n = 0 then []
+  else begin
+    let want = Int.min n (List.length t.members) in
+    let start = successor t (hash key) in
+    let acc = ref [] and found = ref 0 and i = ref 0 in
+    while !found < want && !i < total do
+      let _, m = t.points.((start + !i) mod total) in
+      if not (List.mem m !acc) then begin
+        acc := m :: !acc;
+        incr found
+      end;
+      incr i
+    done;
+    List.rev !acc
+  end

@@ -1,0 +1,32 @@
+(** Consistent-hash ring with virtual nodes.
+
+    Each member is hashed onto the ring at [vnodes] points; a key is
+    served by the first member clockwise from the key's hash.  Adding
+    or removing one member therefore remaps only the keys that fell in
+    the arcs it owned — about [1/N] of the keyspace — while every other
+    key keeps its owner, which is what lets the router eject and rejoin
+    shards without reshuffling the fleet's cache locality.
+
+    Hashing is FNV-1a (64-bit, finalized), so ring layout is a pure
+    function of the member names: two routers built over the same
+    member set agree on every key's owner. *)
+
+type t
+
+(** [create ?vnodes members] — duplicates in [members] are ignored;
+    [vnodes] defaults to 64 points per member. *)
+val create : ?vnodes:int -> string list -> t
+
+(** Members in sorted order. *)
+val members : t -> string list
+
+val is_empty : t -> bool
+
+(** [owners t key ~n] — the first [n] {e distinct} members clockwise
+    from [key]'s ring position: the primary, then the failover
+    replicas, in deterministic order.  Shorter than [n] when the ring
+    has fewer members; [[]] on an empty ring. *)
+val owners : t -> string -> n:int -> string list
+
+(** 63-bit FNV-1a with a finalizing mix; exposed for tests. *)
+val hash : string -> int

@@ -67,14 +67,25 @@ type answer = {
   model : string option;
 }
 
+type pong = {
+  version : int;
+  uptime : float;
+  model : string option;
+  queue_depth : int;
+}
+
 type response =
   | Answer of answer
   | Overloaded of { capacity : int }
   | Failed of Fault.t
   | Stat_report of (string * string) list
-  | Pong
+  | Pong of pong
   | Flushed of int
   | Bye
+
+(* Protocol revision: bumped to 2 when [ping] grew the health-probe
+   payload (version/uptime/model/queue_depth) for the cluster router. *)
+let proto_version = 2
 
 let kind_of_fault = function
   | Fault.Request_malformed _ -> "malformed"
@@ -124,6 +135,57 @@ let encode_response ~id resp =
       Printf.sprintf "%s stats %s" id
         (String.concat " "
            (List.map (fun (k, v) -> slug k ^ "=" ^ slug v) pairs))
-  | Pong -> id ^ " pong"
+  | Pong { version; uptime; model; queue_depth } ->
+      Printf.sprintf "%s pong version=%d uptime=%.3f model=%s queue_depth=%d"
+        id version uptime
+        (match model with None -> "-" | Some v -> slug v)
+        queue_depth
   | Flushed n -> Printf.sprintf "%s ok flushed=%d" id n
   | Bye -> id ^ " ok shutdown"
+
+(* ---- response-line field access (router / probe side) ----
+
+   The router correlates and inspects shard response lines without a
+   full decoder: the id is the first token, and everything informative
+   after the status keyword is [k=v] pairs (the encoders above emit
+   nothing else).  [msg=] free text is last, so a [k=v] scan stops
+   being meaningful there — which is fine: probes and stats never carry
+   [msg=] values the router needs. *)
+
+let response_id line =
+  match token line 0 with Some (id, _) -> id | None -> "-"
+
+let fields line =
+  let n = String.length line in
+  let rec go acc i =
+    match token line i with
+    | None -> List.rev acc
+    | Some (tok, j) -> (
+        match String.index_opt tok '=' with
+        | None | Some 0 -> go acc j
+        | Some k ->
+            let key = String.sub tok 0 k in
+            if String.equal key "msg" then
+              (* free text: the value runs to end of line *)
+              let vstart = j - (String.length tok - k - 1) in
+              List.rev
+                ((key, String.trim (String.sub line vstart (n - vstart))) :: acc)
+            else
+              let v = String.sub tok (k + 1) (String.length tok - k - 1) in
+              go ((key, v) :: acc) j)
+  in
+  go [] 0
+
+let pong_of_line line =
+  let fs = fields line in
+  let int_f k = Option.bind (List.assoc_opt k fs) int_of_string_opt in
+  let float_f k = Option.bind (List.assoc_opt k fs) float_of_string_opt in
+  match (int_f "version", float_f "uptime", int_f "queue_depth") with
+  | Some version, Some uptime, Some queue_depth ->
+      let model =
+        match List.assoc_opt "model" fs with
+        | None | Some "-" -> None
+        | Some v -> Some v
+      in
+      Some { version; uptime; model; queue_depth }
+  | _ -> None

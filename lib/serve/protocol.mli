@@ -18,7 +18,7 @@
       <id> overloaded capacity=<n>
       <id> error kind=<kind> msg=<text to end of line>
       <id> stats <k>=<v> ...
-      <id> pong
+      <id> pong version=<p> uptime=<s> model=<v<n>|-> queue_depth=<n>
       <id> ok flushed=<n>
       <id> ok shutdown
     v}
@@ -57,14 +57,29 @@ type answer = {
           lifecycle manages the surrogate lane; [None] otherwise *)
 }
 
+(** Payload of a [pong] response: enough for a cluster router's health
+    prober to judge a shard without a full [stats] round trip. *)
+type pong = {
+  version : int;       (** protocol revision ({!proto_version}) *)
+  uptime : float;      (** seconds since the runtime was created *)
+  model : string option;
+      (** serving surrogate-model version when a lifecycle manages the
+          surrogate lane; [None] (encoded ["-"]) otherwise *)
+  queue_depth : int;   (** admitted, not yet answered predictions *)
+}
+
 type response =
   | Answer of answer
   | Overloaded of { capacity : int }
   | Failed of Dt_difftune.Fault.t
   | Stat_report of (string * string) list
-  | Pong
+  | Pong of pong
   | Flushed of int
   | Bye
+
+(** Protocol revision carried in [pong] lines; bumped to 2 when [ping]
+    grew the health-probe payload. *)
+val proto_version : int
 
 (** Response kind keyword for a fault ([malformed] | [parse] |
     [deadline] | [unavailable] | [overloaded] | [internal]). *)
@@ -73,3 +88,17 @@ val kind_of_fault : Dt_difftune.Fault.t -> string
 (** One response line (no trailing newline; embedded newlines are
     flattened to spaces). *)
 val encode_response : id:string -> response -> string
+
+(** [response_id line] — the first whitespace-delimited token of a
+    response line (["-"] for an empty line).  Total. *)
+val response_id : string -> string
+
+(** [fields line] — every [k=v] token of a response line in order, for
+    the router/probe side: pong payloads, stats reports, answer
+    attributes ([cycles], [backend], [via], [model]).  A [msg=] value
+    (always last, free text) runs to end of line.  Total. *)
+val fields : string -> (string * string) list
+
+(** Parse a [pong] response line back into its payload; [None] when the
+    line does not carry the required fields. *)
+val pong_of_line : string -> pong option

@@ -56,6 +56,7 @@ type entry = {
 type t = {
   cfg : config;
   clock : Clock.t;
+  started : float; (* clock time at creation, for ping uptime *)
   pool : Dt_util.Pool.t;
   owned_pool : bool;
   lanes : lane list;
@@ -113,6 +114,7 @@ let create ?pool ?clock ?lifecycle cfg backends =
   {
     cfg;
     clock;
+    started = clock.Clock.now ();
     pool;
     owned_pool;
     lanes;
@@ -151,7 +153,7 @@ let emit t ~id ~respond resp =
           t.malformed <- t.malformed + 1;
           t.failed <- t.failed + 1
       | Protocol.Failed _ -> t.failed <- t.failed + 1
-      | Protocol.Stat_report _ | Protocol.Pong | Protocol.Flushed _
+      | Protocol.Stat_report _ | Protocol.Pong _ | Protocol.Flushed _
       | Protocol.Bye ->
           ())
 
@@ -465,6 +467,19 @@ let stats_pairs t =
   in
   global @ List.concat_map per_lane t.lanes @ lifecycle @ racecheck
 
+(* The health-probe payload of a [ping]: cheap enough for a router to
+   poll every few hundred milliseconds. *)
+let ping_payload t =
+  {
+    Protocol.version = Protocol.proto_version;
+    uptime = t.clock.Clock.now () -. t.started;
+    model =
+      (match t.lifecycle with
+      | Some lc -> Some (Printf.sprintf "v%d" (Lifecycle.version lc))
+      | None -> None);
+    queue_depth = locked t (fun () -> Queue.length t.queue);
+  }
+
 let breaker t name =
   List.find_map
     (fun lane ->
@@ -491,7 +506,7 @@ let submit t ~line ~respond =
       emit t ~id ~respond (Protocol.Stat_report (stats_pairs t));
       `Ok
   | Ok (id, Protocol.Ping) ->
-      emit t ~id ~respond Protocol.Pong;
+      emit t ~id ~respond (Protocol.Pong (ping_payload t));
       `Ok
   | Ok (id, Protocol.Flush) ->
       let n = drain_all t in

@@ -94,6 +94,11 @@ val drain_all : t -> int
 (** The [stats] key/value pairs (also available via a [stats] request). *)
 val stats_pairs : t -> (string * string) list
 
+(** The health-probe payload served on a [ping] request: protocol
+    version, uptime on the runtime's clock, serving model version (when
+    a lifecycle manages the surrogate lane) and current queue depth. *)
+val ping_payload : t -> Protocol.pong
+
 (** Breaker of the named backend, for tests. *)
 val breaker : t -> string -> Breaker.t option
 

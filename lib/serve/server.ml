@@ -1,24 +1,108 @@
+module Faultsim = Dt_util.Faultsim
+
+(* ---- graceful drain ----
+
+   SIGTERM/SIGINT set a flag (async-signal-safe: the handler only
+   stores); the serve loops poll it at their next iteration, stop
+   admitting, answer everything already admitted, emit one final stats
+   line and return normally — so a supervisor-initiated stop never
+   drops a request that was accepted.  Handlers are saved and restored
+   around each loop so embedding a runtime in a larger process (tests,
+   the cluster fleet) does not leak them. *)
+
+let drain_requested = Atomic.make false
+
+let drain_pending () = Atomic.get drain_requested
+
+let with_drain_signals f =
+  Atomic.set drain_requested false;
+  let install s =
+    try Some (Sys.signal s (Sys.Signal_handle (fun _ -> Atomic.set drain_requested true)))
+    with Invalid_argument _ | Sys_error _ -> None (* platform without it *)
+  in
+  let prev_term = install Sys.sigterm in
+  let prev_int = install Sys.sigint in
+  Fun.protect
+    ~finally:(fun () ->
+      let restore s prev =
+        match prev with
+        | Some h -> ( try Sys.set_signal s h with Invalid_argument _ | Sys_error _ -> ())
+        | None -> ()
+      in
+      restore Sys.sigterm prev_term;
+      restore Sys.sigint prev_int)
+    f
+
+(* One line summarizing what the drained daemon did, for the operator's
+   log; the full per-lane breakdown stays behind the [stats] verb. *)
+let final_stats_line rt ~drained =
+  let pairs = Runtime.stats_pairs rt in
+  let get k = match List.assoc_opt k pairs with Some v -> v | None -> "0" in
+  Dt_util.Log.status
+    "serve: drained (in_flight_flushed=%d received=%s answered=%s ok=%s \
+     degraded=%s failed=%s overloaded=%s)"
+    drained (get "received") (get "answered") (get "ok") (get "degraded")
+    (get "failed") (get "overloaded")
+
+(* ---- cluster fault sites ----
+
+   Three deterministic shard pathologies for the router's failover
+   ladder, armed per shard via DIFFTUNE_FAULTS in its fleet spec entry:
+
+   - [cluster.shard_crash]: the process dies abruptly (no drain, no
+     socket-file cleanup) — a SIGKILL-class loss the supervisor must
+     restart and the router must fail over;
+   - [cluster.net_partition]: from the armed hit on, the daemon keeps
+     accepting connections and reading bytes but never replies — the
+     half-open-connection partition that only timeouts can detect;
+   - [cluster.slow_shard]: one request stalls the daemon past any
+     reasonable router budget (DIFFTUNE_SLOW_SHARD_S seconds, default
+     0.75) — the reply eventually arrives *after* the router has failed
+     over, exercising late-reply discard. *)
+
+let slow_shard_delay =
+  lazy
+    (match Sys.getenv_opt "DIFFTUNE_SLOW_SHARD_S" with
+    | Some s -> ( match float_of_string_opt s with Some f when f >= 0.0 -> f | _ -> 0.75)
+    | None -> 0.75)
+
+let fire_cluster_faults ~partitioned () =
+  (* [Unix._exit]: no at_exit, no finalizers — the socket file stays
+     behind exactly as a SIGKILL would leave it. *)
+  if Faultsim.fire "cluster.shard_crash" then Unix._exit 70;
+  if Faultsim.fire "cluster.net_partition" then partitioned := true;
+  if Faultsim.fire "cluster.slow_shard" then
+    Unix.sleepf (Lazy.force slow_shard_delay)
+
 (* ---- stdio ---- *)
 
 let serve_channels rt ic oc =
+  with_drain_signals @@ fun () ->
   let respond line =
     output_string oc line;
     output_char oc '\n';
     flush oc
   in
   let batch = (Runtime.config rt).Runtime.batch in
+  let partitioned = ref false in
+  let drain () = final_stats_line rt ~drained:(Runtime.drain_all rt) in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ignore (Runtime.drain_all rt)
-    | line ->
-        if String.trim line = "" then loop ()
-        else begin
-          match Runtime.submit rt ~line ~respond with
-          | `Shutdown -> ()
-          | `Ok ->
-              if Runtime.pending rt >= batch then Runtime.drain rt;
-              loop ()
-        end
+    if Atomic.get drain_requested then drain ()
+    else
+      match input_line ic with
+      | exception End_of_file -> ignore (Runtime.drain_all rt)
+      | line ->
+          if String.trim line = "" then loop ()
+          else begin
+            fire_cluster_faults ~partitioned ();
+            if !partitioned then loop ()
+            else
+              match Runtime.submit rt ~line ~respond with
+              | `Shutdown -> ()
+              | `Ok ->
+                  if Runtime.pending rt >= batch then Runtime.drain rt;
+                  loop ()
+          end
   in
   loop ()
 
@@ -57,6 +141,7 @@ let take_lines client =
       String.split_on_char '\n' (String.sub data 0 last)
 
 let serve_socket rt ~path =
+  with_drain_signals @@ fun () ->
   let prev_sigpipe =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
     with Invalid_argument _ -> None (* platform without sigpipe *)
@@ -65,6 +150,7 @@ let serve_socket rt ~path =
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let clients = ref [] in
   let stop = ref false in
+  let partitioned = ref false in
   let batch = (Runtime.config rt).Runtime.batch in
   Fun.protect
     ~finally:(fun () ->
@@ -80,10 +166,13 @@ let serve_socket rt ~path =
       Unix.bind srv (Unix.ADDR_UNIX path);
       Unix.listen srv 16;
       let handle_line client line =
-        if String.trim line <> "" then
-          match Runtime.submit rt ~line ~respond:(write_line client) with
-          | `Shutdown -> stop := true
-          | `Ok -> ()
+        if String.trim line <> "" then begin
+          fire_cluster_faults ~partitioned ();
+          if not !partitioned then
+            match Runtime.submit rt ~line ~respond:(write_line client) with
+            | `Shutdown -> stop := true
+            | `Ok -> ()
+        end
       in
       let read_client client =
         let chunk = Bytes.create 4096 in
@@ -95,7 +184,7 @@ let serve_socket rt ~path =
         | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
             client.alive <- false
       in
-      while not !stop do
+      while (not !stop) && not (Atomic.get drain_requested) do
         let fds = srv :: List.map (fun c -> c.fd) !clients in
         let ready =
           match Unix.select fds [] [] 0.02 with
@@ -128,4 +217,11 @@ let serve_socket rt ~path =
           !clients;
         clients := List.filter (fun c -> c.alive) !clients
       done;
-      ignore (Runtime.drain_all rt))
+      if Atomic.get drain_requested then begin
+        (* Graceful drain: stop accepting (the listener is closed by the
+           finalizer and no further client bytes are read), answer every
+           admitted request over the still-open client connections, and
+           leave a one-line trace.  The loop then exits 0 normally. *)
+        final_stats_line rt ~drained:(Runtime.drain_all rt)
+      end
+      else ignore (Runtime.drain_all rt))

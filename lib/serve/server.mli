@@ -5,16 +5,44 @@
     {!Runtime.submit} as soon as it arrives; queued predictions are
     evaluated in admission order whenever a full batch has accumulated
     (stdio) or the socket goes briefly idle, and always at end of input.
-    A [shutdown] request drains, acknowledges, and stops the loop. *)
+    A [shutdown] request drains, acknowledges, and stops the loop.
 
-(** [serve_channels rt ic oc] — serve until EOF on [ic] or a [shutdown]
-    request.  Responses are written (and flushed) to [oc] one line
-    each. *)
+    {b Graceful drain}: both loops install [SIGTERM]/[SIGINT] handlers
+    (saved and restored on exit) that flip a flag; at the next loop
+    iteration the server stops admitting, answers every already-admitted
+    request on its still-open connection, emits one final stats line via
+    {!Dt_util.Log.status}, and returns normally — so a supervised stop
+    exits 0 without dropping accepted work.  In socket mode the flag is
+    seen within one select tick (≤ 20 ms); in stdio mode at the next
+    input line or EOF.
+
+    {b Cluster fault sites} ({!Dt_util.Faultsim}), armed per shard via a
+    fleet spec: [cluster.shard_crash] kills the process abruptly
+    ([Unix._exit 70], stale socket left behind), [cluster.net_partition]
+    keeps the daemon accepting and reading but never replying from the
+    armed hit on, [cluster.slow_shard] stalls one request for
+    [DIFFTUNE_SLOW_SHARD_S] seconds (default 0.75) so its reply lands
+    after the router has failed over. *)
+
+(** [with_drain_signals f] — run [f] with the [SIGTERM]/[SIGINT] drain
+    handlers installed (restored afterwards).  Exposed so other serving
+    loops — the cluster router ({!Dt_cluster}) — share the same drain
+    discipline. *)
+val with_drain_signals : (unit -> 'a) -> 'a
+
+(** Whether a drain signal has arrived since {!with_drain_signals}
+    (re)installed the handlers. *)
+val drain_pending : unit -> bool
+
+(** [serve_channels rt ic oc] — serve until EOF on [ic], a [shutdown]
+    request, or a drain signal.  Responses are written (and flushed) to
+    [oc] one line each. *)
 val serve_channels : Runtime.t -> in_channel -> out_channel -> unit
 
 (** [serve_socket rt ~path] — bind a Unix-domain socket at [path]
     (replacing a stale file), accept any number of concurrent clients in
-    one select loop, and serve until some client sends [shutdown].
-    Responses go to the client that issued the request.  The socket file
-    is removed on exit; [SIGPIPE] is ignored for the duration. *)
+    one select loop, and serve until some client sends [shutdown] or a
+    drain signal arrives.  Responses go to the client that issued the
+    request.  The socket file is removed on exit; [SIGPIPE] is ignored
+    for the duration. *)
 val serve_socket : Runtime.t -> path:string -> unit

@@ -52,7 +52,19 @@
       directions inside [Dt_serve.Runtime.process]: a seeded deadlock
       candidate the sanitizer must raise as {!Dt_util.Sync.Lock_cycle}
       {e before} blocking, and that must pass silently with checking
-      off.
+      off;
+    - [cluster.shard_crash] — kill a serve daemon abruptly
+      ([Unix._exit 70], no drain, stale socket file left behind) at the
+      armed request: the fleet supervisor must restart it and the
+      router must fail the in-flight request over to a replica;
+    - [cluster.net_partition] — from the armed hit on, a serve daemon
+      keeps accepting connections and reading requests but never
+      replies: the half-open partition only the router's reply timeout
+      can detect;
+    - [cluster.slow_shard] — stall a serve daemon on one request for
+      [DIFFTUNE_SLOW_SHARD_S] seconds (default 0.75), past any
+      reasonable router budget: the reply lands {e after} failover,
+      exercising late-reply discard.
 
     Hit counters are shared across domains (mutex-protected) so a spec
     like [pool.worker\@5] fires exactly once regardless of how the pool

@@ -1,0 +1,265 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string * int
+
+(* ---- parsing ---- *)
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (msg, st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let n = String.length st.src in
+  while
+    st.pos < n
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected '%c', found '%c'" c c')
+  | None -> fail st (Printf.sprintf "expected '%c', found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then (st.pos <- st.pos + n; value)
+  else fail st (Printf.sprintf "expected %s" word)
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "bad \\u escape"
+
+let utf8_add buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st; Buffer.contents buf
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | None -> fail st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then
+                  fail st "truncated \\u escape";
+                let code = ref 0 in
+                for i = 0 to 3 do
+                  code := (!code lsl 4) lor hex_digit st st.src.[st.pos + i]
+                done;
+                st.pos <- st.pos + 4;
+                (* Surrogate pairs are passed through as two 3-byte
+                   sequences; config files in this repo are ASCII. *)
+                utf8_add buf !code
+            | _ -> fail st (Printf.sprintf "bad escape '\\%c'" c)));
+        loop ()
+    | Some c when Char.code c < 0x20 -> fail st "control character in string"
+    | Some c -> advance st; Buffer.add_char buf c; loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let n = String.length st.src in
+  if peek st = Some '-' then advance st;
+  let digits () =
+    let d0 = st.pos in
+    while st.pos < n && (match st.src.[st.pos] with '0' .. '9' -> true | _ -> false) do
+      advance st
+    done;
+    if st.pos = d0 then fail st "expected digit"
+  in
+  digits ();
+  if peek st = Some '.' then (advance st; digits ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      digits ()
+  | _ -> ());
+  let span = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt span with
+  | Some f -> Num f
+  | None -> fail st (Printf.sprintf "bad number %S" span)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "expected a value, found end of input"
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected '%c'" c)
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then (advance st; Obj [])
+  else begin
+    let members = ref [] in
+    let rec loop () =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      members := (key, v) :: !members;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; loop ()
+      | Some '}' -> advance st
+      | _ -> fail st "expected ',' or '}'"
+    in
+    loop ();
+    Obj (List.rev !members)
+  end
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then (advance st; List [])
+  else begin
+    let items = ref [] in
+    let rec loop () =
+      let v = parse_value st in
+      items := v :: !items;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; loop ()
+      | Some ']' -> advance st
+      | _ -> fail st "expected ',' or ']'"
+    in
+    loop ();
+    List (List.rev !items)
+  end
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage after value";
+  v
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* ---- printing ---- *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let number_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    (* Shortest representation that round-trips a double. *)
+    let s = Printf.sprintf "%.15g" f in
+    if Float.equal (float_of_string s) f then s else Printf.sprintf "%.17g" f
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Num f -> number_string f
+  | Str s -> escape_string s
+  | List items -> "[" ^ String.concat "," (List.map to_string items) ^ "]"
+  | Obj members ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> escape_string k ^ ":" ^ to_string v) members)
+      ^ "}"
+
+(* ---- accessors ---- *)
+
+let member key = function Obj members -> List.assoc_opt key members | _ -> None
+
+let to_num = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f && Float.abs f <= 2. ** 53. -> Some (int_of_float f)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List items -> Some items | _ -> None
+
+let required ctx what = function
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "%s: expected %s" ctx what)
+
+let get_num ~ctx j = required ctx "a number" (to_num j)
+let get_int ~ctx j = required ctx "an integer" (to_int j)
+let get_str ~ctx j = required ctx "a string" (to_str j)
+
+let mem_coerce coerce what ~ctx key ~default j =
+  match member key j with
+  | None -> default
+  | Some v ->
+      required (Printf.sprintf "%s.%s" ctx key) what (coerce v)
+
+let mem_int ~ctx key ~default j = mem_coerce to_int "an integer" ~ctx key ~default j
+let mem_num ~ctx key ~default j = mem_coerce to_num "a number" ~ctx key ~default j
+let mem_str ~ctx key ~default j = mem_coerce to_str "a string" ~ctx key ~default j

@@ -1,0 +1,64 @@
+(** A minimal JSON reader/writer for declarative config files.
+
+    The fleet spec ([difftune_cli fleet]) is a JSON document; the repo
+    deliberately depends on no external JSON package, so this module
+    implements the small subset of RFC 8259 the repo needs: full parse
+    of objects/arrays/strings/numbers/booleans/null with the standard
+    escapes ([\uXXXX] included, encoded back as UTF-8), and a
+    deterministic printer.  Numbers are held as [float] — config knobs
+    in this repo fit comfortably in a double's 53-bit integer range.
+
+    Accessors are total ([option]-returning); {!member} looks up a key
+    in an object, and helpers coerce with a clear failure instead of a
+    pattern-match explosion at every call site. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** key order preserved; first key wins *)
+
+(** Raised by {!parse} with a message and the 0-based byte offset where
+    the problem was noticed. *)
+exception Parse_error of string * int
+
+(** [parse s] — parse exactly one JSON value (surrounding whitespace
+    allowed; trailing garbage is an error). *)
+val parse : string -> t
+
+(** [parse_file path] — {!parse} the contents of [path]; I/O errors
+    surface as [Sys_error]. *)
+val parse_file : string -> t
+
+(** Compact one-line rendering (keys in stored order, strings escaped,
+    numbers via the shortest round-trip float format, integral floats
+    without a fractional part). *)
+val to_string : t -> string
+
+(** [member key j] — the value under [key] when [j] is an object having
+    it. *)
+val member : string -> t -> t option
+
+val to_num : t -> float option
+
+(** Integral [Num] only. *)
+val to_int : t -> int option
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+(** [get_*] variants raise [Invalid_argument ctx] instead of returning
+    [None]; [ctx] names the field for the error message. *)
+val get_num : ctx:string -> t -> float
+val get_int : ctx:string -> t -> int
+val get_str : ctx:string -> t -> string
+
+(** [mem_int ~ctx key ~default j] and friends: object-member coercion
+    with a default when the key is absent, raising [Invalid_argument]
+    when present but of the wrong shape. *)
+val mem_int : ctx:string -> string -> default:int -> t -> int
+val mem_num : ctx:string -> string -> default:float -> t -> float
+val mem_str : ctx:string -> string -> default:string -> t -> string

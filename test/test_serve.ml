@@ -92,8 +92,35 @@ let test_encode () =
   in
   check_contains "error kind" ~affix:"e error kind=parse msg=" err;
   (* ids are slugged so the response stays one tokenizable line *)
-  check_contains "slugged id" ~affix:"a_b pong"
-    (Protocol.encode_response ~id:"a b" Protocol.Pong)
+  let pong =
+    {
+      Protocol.version = Protocol.proto_version;
+      uptime = 12.5;
+      model = None;
+      queue_depth = 3;
+    }
+  in
+  let line = Protocol.encode_response ~id:"a b" (Protocol.Pong pong) in
+  check_contains "slugged id" ~affix:"a_b pong" line;
+  check_contains "pong payload" ~affix:"uptime=12.500" line;
+  check_contains "pong modelless" ~affix:"model=-" line;
+  check_contains "pong queue" ~affix:"queue_depth=3" line;
+  (* the probe side parses the same line back *)
+  (match Protocol.pong_of_line line with
+  | Some p ->
+      check Alcotest.int "pong version" Protocol.proto_version p.Protocol.version;
+      check Alcotest.int "pong queue_depth" 3 p.Protocol.queue_depth;
+      check Alcotest.bool "pong model" true (p.Protocol.model = None)
+  | None -> Alcotest.fail "pong_of_line failed on an encoded pong");
+  match
+    Protocol.pong_of_line
+      (Protocol.encode_response ~id:"q"
+         (Protocol.Pong { pong with Protocol.model = Some "v4" }))
+  with
+  | Some p ->
+      check Alcotest.(option string) "pong model version" (Some "v4")
+        p.Protocol.model
+  | None -> Alcotest.fail "pong_of_line failed on a model-labeled pong"
 
 (* ---- breaker ---- *)
 
@@ -390,7 +417,7 @@ let test_runtime_control_verbs () =
       | `Ok -> Alcotest.fail "shutdown not signalled");
       (match got () with
       | [ pong; answer; flushed; bye ] ->
-          check Alcotest.string "pong" "p pong" pong;
+          check_contains "pong" ~affix:"p pong version=" pong;
           check_contains "queued answer drained by flush" ~affix:"1 ok" answer;
           check Alcotest.string "flush reports count" "f ok flushed=1" flushed;
           check Alcotest.string "bye" "z ok shutdown" bye

@@ -194,6 +194,59 @@ let test_table_mismatch () =
     (Invalid_argument "Text_table.add_row: cell count mismatch") (fun () ->
       Dt_util.Text_table.add_row t [ "only-one" ])
 
+(* ---- Json ---- *)
+
+module Json = Dt_util.Json
+
+let test_json_roundtrip () =
+  let src =
+    {|{"shards":3,"replica":2,"paths":["/tmp/a.sock","/tmp/b.sock"],
+       "knobs":{"timeout_s":0.25,"verbose":false,"label":null},
+       "name":"fleet A\n"}|}
+  in
+  let j = Json.parse src in
+  check Alcotest.int "shards" 3
+    (Json.get_int ~ctx:"shards" (Option.get (Json.member "shards" j)));
+  check Alcotest.(list string) "paths"
+    [ "/tmp/a.sock"; "/tmp/b.sock" ]
+    (List.filter_map Json.to_str (Option.get (Json.to_list (Option.get (Json.member "paths" j)))));
+  let knobs = Option.get (Json.member "knobs" j) in
+  check (Alcotest.float 1e-12) "timeout" 0.25
+    (Json.mem_num ~ctx:"knobs" "timeout_s" ~default:1.0 knobs);
+  check Alcotest.(option bool) "verbose" (Some false)
+    (Option.bind (Json.member "verbose" knobs) Json.to_bool);
+  check Alcotest.bool "null" true (Json.member "label" knobs = Some Json.Null);
+  check Alcotest.string "escapes decoded" "fleet A\n"
+    (Json.get_str ~ctx:"name" (Option.get (Json.member "name" j)));
+  (* print -> parse is the identity on the tree *)
+  check Alcotest.bool "roundtrip" true (Json.parse (Json.to_string j) = j)
+
+let test_json_numbers () =
+  let num s = Json.to_num (Json.parse s) in
+  check Alcotest.(option (float 1e-12)) "int" (Some 42.) (num "42");
+  check Alcotest.(option (float 1e-12)) "neg frac" (Some (-0.5)) (num "-0.5");
+  check Alcotest.(option (float 1e-9)) "exp" (Some 1500.) (num "1.5e3");
+  check Alcotest.(option int) "to_int rejects frac" None
+    (Json.to_int (Json.parse "1.5"));
+  check Alcotest.string "integral prints bare" "7"
+    (Json.to_string (Json.Num 7.))
+
+let test_json_errors () =
+  let bad s =
+    match Json.parse s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "trailing garbage" true (bad "{} x");
+  check Alcotest.bool "unterminated string" true (bad {|"abc|});
+  check Alcotest.bool "missing colon" true (bad {|{"a" 1}|});
+  check Alcotest.bool "bare word" true (bad "nope");
+  check Alcotest.bool "unclosed list" true (bad "[1,2");
+  check Alcotest.bool "mem_int wrong type" true
+    (match Json.mem_int ~ctx:"spec" "n" ~default:0 (Json.parse {|{"n":"x"}|}) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* ---- qcheck properties ---- *)
 
 let prop_percentile_monotone =
@@ -260,6 +313,12 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "mismatch" `Quick test_table_mismatch;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "errors" `Quick test_json_errors;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
