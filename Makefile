@@ -1,6 +1,6 @@
 # Convenience targets for the DiffTune reproduction.
 
-.PHONY: all build test lint racecheck verify serve-smoke fleet-smoke loadtest bench bench-full bench-json bench-guard clean doc quickstart
+.PHONY: all build test lint racecheck verify serve-smoke fleet-smoke loadtest bench bench-full bench-json bench-guard bench-sampling clean doc quickstart
 
 all: build
 
@@ -56,7 +56,7 @@ loadtest: build
 # sanitizer armed: arena poisoning and generation stamps must stay
 # quiet on correct code even while faults fire.
 FAULT_SPECS = pool.worker@2 grad.nan@2 ckpt.truncate@1 engine.abort@2 \
-              "engine.abort@2;grad.nan@3"
+              collect.pilot_crash@1 "engine.abort@2;grad.nan@3"
 verify: build
 	dune build @lint
 	dune runtest --force
@@ -74,6 +74,17 @@ verify: build
 	    DIFFTUNE_FAULTS="engine.abort@2;grad.nan@3" \
 	    DIFFTUNE_DOMAINS=4 dune exec test/fault_smoke.exe || exit 1; \
 	done
+	@# Sampling cells: the complexity-guided collection suite
+	@# (stratifier determinism, allocation floors, pilot kill/resume,
+	@# guided-vs-uniform fidelity) under both tape executors, plus one
+	@# cell with the dynamic race sanitizer armed (guided collect runs
+	@# pilot fits and simcache traffic across domains).
+	@for compile in 0 1; do \
+	  echo "== compile=$$compile sampler =="; \
+	  DIFFTUNE_COMPILE=$$compile dune exec test/test_sampler.exe || exit 1; \
+	done
+	@echo "== sampler racecheck=1 =="
+	DIFFTUNE_RACECHECK=1 dune exec test/test_sampler.exe || exit 1
 	@# dt_race cells: the armed race.unlocked_write / race.lock_cycle
 	@# sites must be caught by the dynamic checker under both tape
 	@# executors (the test binary also proves they are MISSED with
@@ -135,6 +146,14 @@ bench-json:
 # shard crash survived, cache locality >= 50%, p99 <= 3 s).
 bench-guard: build
 	dune exec bench/main.exe -- perf-guard
+
+# Samples-to-fidelity bench: uniform vs complexity-guided collection on
+# a skewed corpus, ramping the simulation budget until fixed MAPE +
+# Kendall-tau targets are met; writes BENCH_PR10.json (sample counts,
+# wall-clock, samples_ratio) whose guided/uniform ratio bench-guard
+# holds at <= 0.6.
+bench-sampling: build
+	dune exec bench/sampling.exe
 
 quickstart:
 	dune exec examples/quickstart.exe

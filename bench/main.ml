@@ -774,6 +774,7 @@ let guard_keys =
 let baseline_files () =
   List.filter Sys.file_exists
     [
+      "BENCH_PR10.json";
       "BENCH_PR9.json";
       "BENCH_PR8.json";
       "BENCH_PR7.json";
@@ -813,6 +814,18 @@ let guard_absolute =
     ("loadtest.failovers", `Min, 1.0);
     ("loadtest.cache_hit_pct", `Min, 50.0);
     ("loadtest.p99_ms", `Max, 3000.0);
+    (* PR 10 samples-to-fidelity (make bench-sampling): on the skewed
+       bench corpus, complexity-guided collection must reach the same
+       fixed MAPE + Kendall-tau targets as uniform with at most 0.6x
+       the simulated samples and no more wall-clock.  The counts are
+       fully seeded/deterministic, so the ratio is machine independent;
+       both strategies must also actually have met the fidelity bar. *)
+    ("sampling.samples_ratio", `Max, 0.6);
+    ("sampling.wallclock_ratio", `Max, 1.0);
+    ("sampling.guided_tau", `Min, 0.85);
+    ("sampling.uniform_tau", `Min, 0.85);
+    ("sampling.guided_mape", `Max, 0.25);
+    ("sampling.uniform_mape", `Max, 0.25);
   ]
 
 let read_file path =

@@ -239,7 +239,28 @@ let learn_cmd =
                    re-running the same command resumes an interrupted run \
                    from the last checkpoint with identical results.")
   in
-  let run uarch size seed spec_kind full save checkpoint_dir =
+  let sampling_conv =
+    let parse = function
+      | "uniform" -> Ok Engine.Uniform
+      | "guided" -> Ok (Engine.Guided Dt_difftune.Strata.default)
+      | s -> Error (`Msg (Printf.sprintf "unknown sampling %S (uniform|guided)" s))
+    in
+    let print fmt s =
+      Format.pp_print_string fmt
+        (match s with Engine.Uniform -> "uniform" | Engine.Guided _ -> "guided")
+    in
+    Arg.conv (parse, print)
+  in
+  let sampling_arg =
+    Arg.(value & opt sampling_conv Engine.Uniform
+         & info [ "sampling" ] ~docv:"STRATEGY"
+             ~doc:"Data-collection strategy: uniform (the paper's i.i.d. \
+                   draw) or guided (Turaco-style complexity-guided \
+                   stratified collection — equal fidelity on fewer \
+                   samples).  The DIFFTUNE_SAMPLING environment variable \
+                   overrides this.")
+  in
+  let run uarch size seed spec_kind full save checkpoint_dir sampling =
     guarded @@ fun () ->
     let scale = if full then Dt_exp.Scale.full else Dt_exp.Scale.quick in
     let scale = { scale with corpus_size = size } in
@@ -259,7 +280,9 @@ let learn_cmd =
     Printf.printf "learning %s on %s (%d training blocks)...\n%!" spec.name
       (Uarch.uarch_name uarch) (Array.length train);
     let cfg =
-      { scale.engine with log = (fun m -> Printf.printf "  %s\n%!" m) }
+      { scale.engine with
+        sampling;
+        log = (fun m -> Printf.printf "  %s\n%!" m) }
     in
     let valid =
       Array.map
@@ -297,7 +320,7 @@ let learn_cmd =
   Cmd.v
     (Cmd.info "learn" ~doc:"Run DiffTune end to end and report test error")
     Term.(const run $ uarch_arg $ size_arg $ seed_arg $ spec_arg $ full_arg
-          $ save_arg $ ckpt_arg)
+          $ save_arg $ ckpt_arg $ sampling_arg)
 
 (* ---- experiment ---- *)
 

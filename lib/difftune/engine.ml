@@ -9,6 +9,11 @@ module Welford = Dt_util.Stats.Welford
 module Enc = Checkpoint.Enc
 module Dec = Checkpoint.Dec
 
+(* How [collect] spends its simulation budget: uniformly over (θ, x),
+   or stratified with Neyman-style allocation from pilot-fit complexity
+   estimates (Turaco; DESIGN.md §6j). *)
+type sampling = Uniform | Guided of Strata.config
+
 type config = {
   seed : int;
   sim_multiplier : int;
@@ -27,6 +32,8 @@ type config = {
   grad_clip : float;
   use_analytic : bool;
   head_hidden : int;
+  sampling : sampling;
+  simcache_capacity : int;
   log : string -> unit;
 }
 
@@ -49,8 +56,27 @@ let default_config =
     grad_clip = 5.0;
     use_analytic = true;
     head_hidden = 16;
+    sampling = Uniform;
+    simcache_capacity = 8192;
     log = ignore;
   }
+
+(* [DIFFTUNE_SAMPLING=uniform|guided] overrides [config.sampling]; the
+   guided override keeps an explicit strata config when one was set. *)
+let effective_sampling config =
+  match Sys.getenv_opt "DIFFTUNE_SAMPLING" with
+  | Some "uniform" -> Uniform
+  | Some "guided" -> (
+      match config.sampling with Guided _ as g -> g | Uniform -> Guided Strata.default)
+  | Some other ->
+      config.log
+        (Printf.sprintf "ignoring unknown DIFFTUNE_SAMPLING=%s" other);
+      config.sampling
+  | None -> config.sampling
+
+let sampling_tag = function
+  | Uniform -> "uniform"
+  | Guided sc -> "guided:" ^ Strata.digest sc
 
 let fast_config =
   {
@@ -284,83 +310,22 @@ let eligible_blocks config blocks =
     blocks;
   Array.of_list (List.rev !acc)
 
-let dataset_fp config (spec : Spec.t) ~eligible =
-  Printf.sprintf "dataset|%s|seed=%d|mult=%d|eligible=%d" spec.name config.seed
-    config.sim_multiplier eligible
+let dataset_fp config (spec : Spec.t) ~sampling ~eligible =
+  Printf.sprintf "dataset|%s|seed=%d|mult=%d|eligible=%d|sampling=%s" spec.name
+    config.seed config.sim_multiplier eligible (sampling_tag sampling)
 
-let collect ?checkpoint_dir ?health config (spec : Spec.t) blocks =
-  let health = match health with Some h -> h | None -> Fault.create_health () in
-  let eligible = eligible_blocks config blocks in
-  if Array.length eligible = 0 then
-    Fault.error
-      (Fault.No_training_blocks
-         {
-           phase = Fault.Collect;
-           detail =
-             Printf.sprintf "all %d blocks exceed max_train_block_len %d"
-               (Array.length blocks) config.max_train_block_len;
-         });
-  let n = config.sim_multiplier * Array.length eligible in
-  let fp = dataset_fp config spec ~eligible:(Array.length eligible) in
-  let cached =
-    match checkpoint_dir with
-    | None -> Fresh
-    | Some dir ->
-        try_load ~dir ~name:"dataset" ~fp ~health ~log:config.log (fun d ->
-            Dec.array d (fun d ->
-                let block_idx = Dec.int d in
-                let per = Dec.array d Dec.float_array in
-                let global = Dec.float_array d in
-                let target = Dec.float d in
-                { block_idx; per; global; target }))
-  in
-  match cached with
-  | Loaded out when Array.length out = n ->
-      health.skipped_phases <- health.skipped_phases + 1;
-      config.log
-        (Printf.sprintf "collect phase restored from checkpoint (%d samples)" n);
-      out
-  | _ ->
-      let out =
-        Array.make n { block_idx = 0; per = [||]; global = [||]; target = 0.0 }
-      in
-      (* One decorrelated RNG per sample (SplitMix-style seeding) makes each
-         sample independent of execution order.  Timings are memoized
-         under (table digest, block digest): the timing is a pure
-         function of that pair, so the memo cannot change any sample —
-         it only skips re-simulating colliding draws. *)
-      let base = config.seed lxor 0x1d1f_f7 in
-      let cache = Simcache.create ~capacity:8192 in
-      let block_keys = Array.map (fun (_, b) -> Simcache.block_key b) eligible in
-      with_pool (fun pool ->
-          Pool.run pool n (fun i ->
-              let rng = Rng.create (base + i) in
-              let ei = Rng.int rng (Array.length eligible) in
-              let block_idx, block = eligible.(ei) in
-              let table = spec.sample rng in
-              let target =
-                Simcache.find_or_add cache
-                  (Simcache.key ~table:(table_digest table)
-                     ~block:block_keys.(ei))
-                  (fun () -> spec.timing table block)
-              in
-              let per, global = Spec.normalize_block spec table block in
-              out.(i) <- { block_idx; per; global; target }));
-      config.log
-        (Printf.sprintf "collect: simulation memo cache %d hits / %d misses"
-           (Simcache.hits cache) (Simcache.misses cache));
-      (match checkpoint_dir with
-      | None -> ()
-      | Some dir ->
-          save_ckpt ~dir ~name:"dataset" ~fp (fun b ->
-              Enc.array b
-                (fun b s ->
-                  Enc.int b s.block_idx;
-                  Enc.array b Enc.float_array s.per;
-                  Enc.float_array b s.global;
-                  Enc.float b s.target)
-                out));
-      out
+let enc_sample b (s : sim_sample) =
+  Enc.int b s.block_idx;
+  Enc.array b Enc.float_array s.per;
+  Enc.float_array b s.global;
+  Enc.float b s.target
+
+let dec_sample d =
+  let block_idx = Dec.int d in
+  let per = Dec.array d Dec.float_array in
+  let global = Dec.float_array d in
+  let target = Dec.float d in
+  { block_idx; per; global; target }
 
 let make_model config (spec : Spec.t) rng =
   let mcfg =
@@ -460,6 +425,273 @@ let train_shard_batched model ctx (spec : Spec.t) blocks
         Array.iteri (fun i step -> losses.(step) <- ls.(i)) bucket)
       keys
   end
+
+(* ---- complexity-guided collection (DESIGN.md §6j) ----
+
+   Guided collection spends the same budget [n] in three deterministic
+   phases: a uniform pilot draw (a prefix of the very sampling stream
+   the uniform path would use, reused verbatim as dataset rows), short
+   per-stratum pilot fits whose loss curves estimate learning
+   complexity, and an adaptive main draw whose per-stratum budgets come
+   from [Sampler.allocate].  Every random decision flows through one
+   decorrelated RNG per sample index ([Rng.create (base + i)]) or
+   through sequential pre-pool code, so the dataset is a pure function
+   of (config, spec, corpus) — bit-identical across [DIFFTUNE_DOMAINS]
+   and across kill/resume at any point (the [collect.pilot_crash]
+   fault site exercises a mid-pilot kill). *)
+
+let pilot_frac = 0.15
+let pilot_min_per_stratum = 2
+let pilot_epochs = 3
+let alloc_floor_frac = 0.2
+
+(* Pilot fits use a deliberately tiny surrogate: complexity ranking
+   only needs relative loss-curve shapes, and the pilot must stay a
+   rounding error next to the main collection + training bill. *)
+let make_pilot_model config (spec : Spec.t) =
+  let mcfg =
+    {
+      Model.embed_dim = min config.embed_dim 8;
+      token_hidden = min config.token_hidden 12;
+      instr_hidden = min config.instr_hidden 12;
+      token_layers = 1;
+      instr_layers = 1;
+      with_params = true;
+      per_instr_params = spec.per_width;
+      global_params = spec.global_width;
+      feature_width =
+        (if config.use_analytic && spec.bounds <> None then Spec.n_bounds
+         else 0);
+      head_hidden = min config.head_hidden 8;
+    }
+  in
+  Model.create ~config:mcfg (Rng.create (config.seed lxor 0x9110_7))
+
+(* [pilot_fit] — a few full-batch epochs of a fresh pilot model over one
+   stratum's pilot rows (through the same bucketed batched trainer the
+   main phase uses); first/last mean epoch losses feed
+   [Sampler.complexity].  Sequential on one context: deterministic. *)
+let pilot_fit config (spec : Spec.t) blocks (samples : sim_sample array) =
+  let m = Array.length samples in
+  if m = 0 then None
+  else begin
+    let model = make_pilot_model config spec in
+    let ctx = Ad.new_ctx () in
+    let store = Model.store model in
+    let opt = Nn.Optimizer.adam store ~lr:config.surrogate_lr in
+    let sched = Array.init m Fun.id in
+    let losses = Array.make m 0.0 in
+    let first = ref 0.0 and last = ref 0.0 in
+    for epoch = 0 to pilot_epochs - 1 do
+      train_shard_batched model ctx spec blocks samples sched losses ~lo:0
+        ~hi:m;
+      Nn.Store.clip_grads store ~max_norm:(config.grad_clip *. float_of_int m);
+      Nn.Optimizer.step opt ~batch:m;
+      let mean = Array.fold_left ( +. ) 0.0 losses /. float_of_int m in
+      if epoch = 0 then first := mean;
+      last := mean
+    done;
+    Some (Sampler.complexity ~first:!first ~last:!last)
+  end
+
+let collect ?checkpoint_dir ?health config (spec : Spec.t) blocks =
+  let health = match health with Some h -> h | None -> Fault.create_health () in
+  let eligible = eligible_blocks config blocks in
+  if Array.length eligible = 0 then
+    Fault.error
+      (Fault.No_training_blocks
+         {
+           phase = Fault.Collect;
+           detail =
+             Printf.sprintf "all %d blocks exceed max_train_block_len %d"
+               (Array.length blocks) config.max_train_block_len;
+         });
+  let sampling = effective_sampling config in
+  let n = config.sim_multiplier * Array.length eligible in
+  let fp = dataset_fp config spec ~sampling ~eligible:(Array.length eligible) in
+  let cached =
+    match checkpoint_dir with
+    | None -> Fresh
+    | Some dir ->
+        try_load ~dir ~name:"dataset" ~fp ~health ~log:config.log (fun d ->
+            Dec.array d dec_sample)
+  in
+  match cached with
+  | Loaded out when Array.length out = n ->
+      health.skipped_phases <- health.skipped_phases + 1;
+      config.log
+        (Printf.sprintf "collect phase restored from checkpoint (%d samples)" n);
+      out
+  | _ ->
+      let out =
+        Array.make n { block_idx = 0; per = [||]; global = [||]; target = 0.0 }
+      in
+      (* One decorrelated RNG per sample (SplitMix-style seeding) makes each
+         sample independent of execution order.  Timings are memoized
+         under (table digest, block digest): the timing is a pure
+         function of that pair, so the memo cannot change any sample —
+         it only skips re-simulating colliding draws. *)
+      let base = config.seed lxor 0x1d1f_f7 in
+      let cache = Simcache.create ~capacity:config.simcache_capacity in
+      let block_keys = Array.map (fun (_, b) -> Simcache.block_key b) eligible in
+      (* One uniform draw of sample index [i]; returns the eligible
+         index it landed on. *)
+      let draw_uniform i =
+        let rng = Rng.create (base + i) in
+        let ei = Rng.int rng (Array.length eligible) in
+        let block_idx, block = eligible.(ei) in
+        let table = spec.sample rng in
+        let target =
+          Simcache.find_or_add cache
+            (Simcache.key ~table:(table_digest table) ~block:block_keys.(ei))
+            (fun () -> spec.timing table block)
+        in
+        let per, global = Spec.normalize_block spec table block in
+        out.(i) <- { block_idx; per; global; target };
+        ei
+      in
+      (match sampling with
+      | Uniform ->
+          with_pool (fun pool ->
+              Pool.run pool n (fun i -> ignore (draw_uniform i)))
+      | Guided scfg ->
+          let strata = Strata.stratify scfg (Array.map snd eligible) in
+          let k = Strata.n_strata strata in
+          let n_pilot =
+            Sampler.pilot_budget ~budget:n ~n_strata:k ~pilot_frac
+              ~min_per_stratum:pilot_min_per_stratum
+          in
+          let pilot_fp = fp ^ "|pilot" in
+          let pilot_cached =
+            match checkpoint_dir with
+            | None -> Fresh
+            | Some dir ->
+                try_load ~dir ~name:"pilot" ~fp:pilot_fp ~health
+                  ~log:config.log (fun d ->
+                    let samples = Dec.array d dec_sample in
+                    let scores = Dec.float_array d in
+                    (samples, scores))
+          in
+          let scores =
+            match pilot_cached with
+            | Loaded (samples, scores)
+              when Array.length samples = n_pilot && Array.length scores = k ->
+                Array.blit samples 0 out 0 n_pilot;
+                health.skipped_phases <- health.skipped_phases + 1;
+                config.log
+                  (Printf.sprintf
+                     "collect: pilot phase restored from checkpoint (%d \
+                      samples, %d strata)"
+                     n_pilot k);
+                scores
+            | _ ->
+                let pilot_ei = Array.make (max n_pilot 1) 0 in
+                with_pool (fun pool ->
+                    Pool.run pool n_pilot (fun i ->
+                        pilot_ei.(i) <- draw_uniform i));
+                Faultsim.fire_exn "collect.pilot_crash";
+                let measured =
+                  Array.init k (fun h ->
+                      let rows = ref [] in
+                      for i = n_pilot - 1 downto 0 do
+                        if strata.Strata.assign.(pilot_ei.(i)) = h then
+                          rows := out.(i) :: !rows
+                      done;
+                      pilot_fit config spec blocks (Array.of_list !rows))
+                in
+                let max_measured =
+                  Array.fold_left
+                    (fun acc v ->
+                      match v with Some s -> Float.max acc s | None -> acc)
+                    1.0 measured
+                in
+                (* A stratum the pilot never saw scores as maximally
+                   complex: unknown coverage must not starve. *)
+                let scores =
+                  Array.map
+                    (function Some s -> s | None -> max_measured)
+                    measured
+                in
+                (match checkpoint_dir with
+                | None -> ()
+                | Some dir ->
+                    save_ckpt ~dir ~name:"pilot" ~fp:pilot_fp (fun b ->
+                        Enc.array b enc_sample (Array.sub out 0 n_pilot);
+                        Enc.float_array b scores));
+                scores
+          in
+          let sizes = Array.map Array.length strata.Strata.members in
+          let remaining = n - n_pilot in
+          let alloc =
+            Sampler.allocate ~budget:remaining ~floor_frac:alloc_floor_frac
+              ~sizes ~scores
+          in
+          config.log
+            (Printf.sprintf "collect: guided allocation over %d strata: %s" k
+               (String.concat ", "
+                  (Array.to_list
+                     (Array.mapi
+                        (fun h a ->
+                          Printf.sprintf "%s=%d(score %.3f)"
+                            strata.Strata.keys.(h) a scores.(h))
+                        alloc))));
+          let stratum_of = Array.make (max remaining 1) 0 in
+          let pos = ref 0 in
+          Array.iteri
+            (fun h a ->
+              for _ = 1 to a do
+                stratum_of.(!pos) <- h;
+                incr pos
+              done)
+            alloc;
+          (* Cheap strata draw their tables from a small shared pool:
+             repeated (table, block) pairs then resolve through the
+             simcache at near-zero simulation cost.  Complex strata keep
+             a fresh table per sample for maximal coverage.  Pools are
+             generated sequentially before the parallel draw. *)
+          let max_score = Array.fold_left Float.max 0.0 scores in
+          let prng = Rng.create (config.seed lxor 0x9001_7ab) in
+          let pools =
+            Array.init k (fun h ->
+                if
+                  alloc.(h) >= 8
+                  && Float.compare scores.(h) (0.5 *. max_score) <= 0
+                then
+                  Array.init
+                    (min 64 (max 1 (alloc.(h) / 4)))
+                    (fun _ -> spec.sample prng)
+                else [||])
+          in
+          with_pool (fun pool ->
+              Pool.run pool remaining (fun j ->
+                  let i = n_pilot + j in
+                  let rng = Rng.create (base + i) in
+                  let h = stratum_of.(j) in
+                  let members = strata.Strata.members.(h) in
+                  let ei = members.(Rng.int rng (Array.length members)) in
+                  let block_idx, block = eligible.(ei) in
+                  let table =
+                    let p = pools.(h) in
+                    if Array.length p = 0 then spec.sample rng
+                    else p.(Rng.int rng (Array.length p))
+                  in
+                  let target =
+                    Simcache.find_or_add cache
+                      (Simcache.key ~table:(table_digest table)
+                         ~block:block_keys.(ei))
+                      (fun () -> spec.timing table block)
+                  in
+                  let per, global = Spec.normalize_block spec table block in
+                  out.(i) <- { block_idx; per; global; target })));
+      config.log
+        (Printf.sprintf "collect: simulation memo cache %d hits / %d misses"
+           (Simcache.hits cache) (Simcache.misses cache));
+      (match checkpoint_dir with
+      | None -> ()
+      | Some dir ->
+          save_ckpt ~dir ~name:"dataset" ~fp (fun b ->
+              Enc.array b enc_sample out));
+      out
 
 (* The epoch shuffles consume the RNG sequentially, so the whole visit
    order is fixed up front; shards then index into it. *)
@@ -1210,8 +1442,14 @@ let make_ithemal_model config ~feature_width rng =
 
 (* The shared Ithemal fitting loop: SGD/Adam over [eligible] on an
    existing [model] (either freshly initialized by {!train_ithemal} or a
-   warm-started clone handed over by {!retrain_ithemal}). *)
-let fit_ithemal config ~features rng model eligible =
+   warm-started clone handed over by {!retrain_ithemal}).  Under
+   [Guided] sampling the first epoch stays uniform and records
+   per-block losses; the remaining step budget is then reallocated
+   across strata by the same [Sampler.allocate] rule as guided
+   collection, so high-loss strata get more gradient steps.  Total
+   step count is identical either way, and the loop is sequential, so
+   both modes are deterministic. *)
+let fit_ithemal ?(sampling = Uniform) config ~features rng model eligible =
   let store = Model.store model in
   let opt = Nn.Optimizer.adam store ~lr:config.surrogate_lr in
   let n = Array.length eligible in
@@ -1229,14 +1467,12 @@ let fit_ithemal config ~features rng model eligible =
     int_of_float
       (config.surrogate_passes *. float_of_int (config.sim_multiplier * n))
   in
-  let order = Array.init n Fun.id in
-  Rng.shuffle rng order;
   let in_batch = ref 0 in
   let ctx = Ad.new_ctx () in
   let plans = Ad.plan_cache ~capacity:64 () in
-  for step = 0 to steps - 1 do
-    let block, y = eligible.(order.(step mod n)) in
-    if step > 0 && step mod n = 0 then Rng.shuffle rng order;
+  let block_loss = Array.make (max n 1) 0.0 in
+  let do_step step bi =
+    let block, y = eligible.(bi) in
     let bstr = Dt_x86.Block.to_string block in
     let loss =
       Ad.with_plan plans ctx ~key:("ith|" ^ bstr) ~grad:true ~warmup:2
@@ -1249,6 +1485,7 @@ let fit_ithemal config ~features rng model eligible =
           Ad.mape ctx pred ~target:(Float.max y 1e-3))
     in
     Ad.backward ctx loss;
+    block_loss.(bi) <- Ad.scalar_value loss;
     incr in_batch;
     if !in_batch = config.batch || step = steps - 1 then begin
       Nn.Store.clip_grads store
@@ -1260,7 +1497,59 @@ let fit_ithemal config ~features rng model eligible =
       Nn.Optimizer.set_lr opt (config.surrogate_lr *. 0.3);
     if (step + 1) mod 5000 = 0 then
       config.log (Printf.sprintf "ithemal step %d/%d" (step + 1) steps)
-  done
+  in
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  match sampling with
+  | Uniform ->
+      for step = 0 to steps - 1 do
+        if step > 0 && step mod n = 0 then Rng.shuffle rng order;
+        do_step step order.(step mod n)
+      done
+  | Guided scfg ->
+      let uniform_steps = min steps n in
+      for step = 0 to uniform_steps - 1 do
+        do_step step order.(step)
+      done;
+      let remaining = steps - uniform_steps in
+      if remaining > 0 then begin
+        let strata = Strata.stratify scfg (Array.map fst eligible) in
+        let k = Strata.n_strata strata in
+        let sizes = Array.map Array.length strata.Strata.members in
+        let scores =
+          Array.init k (fun h ->
+              let members = strata.Strata.members.(h) in
+              let s =
+                Array.fold_left
+                  (fun acc bi -> acc +. block_loss.(bi))
+                  0.0 members
+              in
+              let v = s /. float_of_int (max 1 (Array.length members)) in
+              if Float.is_finite v then v else 0.0)
+        in
+        let alloc =
+          Sampler.allocate ~budget:remaining ~floor_frac:alloc_floor_frac
+            ~sizes ~scores
+        in
+        config.log
+          (Printf.sprintf
+             "ithemal: guided allocation of %d remaining steps over %d strata"
+             remaining k);
+        let step = ref uniform_steps in
+        Array.iteri
+          (fun h a ->
+            if a > 0 then begin
+              let members = Array.copy strata.Strata.members.(h) in
+              Rng.shuffle rng members;
+              let m = Array.length members in
+              for j = 0 to a - 1 do
+                if j > 0 && j mod m = 0 then Rng.shuffle rng members;
+                do_step !step members.(j mod m);
+                incr step
+              done
+            end)
+          alloc
+      end
 
 let eligible_labeled config train =
   Array.of_list
@@ -1280,7 +1569,8 @@ let train_ithemal config ~features ~train =
   let eligible = eligible_labeled config train in
   if Array.length eligible = 0 then
     invalid_arg "Engine.train_ithemal: no usable training blocks";
-  fit_ithemal config ~features rng model eligible;
+  fit_ithemal ~sampling:(effective_sampling config) config ~features rng model
+    eligible;
   model
 
 let retrain_ithemal config ~features ~init ~train =
@@ -1292,7 +1582,8 @@ let retrain_ithemal config ~features ~init ~train =
      changing while it serves. *)
   let model = replicate init in
   let rng = Rng.create (config.seed lxor 0x5c1f7b) in
-  fit_ithemal config ~features rng model eligible;
+  fit_ithemal ~sampling:(effective_sampling config) config ~features rng model
+    eligible;
   model
 
 let ithemal_predict ~features model block =

@@ -34,6 +34,19 @@
 
 module Model = Dt_surrogate.Model
 
+(** How {!collect} spends its simulation budget.  [Uniform] draws
+    (θ, x) i.i.d. (the paper's scheme).  [Guided] is Turaco-style
+    complexity-guided collection (DESIGN.md §6j): stratify the corpus
+    with {!Strata.stratify}, estimate per-stratum learning complexity
+    from short pilot fits on a uniform pilot prefix, then spend the
+    rest of the {e same} budget via {!Sampler.allocate} — complex
+    strata get more fresh samples, cheap strata re-draw from small
+    table pools that resolve through the simcache.  Either way the
+    dataset is bit-identical across [DIFFTUNE_DOMAINS] and resumes.
+    The [DIFFTUNE_SAMPLING=uniform|guided] environment variable
+    overrides the config at {!collect} time. *)
+type sampling = Uniform | Guided of Strata.config
+
 type config = {
   seed : int;
   sim_multiplier : int;      (** simulated dataset size = this x |train| *)
@@ -57,6 +70,10 @@ type config = {
           learned correction) instead of the pure-LSTM surrogate; see
           {!Spec.t.bounds} and DESIGN.md *)
   head_hidden : int;  (** hidden width of the prediction head (0 = linear) *)
+  sampling : sampling;       (** data-collection strategy for {!collect} *)
+  simcache_capacity : int;
+      (** LRU capacity of the simulation memo cache used during
+          {!collect} *)
   log : string -> unit;
 }
 
@@ -73,10 +90,23 @@ type sim_sample = {
   target : float;            (** simulator output under the sampled table *)
 }
 
-(** [collect config spec blocks] builds the simulated dataset: for each
-    sample, a fresh table from [spec.sample] and a block drawn from
-    [blocks].  With [?checkpoint_dir] the dataset is persisted after
-    collection and restored wholesale on a matching re-run.  Raises
+(** The sampling strategy {!collect} will actually use: [config.sampling]
+    unless [DIFFTUNE_SAMPLING] overrides it. *)
+val effective_sampling : config -> sampling
+
+(** Fingerprint tag of a strategy ([uniform] or [guided:<digest>]);
+    part of the dataset checkpoint fingerprint, so switching strategies
+    can never silently resume the other strategy's dataset. *)
+val sampling_tag : sampling -> string
+
+(** [collect config spec blocks] builds the simulated dataset under
+    {!effective_sampling}: per sample, a table from [spec.sample] and a
+    block drawn from [blocks] (uniformly, or per the guided
+    allocation).  With [?checkpoint_dir] the dataset is persisted after
+    collection and restored wholesale on a matching re-run; guided
+    collection additionally checkpoints the pilot phase (samples +
+    complexity scores), so a run killed mid-pilot — the
+    [collect.pilot_crash] fault site — resumes bit-identically.  Raises
     [Fault.Error (No_training_blocks _)] when every block exceeds
     [max_train_block_len]. *)
 val collect :
@@ -170,8 +200,12 @@ val train_ithemal :
     Turaco-style reuse of traffic as training data.  The optimization
     budget follows [config] ([surrogate_passes] x [sim_multiplier] x
     usable blocks), so callers shrink [surrogate_passes] for cheap
-    incremental refreshes.  Raises [Invalid_argument] when every block
-    exceeds [max_train_block_len]. *)
+    incremental refreshes.  Under {!Guided} sampling (or
+    [DIFFTUNE_SAMPLING=guided]) the first epoch stays uniform and the
+    remaining step budget is reallocated across strata by observed
+    loss — the same {!Sampler.allocate} rule as guided collection.
+    Raises [Invalid_argument] when every block exceeds
+    [max_train_block_len]. *)
 val retrain_ithemal :
   config -> features:(Dt_x86.Block.t -> float array) option ->
   init:Model.t -> train:(Dt_x86.Block.t * float) list -> Model.t

@@ -1,0 +1,91 @@
+(* Neyman-style allocation with floors, by largest-remainder rounding.
+   Deterministic: integer floors, Float.compare for ordering, ties to
+   the lower stratum id. *)
+
+let eps = 1e-6
+let diverged = 1e6
+
+let complexity ~first ~last =
+  let clamp v =
+    if Float.is_finite v then v else diverged
+  in
+  let first = clamp first and last = clamp last in
+  Float.max last 0.0 +. Float.max (first -. last) 0.0
+
+let pilot_budget ~budget ~n_strata ~pilot_frac ~min_per_stratum =
+  let frac = int_of_float (Float.round (pilot_frac *. float_of_int budget)) in
+  let p = max frac (min_per_stratum * n_strata) in
+  min (min p (budget / 2)) budget
+
+let allocate ~budget ~floor_frac ~sizes ~scores =
+  let k = Array.length sizes in
+  if Array.length scores <> k then
+    invalid_arg "Sampler.allocate: sizes/scores length mismatch";
+  if budget < 0 then invalid_arg "Sampler.allocate: negative budget";
+  if Float.compare floor_frac 0.0 < 0 || Float.compare floor_frac 1.0 > 0 then
+    invalid_arg "Sampler.allocate: floor_frac outside [0,1]";
+  let out = Array.make k 0 in
+  let total = Array.fold_left ( + ) 0 sizes in
+  if budget = 0 || total = 0 then out
+  else begin
+    let nonempty = Array.fold_left (fun a s -> if s > 0 then a + 1 else a) 0 sizes in
+    (* Proportional floors; when the budget cannot cover them, fall back
+       to an even split over nonempty strata (remainder to low ids). *)
+    let floor_of h =
+      if sizes.(h) = 0 then 0
+      else
+        max 1
+          (int_of_float
+             (floor
+                (floor_frac *. float_of_int budget *. float_of_int sizes.(h)
+                /. float_of_int total)))
+    in
+    let floors = Array.init k floor_of in
+    let floor_sum = Array.fold_left ( + ) 0 floors in
+    if floor_sum > budget then begin
+      let base = budget / nonempty and rem = budget mod nonempty in
+      let seen = ref 0 in
+      for h = 0 to k - 1 do
+        if sizes.(h) > 0 then begin
+          out.(h) <- (base + if !seen < rem then 1 else 0);
+          incr seen
+        end
+      done;
+      out
+    end
+    else begin
+      Array.blit floors 0 out 0 k;
+      let extra = budget - floor_sum in
+      let weight h =
+        if sizes.(h) = 0 then 0.0
+        else float_of_int sizes.(h) *. (Float.max scores.(h) 0.0 +. eps)
+      in
+      let w = Array.init k weight in
+      let wsum = Array.fold_left ( +. ) 0.0 w in
+      (* wsum > 0 whenever a nonempty stratum exists (eps term). *)
+      let share = Array.map (fun wh -> float_of_int extra *. wh /. wsum) w in
+      let base = Array.map (fun s -> int_of_float (floor s)) share in
+      let given = Array.fold_left ( + ) 0 base in
+      Array.iteri (fun h b -> out.(h) <- out.(h) + b) base;
+      let leftover = extra - given in
+      let order = Array.init k (fun h -> h) in
+      Array.sort
+        (fun a b ->
+          let c =
+            Float.compare
+              (share.(b) -. float_of_int base.(b))
+              (share.(a) -. float_of_int base.(a))
+          in
+          if c <> 0 then c else compare a b)
+        order;
+      let given = ref 0 in
+      Array.iter
+        (fun h ->
+          if !given < leftover && sizes.(h) > 0 then begin
+            out.(h) <- out.(h) + 1;
+            incr given
+          end)
+        order;
+      out
+    end
+  end

@@ -1,0 +1,157 @@
+(* Deterministic corpus stratification.  Pure function of
+   (config, corpus): no RNG, no simulation, and no hashtable iteration
+   (stratum order comes from sorting the key strings), so the result is
+   bit-identical across processes, domain counts and resumes. *)
+
+type config = {
+  uarch : Dt_refcpu.Uarch.uarch;
+  len_edges : int array;
+  dep_edges : int array;
+  port_edges : int array;
+  rare_blocks : int;
+}
+
+let default =
+  {
+    uarch = Dt_refcpu.Uarch.Haswell;
+    len_edges = [| 3; 6; 12 |];
+    dep_edges = [| 1; 3; 6 |];
+    port_edges = [| 2; 4; 8 |];
+    rare_blocks = 2;
+  }
+
+let digest config =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "strata|";
+  Buffer.add_string b (Dt_refcpu.Uarch.uarch_name config.uarch);
+  let edges tag a =
+    Buffer.add_string b (Printf.sprintf "|%s=" tag);
+    Array.iter (fun e -> Buffer.add_string b (Printf.sprintf "%d," e)) a
+  in
+  edges "len" config.len_edges;
+  edges "dep" config.dep_edges;
+  edges "port" config.port_edges;
+  Buffer.add_string b (Printf.sprintf "|rare=%d" config.rare_blocks);
+  Simcache.digest_string (Buffer.contents b)
+
+type features = {
+  port_class : int;
+  dep_bucket : int;
+  len_bucket : int;
+  rare : bool;
+}
+
+type t = {
+  config : config;
+  keys : string array;
+  assign : int array;
+  members : int array array;
+}
+
+let n_strata t = Array.length t.keys
+
+(* First bucket whose edge is >= v, else one past the last edge. *)
+let bucket edges v =
+  let n = Array.length edges in
+  let rec go j = if j >= n then n else if v <= edges.(j) then j else go (j + 1) in
+  go 0
+
+(* Longest register dependency chain within one block iteration, in
+   instructions.  [Block.dependencies] only reports earlier producers,
+   so a single forward pass suffices. *)
+let dep_depth block =
+  let deps = Dt_x86.Block.dependencies block in
+  let n = Array.length deps in
+  let depth = Array.make n 1 in
+  let best = ref 0 in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (p, _) -> if depth.(p) + 1 > depth.(i) then depth.(i) <- depth.(p) + 1)
+      deps.(i);
+    if depth.(i) > !best then best := depth.(i)
+  done;
+  !best
+
+(* Peak per-port reservation of one iteration under the default
+   PortMap: the hottest port's total cycle reservation. *)
+let port_pressure port_map block =
+  let n_ports = Dt_mca.Params.num_ports in
+  let load = Array.make n_ports 0 in
+  Array.iter
+    (fun (instr : Dt_x86.Instruction.t) ->
+      let row = port_map.(instr.Dt_x86.Instruction.opcode.Dt_x86.Opcode.index) in
+      for q = 0 to n_ports - 1 do
+        load.(q) <- load.(q) + row.(q)
+      done)
+    block.Dt_x86.Block.instrs;
+  Array.fold_left (fun acc v -> if v > acc then v else acc) 0 load
+
+let block_features config ~opcode_blocks block =
+  let port_map = (Dt_mca.Params.default config.uarch).Dt_mca.Params.port_map in
+  {
+    port_class = bucket config.port_edges (port_pressure port_map block);
+    dep_bucket = bucket config.dep_edges (dep_depth block);
+    len_bucket = bucket config.len_edges (Dt_x86.Block.length block);
+    rare =
+      List.exists
+        (fun op -> opcode_blocks.(op) <= config.rare_blocks)
+        (Dt_x86.Block.opcodes block);
+  }
+
+let key_of_features f =
+  Printf.sprintf "p%d.d%d.l%d.%s" f.port_class f.dep_bucket f.len_bucket
+    (if f.rare then "rare" else "common")
+
+let stratify config blocks =
+  let n = Array.length blocks in
+  (* Per-opcode count of corpus blocks containing it (distinct per
+     block, via [Block.opcodes]). *)
+  let opcode_blocks = Array.make Dt_x86.Opcode.count 0 in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun op -> opcode_blocks.(op) <- opcode_blocks.(op) + 1)
+        (Dt_x86.Block.opcodes b))
+    blocks;
+  let port_map = (Dt_mca.Params.default config.uarch).Dt_mca.Params.port_map in
+  let block_key =
+    Array.init n (fun i ->
+        let block = blocks.(i) in
+        key_of_features
+          {
+            port_class = bucket config.port_edges (port_pressure port_map block);
+            dep_bucket = bucket config.dep_edges (dep_depth block);
+            len_bucket = bucket config.len_edges (Dt_x86.Block.length block);
+            rare =
+              List.exists
+                (fun op -> opcode_blocks.(op) <= config.rare_blocks)
+                (Dt_x86.Block.opcodes block);
+          })
+  in
+  (* Distinct keys in ascending order define the stratum ids. *)
+  let sorted = Array.copy block_key in
+  Array.sort String.compare sorted;
+  let keys =
+    Array.of_list
+      (Array.to_list sorted
+      |> List.fold_left
+           (fun acc k ->
+             match acc with
+             | prev :: _ when String.equal prev k -> acc
+             | _ -> k :: acc)
+           []
+      |> List.rev)
+  in
+  let id_of = Hashtbl.create (Array.length keys * 2) in
+  Array.iteri (fun h k -> Hashtbl.replace id_of k h) keys;
+  let assign = Array.map (fun k -> Hashtbl.find id_of k) block_key in
+  let counts = Array.make (Array.length keys) 0 in
+  Array.iter (fun h -> counts.(h) <- counts.(h) + 1) assign;
+  let members = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make (Array.length keys) 0 in
+  Array.iteri
+    (fun i h ->
+      members.(h).(fill.(h)) <- i;
+      fill.(h) <- fill.(h) + 1)
+    assign;
+  { config; keys; assign; members }

@@ -1,0 +1,73 @@
+(** Corpus stratification for complexity-guided data collection
+    (Turaco-style; see DESIGN.md §6j).
+
+    A stratum groups blocks that the surrogate should find similarly
+    hard to learn.  Membership is decided by cheap static features
+    derived from the block text and the default scheduling model —
+    nothing is simulated and nothing is random, so stratification is a
+    pure function of (config, corpus) and is bit-identical across
+    processes, domain counts and resumes:
+
+    - {b port-pressure class}: the peak per-port reservation of one
+      block iteration under the default PortMap — blocks bound on a hot
+      port behave very differently from frontend-bound ones;
+    - {b dependency-chain depth bucket}: the longest register
+      dependency chain within one iteration — chain-bound blocks are
+      where latency parameters matter most;
+    - {b block-length bucket}: the sequence length the surrogate's
+      LSTM has to integrate over;
+    - {b rare-opcode presence}: whether the block contains an opcode
+      appearing in at most [rare_blocks] corpus blocks — rare opcodes
+      get few gradient updates and need deliberate coverage.
+
+    The {!digest} of a config participates in checkpoint fingerprints
+    (content-addressed exactly like the {!Simcache} keys), so a changed
+    stratification can never silently resume a stale dataset. *)
+
+type config = {
+  uarch : Dt_refcpu.Uarch.uarch;
+      (** reference machine whose default PortMap defines port pressure *)
+  len_edges : int array;
+      (** ascending bucket edges for block length: value [v] falls in
+          the first bucket whose edge is [>= v], else the last+1 *)
+  dep_edges : int array;   (** bucket edges for dependency-chain depth *)
+  port_edges : int array;  (** bucket edges for peak port pressure *)
+  rare_blocks : int;
+      (** an opcode in [<= rare_blocks] corpus blocks is rare *)
+}
+
+(** Haswell reference, edges sized for BHive-like corpora. *)
+val default : config
+
+(** Content digest of a config (FNV-1a 64, 16 hex chars). *)
+val digest : config -> string
+
+(** Static features of one block (before corpus-relative rarity). *)
+type features = {
+  port_class : int;
+  dep_bucket : int;
+  len_bucket : int;
+  rare : bool;
+}
+
+type t = private {
+  config : config;
+  keys : string array;         (** stratum id -> human-readable key *)
+  assign : int array;          (** block index -> stratum id *)
+  members : int array array;   (** stratum id -> member block indices,
+                                   ascending *)
+}
+
+(** [stratify config blocks] — deterministic stratification of a
+    corpus.  Strata are the distinct feature tuples present, ordered by
+    key; every block belongs to exactly one stratum. *)
+val stratify : config -> Dt_x86.Block.t array -> t
+
+val n_strata : t -> int
+
+(** Features of a single block given per-opcode corpus block counts
+    (exposed for tests). *)
+val block_features :
+  config -> opcode_blocks:int array -> Dt_x86.Block.t -> features
+
+val key_of_features : features -> string

@@ -23,6 +23,11 @@
     - [engine.abort] — raise {!Injected} right after a periodic
       checkpoint write: a SIGKILL-style interruption at a resumable
       boundary;
+    - [collect.pilot_crash] — raise {!Injected} mid-pilot during
+      complexity-guided collection ([Engine.collect] with [Guided]
+      sampling), after the uniform pilot draw but before the pilot
+      fits are checkpointed: the re-run must redo the pilot and
+      produce a bit-identical dataset;
     - [serve.worker_crash] — raise {!Injected} inside a serving backend
       attempt ([Dt_serve.Runtime]): exercises retry with backoff,
       breaker accounting, and the degradation chain;

@@ -34,6 +34,10 @@ let () =
       (Dt_bhive.Dataset.all ds)
   in
   let spec = Spec.mca_write_latency Uarch.Haswell in
+  (* Guided sampling: the pipeline under fault then exercises the
+     stratify -> pilot fit -> adaptive allocation path too, so the
+     [collect.pilot_crash] matrix cell (and pool/abort faults landing
+     inside the pilot) hit real code. *)
   let cfg =
     {
       Engine.fast_config with
@@ -41,6 +45,7 @@ let () =
       sim_multiplier = 2;
       surrogate_passes = 0.5;
       table_passes = 1.0;
+      sampling = Engine.Guided Dt_difftune.Strata.default;
     }
   in
   let dir =
